@@ -1,0 +1,50 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one of the paper's tables/figures via the
+experiment registry, prints the regenerated rows next to the paper's
+claim, and asserts the shape checks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SCALE`` (e.g. ``0.3``) to shrink measurement windows
+for a quick pass; sweeps keep their full point sets either way.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import bench_scale, run_experiment
+from repro.experiments.report import render_artifact, render_markdown
+
+#: Per-artifact markdown sections are dropped here; the repository's
+#: EXPERIMENTS.md is assembled from them (see tools/assemble_experiments.py).
+GENERATED_DIR = pathlib.Path(__file__).parent / "generated"
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run one artifact under pytest-benchmark and report it."""
+
+    def _run(artifact: str):
+        scale = bench_scale()
+        result = benchmark.pedantic(
+            run_experiment, args=(artifact, scale), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(render_artifact(result))
+        GENERATED_DIR.mkdir(exist_ok=True)
+        (GENERATED_DIR / f"{artifact}.md").write_text(
+            render_markdown(result), encoding="utf-8"
+        )
+        (GENERATED_DIR / "scale.txt").write_text(str(scale), encoding="utf-8")
+        failed = [check.name for check in result.failed_checks]
+        assert not failed, f"shape checks failed: {failed}"
+        return result
+
+    return _run

@@ -1,0 +1,10 @@
+"""Extension ablation: event-processing-flow granularity (SingleT vs
+merged vs split vs SEDA-staged handlers).
+
+Regenerates artifact ``ablD`` from the experiment registry and
+asserts its shape checks.
+"""
+
+
+def test_bench_ablD(regenerate):
+    regenerate("ablD")

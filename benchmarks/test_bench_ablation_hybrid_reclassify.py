@@ -1,0 +1,9 @@
+"""Ablation: hybrid runtime re-classification under drifting response sizes.
+
+Regenerates artifact ``ablB`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_ablB(regenerate):
+    regenerate("ablB")

@@ -1,0 +1,9 @@
+"""Extension ablation: N-copy SingleT-Async scaling over CPU cores.
+
+Regenerates artifact ``ablE`` from the experiment registry and
+asserts its shape checks.
+"""
+
+
+def test_bench_ablE(regenerate):
+    regenerate("ablE")

@@ -1,0 +1,9 @@
+"""Ablation: TCP send-buffer size sweep (the 'intuitive solution').
+
+Regenerates artifact ``ablC`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_ablC(regenerate):
+    regenerate("ablC")

@@ -1,0 +1,9 @@
+"""Ablation: Netty writeSpin threshold.
+
+Regenerates artifact ``ablA`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_ablA(regenerate):
+    regenerate("ablA")

@@ -1,0 +1,9 @@
+"""Figure 1: RUBBoS 3-tier throughput/response time before and after the Tomcat upgrade.
+
+Regenerates artifact ``fig1`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_fig1(regenerate):
+    regenerate("fig1")

@@ -1,0 +1,9 @@
+"""Figure 2: TomcatSync vs TomcatAsync across concurrency and response size (crossover points).
+
+Regenerates artifact ``fig2`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_fig2(regenerate):
+    regenerate("fig2")

@@ -1,0 +1,9 @@
+"""Figure 4: throughput and context-switch rate of the four simplified servers.
+
+Regenerates artifact ``fig4`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_fig4(regenerate):
+    regenerate("fig4")

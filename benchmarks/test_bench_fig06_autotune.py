@@ -1,0 +1,9 @@
+"""Figure 6: kernel send-buffer autotuning vs a fixed large buffer.
+
+Regenerates artifact ``fig6`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_fig6(regenerate):
+    regenerate("fig6")

@@ -1,0 +1,9 @@
+"""Figure 7: network latency impact on throughput and response time.
+
+Regenerates artifact ``fig7`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_fig7(regenerate):
+    regenerate("fig7")

@@ -1,0 +1,9 @@
+"""Figure 9: NettyServer vs SingleT-Async vs sTomcat-Sync.
+
+Regenerates artifact ``fig9`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_fig9(regenerate):
+    regenerate("fig9")

@@ -1,0 +1,9 @@
+"""Figure 11: HybridNetty normalised throughput over the light/heavy mix.
+
+Regenerates artifact ``fig11`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_fig11(regenerate):
+    regenerate("fig11")

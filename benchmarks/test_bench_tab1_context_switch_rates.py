@@ -1,0 +1,9 @@
+"""Table I: context-switch rates of TomcatAsync vs TomcatSync at concurrency 8.
+
+Regenerates artifact ``tab1`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_tab1(regenerate):
+    regenerate("tab1")

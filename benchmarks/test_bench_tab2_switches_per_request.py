@@ -1,0 +1,9 @@
+"""Table II: user-space context switches per request for the four simplified servers.
+
+Regenerates artifact ``tab2`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_tab2(regenerate):
+    regenerate("tab2")

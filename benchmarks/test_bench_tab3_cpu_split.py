@@ -1,0 +1,9 @@
+"""Table III: CPU user/system split at concurrency 100.
+
+Regenerates artifact ``tab3`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_tab3(regenerate):
+    regenerate("tab3")

@@ -1,0 +1,9 @@
+"""Table IV: socket.write() calls per request (the write-spin).
+
+Regenerates artifact ``tab4`` from the experiment registry and
+asserts its shape checks against the paper's claims.
+"""
+
+
+def test_bench_tab4(regenerate):
+    regenerate("tab4")

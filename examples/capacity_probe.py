@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Probe each architecture's capacity automatically (extension tooling).
+
+Instead of sweeping a fixed concurrency grid like the paper's figures,
+this example uses the library's capacity probes: the closed-loop probe
+doubles concurrency until throughput plateaus; the open-loop probe
+binary-searches the largest sustainable Poisson arrival rate under a
+latency budget.
+
+Usage::
+
+    python examples/capacity_probe.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.capacity import closed_loop_capacity, open_loop_capacity
+from repro.experiments.report import render_table
+
+SERVERS = ["sTomcat-Sync", "SingleT-Async", "NettyServer", "HybridNetty"]
+
+
+def main() -> None:
+    rows = []
+    for server in SERVERS:
+        small = closed_loop_capacity(server, 102, max_concurrency=128, scale=0.3)
+        large = closed_loop_capacity(server, 100 * 1024, max_concurrency=128,
+                                     scale=0.3)
+        rows.append(
+            [
+                server,
+                f"{small.peak_throughput:,.0f}",
+                f"c={small.knee_load:.0f}",
+                f"{large.peak_throughput:,.0f}",
+                f"c={large.knee_load:.0f}",
+            ]
+        )
+        print(f"  probed {server}", flush=True)
+    print()
+    print(render_table(
+        ["server", "0.1KB peak req/s", "knee", "100KB peak req/s", "knee"],
+        rows,
+    ))
+
+    print("\nOpen-loop check (SingleT-Async, 0.1KB): largest sustainable "
+          "Poisson rate...")
+    estimate = open_loop_capacity("SingleT-Async", 102, rate_hint=35000.0,
+                                  connections=128, scale=0.3)
+    print(f"  sustainable at ~{estimate.knee_load:,.0f} req/s offered "
+          f"({estimate.knee_throughput:,.0f} req/s served)")
+
+
+if __name__ == "__main__":
+    main()

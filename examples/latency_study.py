@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Network latency sensitivity of the four architectures (Figure 7).
+
+Sweeps injected one-way latency (the paper uses ``tc`` for this) with
+100 KB responses at concurrency 100 and shows the asynchronous servers'
+collapse — ~95% for SingleT-Async at 5 ms — against the flat thread-based
+and Netty lines.
+
+Usage::
+
+    python examples/latency_study.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import MicroConfig, run_micro
+from repro.experiments.report import render_table
+
+SERVERS = ["SingleT-Async", "sTomcat-Async-Fix", "sTomcat-Sync", "NettyServer"]
+LATENCIES_MS = [0.0, 1.0, 2.0, 5.0, 10.0]
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    duration, warmup = (3.0, 1.0) if quick else (6.0, 2.0)
+    baseline = {}
+    rows = []
+    for server in SERVERS:
+        cells = [server]
+        for latency_ms in LATENCIES_MS:
+            result = run_micro(
+                MicroConfig(
+                    server=server,
+                    concurrency=100,
+                    response_size=100 * 1024,
+                    duration=duration,
+                    warmup=warmup,
+                    added_latency=latency_ms * 1e-3,
+                )
+            )
+            if latency_ms == 0.0:
+                baseline[server] = result.throughput
+            relative = result.throughput / baseline[server]
+            cells.append(f"{result.throughput:5.0f} ({relative * 100:3.0f}%)")
+        rows.append(cells)
+    print("Throughput in req/s (and % of the zero-latency baseline):\n")
+    print(render_table(["server"] + [f"{l:g} ms" for l in LATENCIES_MS], rows))
+    print(
+        "\nSingleT-Async's naive write path holds its only thread for every "
+        "wait-ACK\nround of a large response, so a few milliseconds of "
+        "latency serialise the\nwhole server (Little's law: response time "
+        "x20 => throughput /20). Netty's\nbounded write loop jumps out and "
+        "keeps serving other connections instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

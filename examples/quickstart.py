@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: compare every server architecture on one workload.
+
+Runs the paper's micro-benchmark setup (closed-loop clients, zero think
+time) against all six architectures for a small and a large response size,
+and prints throughput, response time, context switches and write counts —
+the four quantities the whole paper revolves around.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import MicroConfig, run_micro
+from repro.experiments.report import render_table
+
+SERVERS = [
+    "sTomcat-Sync",
+    "sTomcat-Async",
+    "sTomcat-Async-Fix",
+    "SingleT-Async",
+    "NettyServer",
+    "HybridNetty",
+]
+
+
+def compare(response_size: int, concurrency: int = 16) -> None:
+    rows = []
+    for server in SERVERS:
+        result = run_micro(
+            MicroConfig(
+                server=server,
+                concurrency=concurrency,
+                response_size=response_size,
+                duration=2.0,
+                warmup=0.5,
+            )
+        )
+        report = result.report
+        rows.append(
+            [
+                server,
+                f"{report.throughput:,.0f}",
+                f"{report.response_time_mean * 1e3:.3f}",
+                f"{report.context_switch_rate / max(report.throughput, 1):.2f}",
+                f"{report.write_calls_per_request:.1f}",
+            ]
+        )
+    print(f"\n=== {response_size / 1024:.1f} KB responses, concurrency {concurrency} ===")
+    print(
+        render_table(
+            ["server", "req/s", "mean RT ms", "ctx switches/req", "writes/req"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    compare(response_size=102)          # "0.1KB": switches dominate
+    compare(response_size=100 * 1024)   # "100KB": the write-spin dominates
+    print(
+        "\nReading the tables: the single-threaded event loop wins small "
+        "responses\n(no context switches), loses large ones (the write-spin "
+        "occupies its only\nthread), and the hybrid matches the best column "
+        "in both regimes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The write-spin on REAL sockets (localhost, no simulation).
+
+Starts the two real-socket demo servers — thread-per-connection with
+blocking ``sendall`` vs a single-threaded selector loop with non-blocking
+writes — pins their ``SO_SNDBUF`` small, and drives them with a closed-loop
+load.  The selector server's ``send()`` count per request exhibits the same
+write-spin the paper measured on the JVM (Table IV).
+
+.. note::
+   Python's GIL serialises user-space execution, so throughput numbers
+   here do NOT reproduce the paper's thread-vs-event comparison — that is
+   what the simulation substrate is for (see DESIGN.md).  This demo shows
+   the *mechanism* on a real kernel.
+
+Usage::
+
+    python examples/realnet_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.realnet import SelectorSocketServer, ThreadedSocketServer, run_load
+
+RESPONSE = 256 * 1024
+SNDBUF = 16 * 1024
+
+
+def drive(server_cls):
+    with server_cls(send_buffer=SNDBUF) as server:
+        result = run_load(
+            server.address, concurrency=4, response_size=RESPONSE, duration=1.5
+        )
+        stats = server.stats.snapshot()
+    writes_per_request = stats["write_calls"] / max(stats["requests"], 1)
+    return result, stats, writes_per_request
+
+
+def main() -> None:
+    print(f"Serving {RESPONSE // 1024} KB responses with SO_SNDBUF={SNDBUF // 1024} KB\n")
+    for server_cls, note in [
+        (ThreadedSocketServer, "blocking sendall (sTomcat-Sync style)"),
+        (SelectorSocketServer, "non-blocking spin (SingleT-Async style)"),
+    ]:
+        result, stats, wpr = drive(server_cls)
+        print(f"{server_cls.__name__} — {note}")
+        print(
+            f"  {result.completed} responses, {result.throughput:,.0f} req/s, "
+            f"mean RT {result.mean_response_time * 1e3:.1f} ms"
+        )
+        print(
+            f"  send() calls/request: {wpr:.1f}   "
+            f"(zero-byte returns: {stats['zero_writes']})\n"
+        )
+    print(
+        "The kernel buffers on loopback are generous, so the spin is milder "
+        "than the\npaper's 102 calls — but the blocking server stays at ~1 "
+        "write per request\nwhile the selector server multiplies, exactly "
+        "the Table IV contrast."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The 3-tier Tomcat-upgrade regression (Figure 1), at a chosen scale.
+
+Builds the Apache -> Tomcat -> MySQL RUBBoS deployment twice — once with
+the thread-based Tomcat 7 connector, once with the asynchronous Tomcat 8
+connector — and sweeps the number of emulated users.  Shows the paper's
+counter-intuitive headline: upgrading the bottleneck tier to the newer
+asynchronous server makes the whole system saturate *earlier*.
+
+Usage::
+
+    python examples/rubbos_upgrade.py            # scaled-down, ~1 minute
+    python examples/rubbos_upgrade.py --paper    # full 13k users, slower
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import NTierConfig, run_ntier
+from repro.experiments.report import render_table
+
+
+def sweep(paper_scale: bool) -> None:
+    if paper_scale:
+        workloads = [1000, 3000, 5000, 7000, 9000, 11000, 13000]
+        think, duration, warmup = 7.0, 20.0, 12.0
+    else:
+        # 1:50 scale: same offered load per user-second, 50x fewer users.
+        workloads = [40, 80, 120, 160, 200, 240, 280]
+        think, duration, warmup = 0.14, 4.0, 1.5
+
+    rows = []
+    for variant, label in [("sync", "SYS_tomcatV7"), ("async", "SYS_tomcatV8")]:
+        for users in workloads:
+            result = run_ntier(
+                NTierConfig(
+                    tomcat_variant=variant,
+                    users=users,
+                    think_mean=think,
+                    duration=duration,
+                    warmup=warmup,
+                )
+            )
+            util = result.tier_utilization
+            rows.append(
+                [
+                    label,
+                    users,
+                    f"{result.throughput:,.0f}",
+                    f"{result.response_time * 1e3:,.0f}",
+                    f"{util['tomcat'] * 100:.0f}%",
+                    f"{util['apache'] * 100:.0f}%",
+                    f"{util['mysql'] * 100:.0f}%",
+                ]
+            )
+            print(f"  ran {label} at {users} users", flush=True)
+    print()
+    print(render_table(
+        ["system", "users", "req/s", "mean RT ms", "tomcat", "apache", "mysql"],
+        rows,
+    ))
+    print(
+        "\nTomcat's CPU is the bottleneck in both systems; the asynchronous "
+        "connector's\nevent-processing flow (4 context switches per request "
+        "plus poller-dispatched\nwrite continuations for >16KB pages) costs "
+        "it the capacity gap the paper\nmeasured as 28% at workload 11000."
+    )
+
+
+if __name__ == "__main__":
+    sweep(paper_scale="--paper" in sys.argv)

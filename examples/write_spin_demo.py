@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""The write-spin problem, step by step (paper Section IV, Figure 5).
+
+Watches one 100 KB response drain through a 16 KB TCP send buffer on the
+simulated kernel, logging every ``socket.write()`` — the same measurement
+as the paper's Table IV (~102 writes per request) — then shows the two
+escapes: a bigger buffer, and the blocking write.
+
+Usage::
+
+    python examples/write_spin_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import Connection, Environment, Link, Request, default_calibration
+from repro.cpu import CPU
+
+SIZE = 100 * 1024
+
+
+def nonblocking_transfer(send_buffer_size=None, log_first=12):
+    calib = default_calibration()
+    env = Environment()
+    conn = Connection(env, Link.lan(calib), calib, send_buffer_size=send_buffer_size)
+    cpu = CPU(env, calib)
+    thread = cpu.thread("writer")
+    request = Request(env, "page", SIZE)
+    transfer = conn.open_transfer(SIZE, request)
+    log = []
+
+    def writer(env):
+        remaining = SIZE
+        while remaining:
+            written = conn.try_write(remaining, request)
+            yield thread.syscall(bytes_copied=written)
+            if len(log) < log_first or written == 0 and len(log) < log_first + 3:
+                log.append((env.now, written, remaining - written))
+            remaining -= written
+            if remaining and written == 0:
+                yield conn.wait_writable()
+        yield transfer.done
+
+    env.process(writer(env))
+    env.run()
+    return env.now, request, log
+
+
+def blocking_transfer():
+    calib = default_calibration()
+    env = Environment()
+    conn = Connection(env, Link.lan(calib), calib)
+    cpu = CPU(env, calib)
+    thread = cpu.thread("writer")
+    request = Request(env, "page", SIZE)
+    transfer = conn.open_transfer(SIZE, request)
+
+    def writer(env):
+        yield from conn.blocking_write(thread, SIZE, request)
+        yield transfer.done
+
+    env.process(writer(env))
+    env.run()
+    return env.now, request
+
+
+def main() -> None:
+    print(f"Transferring a {SIZE // 1024} KB response...\n")
+
+    elapsed, request, log = nonblocking_transfer()
+    print("Non-blocking write, default 16 KB buffer (the write-spin):")
+    for t, written, left in log:
+        print(f"  t={t * 1e3:7.3f}ms  socket.write() -> {written:6d} B   ({left:6d} B left)")
+    print(f"  ... {request.write_calls} write() calls total "
+          f"({request.zero_writes} returned zero), done at {elapsed * 1e3:.2f} ms\n")
+
+    elapsed, request, _ = nonblocking_transfer(send_buffer_size=SIZE)
+    print(f"Non-blocking write, {SIZE // 1024} KB buffer: "
+          f"{request.write_calls} write() call, done at {elapsed * 1e3:.2f} ms")
+
+    elapsed, request = blocking_transfer()
+    print(f"Blocking write, 16 KB buffer:          "
+          f"{request.write_calls} write() call, done at {elapsed * 1e3:.2f} ms")
+    print(
+        "\nThe blocking path sleeps in the kernel between ACK rounds; the "
+        "non-blocking\npath re-enters socket.write() on every freed chunk — "
+        "that is the CPU the paper\nmeasures being wasted (Tables III-IV), "
+        "and under network latency those rounds\nserialise the whole event "
+        "loop (Figure 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

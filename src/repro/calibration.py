@@ -1,0 +1,254 @@
+"""Calibration constants for the simulated hardware/OS substrate.
+
+Every cost in the simulation (context switches, syscalls, byte copies, RTTs)
+comes from a :class:`Calibration` instance so that experiments are explicit
+about the machine they model and ablations can vary one constant at a time.
+
+The defaults model a commodity x86 server of the paper's era (see Appendix A
+of the paper: Xeon-class CPUs, 1 GbE LAN) with magnitudes taken from the
+literature the paper cites:
+
+* direct context-switch cost of a few microseconds, growing with the number
+  of runnable threads due to cache/TLB pollution (Li et al., "Quantifying
+  the cost of context switch", ExpCS 2007 — the effect the paper's Section
+  III relies on);
+* syscall entry/exit overhead of ~1-2 us (Soares & Stumm, FlexSC, OSDI 2010
+  — cited as [39] "kernel crossing overhead");
+* default TCP send buffer of 16 KB and an initial congestion window of 10
+  segments (Dukkipati et al., cited as [24]);
+* LAN round-trip time of ~100-200 us on 1 GbE.
+
+Absolute throughput numbers are NOT reproduction targets (the paper's exact
+hardware is unavailable); the constants are chosen so the *relative* effects
+— crossover points, write counts, collapse factors — match the paper's
+figures, and each figure's bench prints the constants it used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.errors import CalibrationError
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION", "default_calibration"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Machine/OS model constants.  All times in seconds, sizes in bytes."""
+
+    # ------------------------------------------------------------------
+    # CPU scheduling
+    # ------------------------------------------------------------------
+    #: Number of CPU cores of the server machine.
+    cores: int = 1
+    #: Direct cost of one context switch with few runnable threads.
+    context_switch_base: float = 2.0e-6
+    #: Growth factor of the switch cost with runnable-thread count:
+    #: ``cost = base * (1 + alpha * ln(1 + runnable_threads))``.
+    #: Models cache/TLB pollution with large thread counts.
+    context_switch_alpha: float = 0.6
+    #: Scheduler time slice (CFS-like granularity).
+    time_slice: float = 1.0e-3
+    #: Per-thread memory/cache footprint penalty applied to *all* user CPU
+    #: work as a multiplicative factor: ``1 + beta * ln(1 + threads)`` once
+    #: the live-thread count exceeds :attr:`thread_footprint_free`.
+    #: Calibrated so the TomcatSync/TomcatAsync throughput crossovers land
+    #: near the paper's measurements (concurrency ~64 at 10 KB responses,
+    #: ~1600 at 100 KB; Figure 2).
+    thread_footprint_beta: float = 0.04
+    #: Threads below this count incur no footprint penalty.
+    thread_footprint_free: int = 16
+    #: Scheduler wake-up latency charged (as system time) when a blocked
+    #: thread is made runnable again: runqueue insertion, load balancing,
+    #: wake-up preemption checks.  Paid once per request by thread-based
+    #: servers (the blocking-read wake); event loops that never block per
+    #: request avoid it — part of SingleT-Async's small-response edge in
+    #: Figure 4(a).
+    thread_wake_cost: float = 5.0e-6
+
+    # ------------------------------------------------------------------
+    # Syscall / kernel-crossing costs
+    # ------------------------------------------------------------------
+    #: User-space side of one syscall (mode switch, JVM/JNI bookkeeping).
+    syscall_user_cost: float = 1.0e-6
+    #: Kernel-space fixed cost of one syscall.
+    syscall_kernel_cost: float = 1.0e-6
+    #: Kernel cost per byte copied between user and kernel space.
+    copy_cost_per_byte: float = 2.0e-9
+    #: Fixed kernel cost of one epoll_wait/select invocation.
+    poll_cost: float = 1.5e-6
+    #: Kernel cost per ready event returned by epoll_wait.
+    poll_cost_per_event: float = 0.3e-6
+    #: User-space cost of one non-blocking ``socket.write()`` above the
+    #: bare syscall: JVM NIO buffer slicing, position bookkeeping, JNI
+    #: crossing.  This is what makes the write-spin burn *user* CPU in the
+    #: paper's Table III (SingleT-Async user time rising to 92 %).
+    nio_write_user_cost: float = 4.0e-6
+    #: Kernel (softirq) cost per TCP segment transmitted — the network
+    #: stack's TX path, charged with the write syscall that produced the
+    #: segments.
+    tcp_tx_cost_per_segment: float = 1.5e-6
+
+    # ------------------------------------------------------------------
+    # Application (business-logic) costs
+    # ------------------------------------------------------------------
+    #: Fixed user-space CPU per request (parsing + "simple computation").
+    request_base_cost: float = 18.0e-6
+    #: User-space CPU per byte of the response (content generation).
+    request_cost_per_byte: float = 14.0e-9
+
+    # ------------------------------------------------------------------
+    # TCP / network model
+    # ------------------------------------------------------------------
+    #: Default socket send-buffer size (Linux default net.ipv4.tcp_wmem[1]).
+    tcp_send_buffer: int = 16 * KB
+    #: Maximum segment size.
+    mss: int = 1448
+    #: Initial congestion window in segments (RFC 6928 / [24]).
+    initial_cwnd_segments: int = 10
+    #: Hard cap for autotuned send buffers (net.ipv4.tcp_wmem[2]-ish).
+    tcp_wmem_max: int = 4 * MB
+    #: LAN one-way latency between client and server machines.
+    lan_one_way_latency: float = 75.0e-6
+    #: Link bandwidth in bytes/second (1 GbE).
+    link_bandwidth: float = 125.0e6
+    #: Number of segments acknowledged per ACK.  1 models the quick-ACK
+    #: behaviour Linux exhibits for these bulk transfers and yields the
+    #: ~100 writes/request for a 100 KB response that Table IV measures.
+    segments_per_ack: int = 1
+
+    # ------------------------------------------------------------------
+    # Server-architecture costs
+    # ------------------------------------------------------------------
+    #: CPU cost of enqueueing/dequeueing one event between reactor and a
+    #: worker pool (the dispatch step of Figure 3).
+    dispatch_cost: float = 1.2e-6
+    #: Per-event cost of traversing a Netty-style handler pipeline.
+    pipeline_cost: float = 5.0e-6
+    #: Per-write bookkeeping cost of Netty's write-spin optimisation
+    #: (counter maintenance, context save/restore readiness re-registration).
+    netty_write_bookkeeping: float = 2.5e-6
+    #: Netty's writeSpin threshold (Netty v4 default).
+    netty_write_spin_threshold: int = 16
+    #: Cost of the hybrid server's per-request map lookup + type check.
+    hybrid_lookup_cost: float = 0.4e-6
+    #: Cost of one write-continuation dispatch in the full Tomcat NIO
+    #: connector: poller wake-up, executor queue handoff and worker thread
+    #: wake (the mechanism behind Table I's ~56 context switches per
+    #: 100 KB request for TomcatAsync).  Charged on the reactor thread per
+    #: writability event it dispatches.  Calibrated together with
+    #: :attr:`thread_footprint_beta` against the Figure 2 crossovers.
+    tomcat_continuation_cost: float = 50.0e-6
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def validate(self) -> "Calibration":
+        """Raise :class:`CalibrationError` if any constant is nonsensical."""
+        if self.cores < 1:
+            raise CalibrationError(f"cores must be >= 1, got {self.cores}")
+        for name in (
+            "context_switch_base",
+            "time_slice",
+            "syscall_user_cost",
+            "syscall_kernel_cost",
+            "copy_cost_per_byte",
+            "poll_cost",
+            "request_base_cost",
+            "request_cost_per_byte",
+            "lan_one_way_latency",
+            "dispatch_cost",
+            "pipeline_cost",
+            "netty_write_bookkeeping",
+            "hybrid_lookup_cost",
+        ):
+            if getattr(self, name) < 0:
+                raise CalibrationError(f"{name} must be >= 0")
+        if self.time_slice <= 0:
+            raise CalibrationError("time_slice must be > 0")
+        for name in ("tcp_send_buffer", "mss", "initial_cwnd_segments", "segments_per_ack"):
+            if getattr(self, name) < 1:
+                raise CalibrationError(f"{name} must be >= 1")
+        if self.netty_write_spin_threshold < 1:
+            raise CalibrationError("netty_write_spin_threshold must be >= 1")
+        if self.link_bandwidth <= 0:
+            raise CalibrationError("link_bandwidth must be > 0")
+        return self
+
+    def context_switch_cost(self, runnable_threads: int) -> float:
+        """Cost of one context switch given the runnable-thread count."""
+        n = max(0, runnable_threads)
+        return self.context_switch_base * (1.0 + self.context_switch_alpha * math.log1p(n))
+
+    def thread_footprint_factor(self, live_threads: int) -> float:
+        """Multiplier on user CPU work from per-thread cache footprint."""
+        extra = max(0, live_threads - self.thread_footprint_free)
+        if extra == 0:
+            return 1.0
+        return 1.0 + self.thread_footprint_beta * math.log1p(extra)
+
+    def request_cpu_cost(self, response_size: int) -> float:
+        """User-space CPU needed to produce a response of ``response_size``."""
+        return self.request_base_cost + self.request_cost_per_byte * response_size
+
+    def syscall_cost(self, bytes_copied: int = 0) -> "tuple[float, float]":
+        """(user, system) CPU cost of one syscall copying ``bytes_copied``."""
+        return (
+            self.syscall_user_cost,
+            self.syscall_kernel_cost + self.copy_cost_per_byte * bytes_copied,
+        )
+
+    def tx_kernel_cost(self, nbytes: int) -> float:
+        """Kernel TX-path cost for transmitting ``nbytes`` (segmented)."""
+        if nbytes <= 0:
+            return 0.0
+        segments = -(-nbytes // self.mss)
+        return segments * self.tcp_tx_cost_per_segment
+
+    @property
+    def rtt(self) -> float:
+        """LAN round-trip time (without added latency)."""
+        return 2.0 * self.lan_one_way_latency
+
+    def bdp(self, one_way_latency: float) -> float:
+        """Bandwidth-delay product for a given one-way latency, in bytes."""
+        return self.link_bandwidth * 2.0 * max(one_way_latency, self.lan_one_way_latency)
+
+    def with_overrides(self, **kwargs) -> "Calibration":
+        """A copy with selected constants replaced (and re-validated)."""
+        return replace(self, **kwargs).validate()
+
+    def describe(self) -> Dict[str, object]:
+        """Constants as a plain dict, for printing in benchmark reports."""
+        return {
+            "cores": self.cores,
+            "context_switch_base_us": self.context_switch_base * 1e6,
+            "context_switch_alpha": self.context_switch_alpha,
+            "time_slice_ms": self.time_slice * 1e3,
+            "syscall_user_cost_us": self.syscall_user_cost * 1e6,
+            "syscall_kernel_cost_us": self.syscall_kernel_cost * 1e6,
+            "copy_cost_ns_per_byte": self.copy_cost_per_byte * 1e9,
+            "request_base_cost_us": self.request_base_cost * 1e6,
+            "request_cost_ns_per_byte": self.request_cost_per_byte * 1e9,
+            "tcp_send_buffer_bytes": self.tcp_send_buffer,
+            "mss": self.mss,
+            "lan_one_way_latency_us": self.lan_one_way_latency * 1e6,
+            "netty_write_spin_threshold": self.netty_write_spin_threshold,
+        }
+
+
+#: Shared default calibration (validated at import time).
+DEFAULT_CALIBRATION = Calibration().validate()
+
+
+def default_calibration(**overrides) -> Calibration:
+    """The default calibration, optionally with per-experiment overrides."""
+    if not overrides:
+        return DEFAULT_CALIBRATION
+    return DEFAULT_CALIBRATION.with_overrides(**overrides)

@@ -1,0 +1,121 @@
+"""Command-line interface: ``repro-bench`` / ``python -m repro``.
+
+Commands
+--------
+``repro-bench list``
+    Show every reproducible artifact with its rough runtime.
+``repro-bench run fig7 [--scale 0.3]``
+    Regenerate one artifact, print the table and shape checks.
+``repro-bench all [--scale 0.3] [--markdown experiments.md]``
+    Regenerate everything; optionally write a markdown report.
+``repro-bench calibration``
+    Print the calibration constants in use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.errors import ReproError
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.report import render_artifact, render_markdown
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-bench argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables and figures of 'Improving "
+        "Asynchronous Invocation Performance in Client-Server Systems' "
+        "(ICDCS 2018).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible artifacts")
+    sub.add_parser("calibration", help="print calibration constants")
+
+    run = sub.add_parser("run", help="regenerate one artifact")
+    run.add_argument("artifact", help="artifact id, e.g. fig7 or tab4")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="measurement-window scale in (0, 1]; lower = faster")
+
+    all_cmd = sub.add_parser("all", help="regenerate every artifact")
+    all_cmd.add_argument("--scale", type=float, default=1.0)
+    all_cmd.add_argument("--markdown", default=None,
+                         help="also write a markdown report to this path")
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(a) for a in EXPERIMENTS)
+    for artifact, spec in EXPERIMENTS.items():
+        print(f"{artifact.ljust(width)}  {spec.title}  [{spec.cost}]")
+    return 0
+
+
+def _cmd_calibration() -> int:
+    for key, value in DEFAULT_CALIBRATION.describe().items():
+        print(f"{key:32s} {value}")
+    return 0
+
+
+def _check_scale(scale: float) -> float:
+    if not 0.0 < scale <= 1.0:
+        raise ReproError(f"--scale must be in (0, 1], got {scale}")
+    return scale
+
+
+def _cmd_run(artifact: str, scale: float) -> int:
+    spec = get_experiment(artifact)
+    started = time.time()
+    result = spec.runner(_check_scale(scale))
+    print(render_artifact(result))
+    print(f"(regenerated in {time.time() - started:.1f}s at scale {scale})")
+    return 0 if result.all_passed else 1
+
+def _cmd_all(scale: float, markdown: Optional[str]) -> int:
+    _check_scale(scale)
+    sections: List[str] = []
+    failures = 0
+    for artifact, spec in EXPERIMENTS.items():
+        started = time.time()
+        result = spec.runner(scale)
+        print(render_artifact(result))
+        print(f"(regenerated in {time.time() - started:.1f}s)\n")
+        sections.append(render_markdown(result))
+        failures += len(result.failed_checks)
+    if markdown:
+        with open(markdown, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(sections))
+        print(f"markdown report written to {markdown}")
+    if failures:
+        print(f"{failures} shape check(s) failed", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "calibration":
+            return _cmd_calibration()
+        if args.command == "run":
+            return _cmd_run(args.artifact, args.scale)
+        if args.command == "all":
+            return _cmd_all(args.scale, args.markdown)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the hybrid asynchronous server.
+
+* :class:`~repro.core.hybrid.HybridServer` — HybridNetty, runtime path
+  selection between a direct (SingleT-style) path for light requests and a
+  Netty-style bounded-write path for heavy requests.
+* :class:`~repro.core.profiler.RequestProfiler` — per-type write-spin
+  observation (the warm-up profiling).
+* :class:`~repro.core.classifier.PathClassifier` — the light/heavy map
+  with runtime correction.
+"""
+
+from repro.core.classifier import PathCategory, PathClassifier
+from repro.core.hybrid import HybridServer
+from repro.core.profiler import KindProfile, RequestProfiler
+
+__all__ = [
+    "PathCategory",
+    "PathClassifier",
+    "HybridServer",
+    "KindProfile",
+    "RequestProfiler",
+]

@@ -1,0 +1,94 @@
+"""Light/heavy request classification — the hybrid server's "map object".
+
+The paper (Section V-B): *"HybridNetty maintains a map object recording
+which category a request belongs to. [...] we update the map object during
+runtime once a request is detected to be classified into a wrong category
+in order to keep track of the latest category of such requests."*
+
+:class:`PathClassifier` is that map, with an optional hysteresis knob
+(``confirm``) for environments with occasional one-off outliers; the
+paper's immediate-update behaviour is ``confirm=1`` (the default).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["PathCategory", "PathClassifier"]
+
+
+class PathCategory(enum.Enum):
+    """Which execution path a request type should take."""
+
+    #: Small responses that never spin: direct, minimal-overhead path.
+    LIGHT = "light"
+    #: Responses that trigger write-spin: Netty-style bounded-write path.
+    HEAVY = "heavy"
+
+
+@dataclass
+class _Entry:
+    category: PathCategory
+    #: Consecutive observations contradicting the current category.
+    contradictions: int = 0
+    flips: int = 0
+
+
+class PathClassifier:
+    """Request-type → :class:`PathCategory` map with runtime correction."""
+
+    def __init__(self, confirm: int = 1):
+        if confirm < 1:
+            raise ValueError(f"confirm must be >= 1, got {confirm!r}")
+        self.confirm = confirm
+        self._map: Dict[str, _Entry] = {}
+        #: Total category flips performed (reclassification ablation metric).
+        self.reclassifications = 0
+
+    # ------------------------------------------------------------------
+    def classify(self, kind: str) -> Optional[PathCategory]:
+        """Current category for ``kind`` (``None`` while unprofiled)."""
+        entry = self._map.get(kind)
+        return entry.category if entry is not None else None
+
+    def observe(self, kind: str, spun: bool) -> PathCategory:
+        """Fold in one observation; returns the (possibly new) category.
+
+        ``spun`` is whether the response exhibited write-spin behaviour.
+        A type flips category after ``confirm`` consecutive contradicting
+        observations (1 = the paper's immediate update).
+        """
+        observed = PathCategory.HEAVY if spun else PathCategory.LIGHT
+        entry = self._map.get(kind)
+        if entry is None:
+            self._map[kind] = _Entry(observed)
+            return observed
+        if entry.category is observed:
+            entry.contradictions = 0
+            return entry.category
+        entry.contradictions += 1
+        if entry.contradictions >= self.confirm:
+            entry.category = observed
+            entry.contradictions = 0
+            entry.flips += 1
+            self.reclassifications += 1
+        return entry.category
+
+    # ------------------------------------------------------------------
+    @property
+    def known_kinds(self) -> Dict[str, PathCategory]:
+        """Snapshot of the current map."""
+        return {kind: entry.category for kind, entry in self._map.items()}
+
+    def flips_for(self, kind: str) -> int:
+        """How many times ``kind`` changed category."""
+        entry = self._map.get(kind)
+        return entry.flips if entry is not None else 0
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __repr__(self) -> str:
+        return f"<PathClassifier kinds={len(self._map)} flips={self.reclassifications}>"

@@ -1,0 +1,126 @@
+"""HybridNetty — the paper's contribution (Section V-B).
+
+The hybrid server combines the strengths of two asynchronous designs:
+
+* For **light** requests (responses that never spin), the most efficient
+  execution path is SingleT-Async's direct one: no handler-pipeline
+  traversal, no per-write bookkeeping — just read, compute, one write.
+* For **heavy** requests (responses that trigger the write-spin), the
+  Netty path wins: bounded write loop, jump-out, resume on writability, so
+  the worker keeps serving other connections during the wait-ACK drain.
+
+Per request, the server looks the type up in the classifier map (a cheap
+dict probe + type check, charged as ``hybrid_lookup_cost``) and takes the
+recorded path.  Unprofiled types take the safe Netty path, whose
+``writeSpin`` counter *is* the profiling signal — that is the warm-up
+phase.  If a request is ever observed in the wrong category (e.g. a
+formerly small dynamic response grew past the send buffer), the map is
+updated immediately; a light-path request that unexpectedly spins falls
+back to the Netty machinery mid-response, so a misclassification costs a
+little efficiency, never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.classifier import PathCategory, PathClassifier
+from repro.core.profiler import RequestProfiler
+from repro.net.messages import Request
+from repro.net.selector import EVENT_READ, EVENT_WRITE
+from repro.net.tcp import Connection
+from repro.servers.netty import NettyServer, NettyWorker, PendingWrite
+
+__all__ = ["HybridServer"]
+
+
+class HybridServer(NettyServer):
+    """HybridNetty: runtime path selection between direct and Netty paths."""
+
+    architecture = "HybridNetty"
+
+    def __init__(self, *args, confirm: int = 1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.profiler = RequestProfiler()
+        self.classifier = PathClassifier(confirm=confirm)
+        #: Requests served via the light (direct) path.
+        self.light_path_requests = 0
+        #: Requests served via the heavy (Netty) path.
+        self.heavy_path_requests = 0
+        #: Light-path requests that spun and fell back to the Netty path.
+        self.light_path_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    def _handle_readable(self, worker: NettyWorker, connection: Connection):
+        calib = self.calibration
+        while connection.readable and connection not in worker.pending:
+            request = yield from self._read_request(worker.thread, connection)
+            if request is None:
+                break
+            # Path lookup: map probe + request type check.
+            yield worker.thread.run(calib.hybrid_lookup_cost)
+            category = self.classifier.classify(request.kind)
+            if category is PathCategory.LIGHT:
+                yield from self._light_path(worker, connection, request)
+            else:
+                # HEAVY or unknown (warm-up): the Netty path profiles it.
+                yield from self._heavy_path(worker, connection, request)
+
+    # ------------------------------------------------------------------
+    # Light path: SingleT-Async-style direct execution
+    # ------------------------------------------------------------------
+    def _light_path(self, worker: NettyWorker, connection: Connection, request: Request):
+        self.light_path_requests += 1
+        request.metadata["path"] = "light"
+        thread = worker.thread
+        response_size = yield from self._service(thread, request)
+        transfer = connection.open_transfer(response_size, request)
+        written = connection.try_write(response_size, request)
+        yield self._charge_write(thread, written)
+        remaining = response_size - written
+        if remaining == 0:
+            # The expected case for a light request: exactly one write.
+            self.stats.responses_written += 1
+            self._finish(request)
+            self._observe(request)
+            return
+        # Unexpected spin: the response did not fit — the map is stale.
+        # Reclassify and finish the transfer through the Netty machinery
+        # so the worker does not block on this connection.
+        self.light_path_fallbacks += 1
+        self.stats.reclassifications += 1
+        request.metadata["path"] = "light->heavy"
+        state = PendingWrite(request, remaining, transfer)
+        worker.pending[connection] = state
+        yield from self._write_rounds(worker, connection, state)
+
+    # ------------------------------------------------------------------
+    # Heavy path: Netty pipeline + bounded write
+    # ------------------------------------------------------------------
+    def _heavy_path(self, worker: NettyWorker, connection: Connection, request: Request):
+        self.heavy_path_requests += 1
+        request.metadata["path"] = "heavy"
+        thread = worker.thread
+        yield thread.run(self.calibration.pipeline_cost)
+        response_size = yield from self._service(thread, request)
+        transfer = connection.open_transfer(response_size, request)
+        state = PendingWrite(request, response_size, transfer)
+        worker.pending[connection] = state
+        yield from self._write_rounds(worker, connection, state)
+
+    # ------------------------------------------------------------------
+    def _write_rounds(self, worker: NettyWorker, connection: Connection, state: PendingWrite):
+        """Netty write rounds, plus profiling on completion."""
+        yield from super()._write_rounds(worker, connection, state)
+        if state.remaining == 0:
+            self._observe(state.request)
+
+    def _observe(self, request: Request) -> None:
+        """Update profiler + classifier map from a completed response."""
+        profile = self.profiler.observe(request.kind, request.write_calls, request.zero_writes)
+        spun = request.write_calls > 1 or request.zero_writes > 0
+        before = self.classifier.classify(request.kind)
+        after = self.classifier.observe(request.kind, spun)
+        if before is not None and before is not after:
+            self.stats.reclassifications += 1
+        del profile

@@ -1,0 +1,93 @@
+"""Runtime request profiling for the hybrid server (Section V-B).
+
+HybridNetty decides each request's execution path from *observed* runtime
+behaviour, not from static configuration: during warm-up it watches the
+``writeSpin`` counter of the Netty-style write path and records, per
+request type, whether responses of that type trigger the write-spin
+problem.  :class:`RequestProfiler` is that memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["KindProfile", "RequestProfiler"]
+
+
+@dataclass
+class KindProfile:
+    """Accumulated observations for one request type."""
+
+    kind: str
+    observations: int = 0
+    spin_observations: int = 0
+    total_write_calls: int = 0
+    total_zero_writes: int = 0
+    #: Exponentially weighted moving average of write calls per request.
+    ewma_write_calls: float = 0.0
+    #: EWMA smoothing factor.
+    alpha: float = field(default=0.3, repr=False)
+
+    def observe(self, write_calls: int, zero_writes: int) -> None:
+        """Fold one completed response's write behaviour into the profile."""
+        if write_calls < 0 or zero_writes < 0:
+            raise ValueError("write counters must be >= 0")
+        self.observations += 1
+        self.total_write_calls += write_calls
+        self.total_zero_writes += zero_writes
+        if write_calls > 1 or zero_writes > 0:
+            self.spin_observations += 1
+        if self.observations == 1:
+            self.ewma_write_calls = float(write_calls)
+        else:
+            self.ewma_write_calls += self.alpha * (write_calls - self.ewma_write_calls)
+
+    @property
+    def mean_write_calls(self) -> float:
+        """Average write() calls per response of this type."""
+        if self.observations == 0:
+            raise ValueError(f"no observations for kind {self.kind!r}")
+        return self.total_write_calls / self.observations
+
+    @property
+    def spin_fraction(self) -> float:
+        """Fraction of observed responses that exhibited write-spin."""
+        if self.observations == 0:
+            raise ValueError(f"no observations for kind {self.kind!r}")
+        return self.spin_observations / self.observations
+
+    def spins(self) -> bool:
+        """Most recent belief: does this type trigger the write-spin?"""
+        return self.ewma_write_calls > 1.5
+
+
+class RequestProfiler:
+    """Per-request-type write-behaviour memory."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, KindProfile] = {}
+
+    def observe(self, kind: str, write_calls: int, zero_writes: int = 0) -> KindProfile:
+        """Record one response's behaviour; returns the updated profile."""
+        profile = self._profiles.get(kind)
+        if profile is None:
+            profile = KindProfile(kind)
+            self._profiles[kind] = profile
+        profile.observe(write_calls, zero_writes)
+        return profile
+
+    def get(self, kind: str) -> Optional[KindProfile]:
+        """The profile for ``kind``, or ``None`` if never observed."""
+        return self._profiles.get(kind)
+
+    @property
+    def kinds(self) -> Dict[str, KindProfile]:
+        """All profiles, keyed by request type."""
+        return dict(self._profiles)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __repr__(self) -> str:
+        return f"<RequestProfiler kinds={len(self._profiles)}>"

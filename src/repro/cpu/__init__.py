@@ -1,0 +1,6 @@
+"""Simulated CPU substrate: scheduler, threads, and accounting."""
+
+from repro.cpu.accounting import CPUCounters, CPUSnapshot, CPUUsage
+from repro.cpu.scheduler import CPU, SimThread
+
+__all__ = ["CPU", "SimThread", "CPUCounters", "CPUSnapshot", "CPUUsage"]

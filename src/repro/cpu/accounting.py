@@ -1,0 +1,103 @@
+"""CPU time and context-switch accounting.
+
+The simulated scheduler charges every microsecond of CPU time to either
+*user* or *system* time and counts every context switch and syscall, which
+is what lets the benchmarks reproduce the paper's collectl/JProfiler tables
+(Table I, Table III, Table IV) exactly rather than approximately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CPUCounters", "CPUSnapshot", "CPUUsage"]
+
+
+@dataclass
+class CPUCounters:
+    """Monotonically increasing counters maintained by the scheduler."""
+
+    busy_user: float = 0.0
+    busy_system: float = 0.0
+    context_switches: int = 0
+    voluntary_switches: int = 0
+    involuntary_switches: int = 0
+    switch_time: float = 0.0
+    syscalls: int = 0
+    bursts: int = 0
+
+    def copy(self) -> "CPUCounters":
+        """A point-in-time copy of the counters."""
+        return CPUCounters(
+            busy_user=self.busy_user,
+            busy_system=self.busy_system,
+            context_switches=self.context_switches,
+            voluntary_switches=self.voluntary_switches,
+            involuntary_switches=self.involuntary_switches,
+            switch_time=self.switch_time,
+            syscalls=self.syscalls,
+            bursts=self.bursts,
+        )
+
+
+@dataclass(frozen=True)
+class CPUSnapshot:
+    """Counters captured at a known virtual time."""
+
+    time: float
+    counters: CPUCounters
+
+    def usage_since(self, earlier: "CPUSnapshot", cores: int) -> "CPUUsage":
+        """Derive utilisation and rates over the window since ``earlier``."""
+        elapsed = self.time - earlier.time
+        if elapsed <= 0:
+            raise ValueError(f"snapshot window must have positive length, got {elapsed!r}")
+        a, b = earlier.counters, self.counters
+        user = b.busy_user - a.busy_user
+        system = b.busy_system - a.busy_system
+        capacity = cores * elapsed
+        return CPUUsage(
+            elapsed=elapsed,
+            user_time=user,
+            system_time=system,
+            utilization=min(1.0, (user + system) / capacity),
+            user_fraction=(user / (user + system)) if (user + system) > 0 else 0.0,
+            context_switch_rate=(b.context_switches - a.context_switches) / elapsed,
+            voluntary_switch_rate=(b.voluntary_switches - a.voluntary_switches) / elapsed,
+            involuntary_switch_rate=(b.involuntary_switches - a.involuntary_switches) / elapsed,
+            syscall_rate=(b.syscalls - a.syscalls) / elapsed,
+            context_switches=b.context_switches - a.context_switches,
+            syscalls=b.syscalls - a.syscalls,
+        )
+
+
+@dataclass(frozen=True)
+class CPUUsage:
+    """Utilisation and event rates over a measurement window."""
+
+    elapsed: float
+    user_time: float
+    system_time: float
+    utilization: float
+    user_fraction: float
+    context_switch_rate: float
+    voluntary_switch_rate: float
+    involuntary_switch_rate: float
+    syscall_rate: float
+    context_switches: int
+    syscalls: int
+
+    @property
+    def busy_time(self) -> float:
+        """Total busy CPU time in the window."""
+        return self.user_time + self.system_time
+
+    @property
+    def user_percent(self) -> float:
+        """User time as a share of *busy* time, in percent (collectl style)."""
+        return 100.0 * self.user_fraction
+
+    @property
+    def system_percent(self) -> float:
+        """System time as a share of *busy* time, in percent."""
+        return 100.0 * (1.0 - self.user_fraction) if self.busy_time > 0 else 0.0

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class StopSimulation(SimulationError):
+    """Internal signal used to stop :meth:`Environment.run` early.
+
+    Not an error condition; callers never see it escape ``run``.
+    """
+
+
+class EventLifecycleError(SimulationError):
+    """An event was triggered, succeeded or failed more than once."""
+
+
+class ProcessError(SimulationError):
+    """An exception escaped a simulated process.
+
+    The original exception is available as ``__cause__``.
+    """
+
+
+class InterruptError(SimulationError):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupt ``cause`` object passed by the interrupter is available
+    via the :attr:`cause` attribute.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class NetworkError(ReproError):
+    """Base class for errors in the simulated network substrate."""
+
+
+class ConnectionClosedError(NetworkError):
+    """An operation was attempted on a closed simulated connection."""
+
+
+class BufferError_(NetworkError):
+    """Invalid operation on a simulated kernel byte buffer."""
+
+
+class ServerError(ReproError):
+    """Base class for errors raised by simulated server implementations."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (mixes, probabilities, sweeps)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run failed validation."""
+
+
+class CalibrationError(ReproError):
+    """Invalid calibration constants (negative costs, zero sizes, ...)."""

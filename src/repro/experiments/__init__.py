@@ -1,0 +1,46 @@
+"""Experiment harness: one registered reproduction per paper artifact."""
+
+from repro.experiments.capacity import (
+    CapacityEstimate,
+    closed_loop_capacity,
+    open_loop_capacity,
+)
+from repro.experiments.micro import (
+    MicroConfig,
+    MicroResult,
+    SERVER_FACTORIES,
+    make_server,
+    run_micro,
+    suggest_timing,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    bench_scale,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.report import render_artifact, render_markdown, render_table
+from repro.experiments.results import ArtifactResult, ShapeCheck
+
+__all__ = [
+    "CapacityEstimate",
+    "closed_loop_capacity",
+    "open_loop_capacity",
+    "MicroConfig",
+    "MicroResult",
+    "SERVER_FACTORIES",
+    "make_server",
+    "run_micro",
+    "suggest_timing",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "bench_scale",
+    "get_experiment",
+    "run_experiment",
+    "render_artifact",
+    "render_markdown",
+    "render_table",
+    "ArtifactResult",
+    "ShapeCheck",
+]

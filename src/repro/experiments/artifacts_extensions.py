@@ -1,0 +1,106 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Two ablations that the paper's Section II-A taxonomy invites but does not
+measure:
+
+* **Event-processing-flow granularity** (``ablD``): the one-thread,
+  merged-handler, split-handler and staged (SEDA) designs on one axis —
+  how throughput degrades as the flow is cut into more thread-crossing
+  pieces (the generalisation of Table II / Figure 4).
+* **N-copy scaling** (``ablE``): the Section II-A N-copy approach on a
+  multi-core machine — it scales small responses almost linearly while
+  inheriting the single-threaded design's write-spin for large ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.calibration import default_calibration
+from repro.experiments.micro import MicroConfig, run_micro
+from repro.experiments.results import ArtifactResult
+from repro.workload.mixes import SIZE_LARGE, SIZE_SMALL
+
+__all__ = ["ablation_flow_granularity", "ablation_ncopy_scaling"]
+
+
+def ablation_flow_granularity(scale: float = 1.0) -> ArtifactResult:
+    """Throughput and switches vs event-processing-flow granularity."""
+    result = ArtifactResult(
+        artifact="ablD",
+        title="Ablation: event-processing-flow granularity — single thread "
+        "vs merged handler vs split handlers vs SEDA stages (0.1KB, c=16)",
+        paper_claim="Section III: every extra thread handoff in the flow "
+        "costs context switches; Table II orders the designs 0/2/4 — the "
+        "staged design extends the sequence",
+        headers=["server", "handoff boundaries", "rps", "ctx switches/req"],
+    )
+    duration = 0.5 + max(0.8, 2.0 * scale)
+    designs = [
+        ("SingleT-Async", 0),
+        ("sTomcat-Async-Fix", 1),
+        ("sTomcat-Async", 2),
+        ("Staged-SEDA", 3),
+    ]
+    tputs: Dict[str, float] = {}
+    switches: Dict[str, float] = {}
+    for server, boundaries in designs:
+        res = run_micro(
+            MicroConfig(server=server, concurrency=16, response_size=SIZE_SMALL,
+                        duration=duration, warmup=0.4)
+        )
+        tputs[server] = res.throughput
+        switches[server] = res.report.context_switch_rate / max(res.throughput, 1e-9)
+        result.add_row(server, boundaries, res.throughput, switches[server])
+    ordered = [server for server, _ in designs]
+    result.check(
+        "throughput decreases monotonically with flow granularity",
+        all(tputs[a] >= tputs[b] for a, b in zip(ordered, ordered[1:])),
+        " > ".join(f"{tputs[s]:.0f}" for s in ordered),
+    )
+    result.check(
+        "switches/request increase monotonically with flow granularity",
+        all(switches[a] <= switches[b] + 0.3 for a, b in zip(ordered, ordered[1:])),
+        " < ".join(f"{switches[s]:.1f}" for s in ordered),
+    )
+    return result
+
+
+def ablation_ncopy_scaling(scale: float = 1.0) -> ArtifactResult:
+    """N-copy single-threaded servers across core counts."""
+    result = ArtifactResult(
+        artifact="ablE",
+        title="Ablation: N-copy SingleT-Async scaling over CPU cores "
+        "(0.1KB and 100KB, c=64)",
+        paper_claim="Section II-A: 'multiple single-threaded servers can be "
+        "launched together to fully utilize multiple processors' — but the "
+        "write-spin is per-copy, so large responses do not scale as well",
+        headers=["cores/copies", "size", "rps", "speedup vs 1 core"],
+    )
+    duration = 0.5 + max(0.8, 2.0 * scale)
+    baselines: Dict[str, float] = {}
+    speedups: Dict[str, Dict[int, float]] = {"0.1KB": {}, "100KB": {}}
+    for cores in [1, 2, 4]:
+        calib = default_calibration(cores=cores)
+        for size, label in [(SIZE_SMALL, "0.1KB"), (SIZE_LARGE, "100KB")]:
+            res = run_micro(
+                MicroConfig(server="N-copy", concurrency=64, response_size=size,
+                            duration=duration, warmup=0.4, calibration=calib)
+            )
+            key = f"{label}"
+            if cores == 1:
+                baselines[key] = res.throughput
+            speedup = res.throughput / baselines[key]
+            speedups[label][cores] = speedup
+            result.add_row(cores, label, res.throughput, speedup)
+    result.check(
+        "small responses scale with copies (>=1.6x at 2, >=2.5x at 4)",
+        speedups["0.1KB"][2] >= 1.6 and speedups["0.1KB"][4] >= 2.5,
+        f"x{speedups['0.1KB'][2]:.2f} at 2, x{speedups['0.1KB'][4]:.2f} at 4",
+    )
+    result.check(
+        "large responses scale too (CPU-bound at zero latency)",
+        speedups["100KB"][2] >= 1.3,
+        f"x{speedups['100KB'][2]:.2f} at 2",
+    )
+    return result

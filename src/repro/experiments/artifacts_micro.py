@@ -1,0 +1,491 @@
+"""Reproductions of the paper's micro-benchmark figures and tables.
+
+Each function regenerates one artifact (sweep + measurements + shape
+checks) and returns an :class:`~repro.experiments.results.ArtifactResult`.
+The ``scale`` argument (0 < scale <= 1) shrinks measurement windows for
+quick runs; sweeps keep their full point sets so the regenerated rows
+always match the paper's axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.experiments.micro import MicroConfig, MicroResult, run_micro, suggest_timing
+from repro.experiments.results import ArtifactResult
+from repro.workload.mixes import SIZE_LARGE, SIZE_MEDIUM, SIZE_SMALL
+
+__all__ = [
+    "fig2_tomcat_micro",
+    "tab1_context_switch_rates",
+    "tab2_switches_per_request",
+    "fig4_four_servers",
+    "tab3_cpu_split",
+    "tab4_write_spin",
+    "fig6_autotune",
+    "fig7_latency",
+    "fig9_netty",
+]
+
+_SIZES = [(SIZE_SMALL, "0.1KB"), (SIZE_MEDIUM, "10KB"), (SIZE_LARGE, "100KB")]
+
+
+def _timed_config(server: str, concurrency: int, size: int, scale: float, **kwargs) -> MicroConfig:
+    duration, warmup = suggest_timing(concurrency, size)
+    duration = warmup + max(0.5, (duration - warmup) * scale)
+    return MicroConfig(
+        server=server,
+        concurrency=concurrency,
+        response_size=size,
+        duration=duration,
+        warmup=warmup,
+        **kwargs,
+    )
+
+
+def _run(server: str, concurrency: int, size: int, scale: float, **kwargs) -> MicroResult:
+    return run_micro(_timed_config(server, concurrency, size, scale, **kwargs))
+
+
+# ----------------------------------------------------------------------
+# Figure 2
+# ----------------------------------------------------------------------
+def fig2_tomcat_micro(scale: float = 1.0) -> ArtifactResult:
+    """Figure 2: TomcatSync vs TomcatAsync throughput vs concurrency."""
+    result = ArtifactResult(
+        artifact="fig2",
+        title="TomcatSync vs TomcatAsync throughput under increasing "
+        "workload concurrency and response size",
+        paper_claim="TomcatAsync is slower than TomcatSync below a "
+        "crossover concurrency: ~64 for 10KB responses, ~1600 for 100KB",
+        headers=["size", "concurrency", "TomcatSync rps", "TomcatAsync rps", "async/sync"],
+    )
+    concurrencies = [1, 8, 64, 200, 800, 1600, 3200]
+    ratios: Dict[str, Dict[int, float]] = {}
+    for size, label in _SIZES:
+        ratios[label] = {}
+        for concurrency in concurrencies:
+            sync = _run("TomcatSync", concurrency, size, scale)
+            async_ = _run("TomcatAsync", concurrency, size, scale)
+            ratio = async_.throughput / sync.throughput if sync.throughput else float("nan")
+            ratios[label][concurrency] = ratio
+            result.add_row(label, concurrency, sync.throughput, async_.throughput, ratio)
+
+    def crossover(label: str) -> int:
+        for concurrency in concurrencies:
+            if ratios[label][concurrency] >= 1.0:
+                return concurrency
+        return 10 ** 9
+
+    result.check(
+        "async slower than sync at low concurrency (c=8) for every size",
+        all(ratios[label][8] < 1.0 for _, label in _SIZES),
+        ", ".join(f"{label}:{ratios[label][8]:.2f}" for _, label in _SIZES),
+    )
+    c10, c100 = crossover("10KB"), crossover("100KB")
+    result.check(
+        "10KB crossover in the paper's neighbourhood (<=200; paper: 64)",
+        c10 <= 200,
+        f"measured crossover at concurrency {c10}",
+    )
+    result.check(
+        "100KB crossover far later (>=800; paper: 1600)",
+        c100 >= 800,
+        f"measured crossover at concurrency {c100}",
+    )
+    result.check(
+        "crossover moves later as response size grows (10KB < 100KB)",
+        c10 < c100,
+        f"{c10} < {c100}",
+    )
+    result.note("closed-loop JMeter-style clients, zero think time, LAN link")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def tab1_context_switch_rates(scale: float = 1.0) -> ArtifactResult:
+    """Table I: context switch rates, TomcatAsync vs TomcatSync, c=8."""
+    result = ArtifactResult(
+        artifact="tab1",
+        title="Context switches of TomcatAsync vs TomcatSync at workload "
+        "concurrency 8 (K switches/sec)",
+        paper_claim="TomcatAsync has far more context switches than "
+        "TomcatSync at the same concurrency (40 vs 16, 25 vs 7, 28 vs 2 "
+        "K/s for 0.1/10/100KB)",
+        headers=["size", "TomcatAsync K/s", "TomcatSync K/s", "async/sync"],
+    )
+    for size, label in _SIZES:
+        async_ = _run("TomcatAsync", 8, size, scale)
+        sync = _run("TomcatSync", 8, size, scale)
+        a = async_.report.context_switch_rate / 1e3
+        s = sync.report.context_switch_rate / 1e3
+        result.add_row(label, a, s, a / s if s else float("nan"))
+        result.check(
+            f"TomcatAsync switches more than TomcatSync at {label}",
+            a > s,
+            f"{a:.1f} K/s vs {s:.1f} K/s",
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+def tab2_switches_per_request(scale: float = 1.0) -> ArtifactResult:
+    """Table II: user-space context switches per request by design."""
+    result = ArtifactResult(
+        artifact="tab2",
+        title="Context switches per request for the four simplified servers",
+        paper_claim="4 for sTomcat-Async, 2 for sTomcat-Async-Fix, ~0 for "
+        "sTomcat-Sync (only block/wake), 0 for SingleT-Async",
+        headers=["server", "switches/request", "paper"],
+    )
+    expectations = [
+        ("sTomcat-Async", 4.0, (2.5, 5.5)),
+        ("sTomcat-Async-Fix", 2.0, (1.2, 3.2)),
+        ("sTomcat-Sync", 0.0, (0.0, 2.0)),
+        ("SingleT-Async", 0.0, (0.0, 0.3)),
+    ]
+    measured: Dict[str, float] = {}
+    for server, paper, (low, high) in expectations:
+        # Low concurrency so event batching does not hide the per-request
+        # flow; the paper counts the same way (a single request's flow).
+        res = _run(server, 2, SIZE_SMALL, scale)
+        per_request = res.report.context_switch_rate / max(res.throughput, 1e-9)
+        measured[server] = per_request
+        result.add_row(server, per_request, paper)
+        result.check(
+            f"{server} switches/request within [{low}, {high}]",
+            low <= per_request <= high,
+            f"measured {per_request:.2f}",
+        )
+    result.check(
+        "ordering Async > Async-Fix > {Sync, SingleT}",
+        measured["sTomcat-Async"] > measured["sTomcat-Async-Fix"]
+        > max(measured["sTomcat-Sync"], measured["SingleT-Async"]) - 1e-9,
+        "",
+    )
+    result.note(
+        "the simulated counter includes OS block/wake switches, which the "
+        "paper excludes for the thread-based server; hence sTomcat-Sync "
+        "measures ~1 rather than 0"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4
+# ----------------------------------------------------------------------
+_FIG4_SERVERS = ["sTomcat-Async", "sTomcat-Async-Fix", "sTomcat-Sync", "SingleT-Async"]
+
+
+def fig4_four_servers(scale: float = 1.0) -> ArtifactResult:
+    """Figure 4: throughput (a-c) and context switches (d) of the four
+    simplified servers under increasing concurrency."""
+    result = ArtifactResult(
+        artifact="fig4",
+        title="Four simplified server architectures: throughput and "
+        "context-switch rates vs workload concurrency",
+        paper_claim="max throughput is negatively correlated with context "
+        "switch frequency; sTomcat-Async-Fix outperforms sTomcat-Async by "
+        "~22% at concurrency 16 with ~34% fewer switches; SingleT-Async "
+        "wins small responses, loses 100KB (write-spin)",
+        headers=["size", "concurrency", "server", "rps", "cs/sec"],
+    )
+    concurrencies = [1, 4, 16, 64, 100]
+    data: Dict[str, Dict[str, Dict[int, MicroResult]]] = {}
+    for size, label in _SIZES:
+        data[label] = {}
+        for server in _FIG4_SERVERS:
+            data[label][server] = {}
+            for concurrency in concurrencies:
+                res = _run(server, concurrency, size, scale)
+                data[label][server][concurrency] = res
+                result.add_row(
+                    label, concurrency, server, res.throughput,
+                    res.report.context_switch_rate,
+                )
+
+    small = data["0.1KB"]
+    fix16 = small["sTomcat-Async-Fix"][16]
+    async16 = small["sTomcat-Async"][16]
+    result.check(
+        "sTomcat-Async-Fix beats sTomcat-Async at c=16 (paper: +22%)",
+        fix16.throughput > async16.throughput * 1.05,
+        f"+{(fix16.throughput / async16.throughput - 1) * 100:.0f}%",
+    )
+    result.check(
+        "sTomcat-Async-Fix has fewer switches than sTomcat-Async at c=16 "
+        "(paper: -34%)",
+        fix16.report.context_switch_rate < async16.report.context_switch_rate * 0.85,
+        f"{fix16.report.context_switch_rate:.0f} vs "
+        f"{async16.report.context_switch_rate:.0f} /s",
+    )
+    result.check(
+        "SingleT-Async beats sTomcat-Sync for 0.1KB at c=16 (paper: ~+20% at 8)",
+        small["SingleT-Async"][16].throughput > small["sTomcat-Sync"][16].throughput,
+        "",
+    )
+    result.check(
+        "SingleT-Async loses to sTomcat-Sync for 100KB at c=16 (paper: -31% at 8)",
+        data["100KB"]["SingleT-Async"][16].throughput
+        < data["100KB"]["sTomcat-Sync"][16].throughput * 0.9,
+        "",
+    )
+    # Throughput/context-switch anti-correlation at c=16, 0.1KB.
+    by_tput = sorted(_FIG4_SERVERS, key=lambda s: -small[s][16].throughput)
+    by_cs = sorted(_FIG4_SERVERS, key=lambda s: small[s][16].report.context_switch_rate)
+    result.check(
+        "throughput ranking matches inverse context-switch ranking (c=16, 0.1KB)",
+        by_tput == by_cs,
+        f"by tput: {by_tput}; by cs: {by_cs}",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table III
+# ----------------------------------------------------------------------
+def tab3_cpu_split(scale: float = 1.0) -> ArtifactResult:
+    """Table III: CPU user/system split at concurrency 100."""
+    result = ArtifactResult(
+        artifact="tab3",
+        title="User vs system CPU at concurrency 100 for 0.1KB and 100KB",
+        paper_claim="user CPU share rises with response size for both "
+        "servers (55->80% sync, 58->92% async); SingleT-Async throughput "
+        "beats sTomcat-Sync at c=100 for both sizes",
+        headers=["server", "size", "rps", "user %", "system %"],
+    )
+    shares: Dict[str, Dict[str, float]] = {}
+    tputs: Dict[str, Dict[str, float]] = {}
+    for server in ["sTomcat-Sync", "SingleT-Async"]:
+        shares[server] = {}
+        tputs[server] = {}
+        for size, label in [(SIZE_SMALL, "0.1KB"), (SIZE_LARGE, "100KB")]:
+            res = _run(server, 100, size, scale)
+            usage = res.report.cpu
+            shares[server][label] = usage.user_percent
+            tputs[server][label] = res.throughput
+            result.add_row(server, label, res.throughput, usage.user_percent,
+                           usage.system_percent)
+    result.check(
+        "sTomcat-Sync user share rises 0.1KB -> 100KB (paper: 55% -> 80%)",
+        shares["sTomcat-Sync"]["100KB"] > shares["sTomcat-Sync"]["0.1KB"] + 5,
+        f"{shares['sTomcat-Sync']['0.1KB']:.0f}% -> {shares['sTomcat-Sync']['100KB']:.0f}%",
+    )
+    result.check(
+        "SingleT-Async user share at 100KB at least matches sTomcat-Sync "
+        "(write-spin burns user CPU; paper: 92% vs 80%)",
+        shares["SingleT-Async"]["100KB"] >= shares["sTomcat-Sync"]["100KB"] - 3,
+        f"{shares['SingleT-Async']['100KB']:.0f}% vs {shares['sTomcat-Sync']['100KB']:.0f}%",
+    )
+    result.check(
+        "SingleT-Async out-throughputs sTomcat-Sync at c=100, 0.1KB "
+        "(paper: 42800 vs 35000)",
+        tputs["SingleT-Async"]["0.1KB"] > tputs["sTomcat-Sync"]["0.1KB"],
+        "",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table IV
+# ----------------------------------------------------------------------
+def tab4_write_spin(scale: float = 1.0) -> ArtifactResult:
+    """Table IV: socket.write() calls per request in SingleT-Async."""
+    result = ArtifactResult(
+        artifact="tab4",
+        title="socket.write() calls per request, SingleT-Async",
+        paper_claim="1 write per request at 0.1KB and 10KB; ~102 writes "
+        "per request at 100KB (write-spin)",
+        headers=["size", "writes/request", "zero-writes/request", "paper"],
+    )
+    papers = {SIZE_SMALL: 1, SIZE_MEDIUM: 1, SIZE_LARGE: 102}
+    measured: Dict[int, float] = {}
+    for size, label in _SIZES:
+        res = _run("SingleT-Async", 100, size, scale)
+        measured[size] = res.report.write_calls_per_request
+        result.add_row(label, res.report.write_calls_per_request,
+                       res.report.zero_writes_per_request, papers[size])
+    result.check(
+        "exactly one write per request for 0.1KB and 10KB",
+        abs(measured[SIZE_SMALL] - 1) < 0.01 and abs(measured[SIZE_MEDIUM] - 1) < 0.01,
+        f"{measured[SIZE_SMALL]:.2f}, {measured[SIZE_MEDIUM]:.2f}",
+    )
+    result.check(
+        "write-spin at 100KB: on the order of 100 writes/request (paper: 102)",
+        50 <= measured[SIZE_LARGE] <= 200,
+        f"{measured[SIZE_LARGE]:.0f}",
+    )
+    result.note("16KB default send buffer; writes include zero-byte returns")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6
+# ----------------------------------------------------------------------
+def fig6_autotune(scale: float = 1.0) -> ArtifactResult:
+    """Figure 6: kernel send-buffer autotuning vs a fixed large buffer."""
+    result = ArtifactResult(
+        artifact="fig6",
+        title="SingleT-Async with kernel autotuned send buffer vs fixed "
+        "100KB buffer (100KB responses, c=100)",
+        paper_claim="autotuning performs worse than a fixed large buffer; "
+        "the gap grows with network latency",
+        headers=["latency ms", "autotune rps", "fixed-100KB rps", "auto/fixed"],
+    )
+    gaps: List[float] = []
+    for latency in [0.0, 2e-3, 5e-3, 10e-3]:
+        auto = _run("SingleT-Async", 100, SIZE_LARGE, scale, autotune=True,
+                    added_latency=latency)
+        fixed = _run("SingleT-Async", 100, SIZE_LARGE, scale,
+                     send_buffer_size=SIZE_LARGE, added_latency=latency)
+        ratio = auto.throughput / fixed.throughput if fixed.throughput else float("nan")
+        gaps.append(ratio)
+        result.add_row(latency * 1e3, auto.throughput, fixed.throughput, ratio)
+    result.check(
+        "autotune never beats the fixed large buffer",
+        all(g <= 1.02 for g in gaps),
+        ", ".join(f"{g:.2f}" for g in gaps),
+    )
+    result.check(
+        "the gap grows with latency (>=5% at 5ms)",
+        gaps[2] <= 0.95,
+        f"auto/fixed at 5ms = {gaps[2]:.2f}",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7
+# ----------------------------------------------------------------------
+def fig7_latency(scale: float = 1.0) -> ArtifactResult:
+    """Figure 7: network latency vs throughput and response time."""
+    result = ArtifactResult(
+        artifact="fig7",
+        title="Impact of network latency (c=100, 100KB responses, 16KB buffer)",
+        paper_claim="SingleT-Async throughput collapses ~95% at 5ms "
+        "latency (RT 0.18s -> 3.60s); thread-based sTomcat-Sync is flat",
+        headers=["server", "latency ms", "rps", "mean RT s"],
+    )
+    servers = ["SingleT-Async", "sTomcat-Async-Fix", "sTomcat-Sync", "NettyServer"]
+    latencies = [0.0, 1e-3, 2e-3, 5e-3, 10e-3]
+    tput: Dict[str, Dict[float, float]] = {}
+    rt: Dict[str, Dict[float, float]] = {}
+    for server in servers:
+        tput[server] = {}
+        rt[server] = {}
+        for latency in latencies:
+            # Latency-aware windows: the serialised single-threaded server's
+            # response time grows to ~concurrency x drain-rounds x RTT, and
+            # the measurement window must cover several of those or the
+            # response-time sample is censored.
+            drain_rounds = SIZE_LARGE / DEFAULT_CALIBRATION.tcp_send_buffer
+            rt_estimate = 100 * (
+                DEFAULT_CALIBRATION.request_cpu_cost(SIZE_LARGE)
+                + DEFAULT_CALIBRATION.copy_cost_per_byte * SIZE_LARGE
+            ) + 100 * drain_rounds * 2 * latency
+            warmup = max(0.5, 1.2 * rt_estimate)
+            measure = max(2.0 * scale, 2.2 * rt_estimate)
+            config = MicroConfig(
+                server=server,
+                concurrency=100,
+                response_size=SIZE_LARGE,
+                duration=min(warmup + measure, 25.0),
+                warmup=min(warmup, 12.0),
+                added_latency=latency,
+            )
+            res = run_micro(config)
+            tput[server][latency] = res.throughput
+            rt[server][latency] = res.response_time
+            result.add_row(server, latency * 1e3, res.throughput, res.response_time)
+
+    singlet_drop = 1 - tput["SingleT-Async"][5e-3] / tput["SingleT-Async"][0.0]
+    result.check(
+        "SingleT-Async collapses at 5ms (paper: ~95%)",
+        singlet_drop >= 0.80,
+        f"-{singlet_drop * 100:.0f}%",
+    )
+    result.check(
+        "SingleT-Async response time amplifies ~10x at 5ms (paper: 0.18->3.60s)",
+        rt["SingleT-Async"][5e-3] > 8 * rt["SingleT-Async"][0.0],
+        f"{rt['SingleT-Async'][0.0]:.2f}s -> {rt['SingleT-Async'][5e-3]:.2f}s",
+    )
+    sync_drop = 1 - tput["sTomcat-Sync"][5e-3] / tput["sTomcat-Sync"][0.0]
+    result.check(
+        "sTomcat-Sync is latency-insensitive (<10% at 5ms)",
+        abs(sync_drop) < 0.10,
+        f"{sync_drop * 100:+.0f}%",
+    )
+    fix_drop = 1 - tput["sTomcat-Async-Fix"][5e-3] / tput["sTomcat-Async-Fix"][0.0]
+    result.check(
+        "sTomcat-Async-Fix is also latency-sensitive, but less than SingleT",
+        0.15 <= fix_drop < singlet_drop,
+        f"-{fix_drop * 100:.0f}%",
+    )
+    netty_drop = 1 - tput["NettyServer"][5e-3] / tput["NettyServer"][0.0]
+    result.check(
+        "NettyServer's bounded write loop dodges the collapse (<10% at 5ms)",
+        abs(netty_drop) < 0.10,
+        f"{netty_drop * 100:+.0f}%",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 9
+# ----------------------------------------------------------------------
+def fig9_netty(scale: float = 1.0) -> ArtifactResult:
+    """Figure 9: NettyServer vs SingleT-Async vs sTomcat-Sync."""
+    result = ArtifactResult(
+        artifact="fig9",
+        title="NettyServer vs SingleT-Async vs sTomcat-Sync across "
+        "concurrency, for 100KB (a) and 0.1KB (b) responses",
+        paper_claim="(a) NettyServer wins at 100KB (write-spin mitigated); "
+        "(b) NettyServer loses to SingleT-Async at 0.1KB (optimisation "
+        "overhead)",
+        headers=["size", "concurrency", "server", "rps"],
+    )
+    servers = ["NettyServer", "SingleT-Async", "sTomcat-Sync"]
+    concurrencies = [4, 16, 64, 100]
+    data: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for size, label in [(SIZE_LARGE, "100KB"), (SIZE_SMALL, "0.1KB")]:
+        data[label] = {s: {} for s in servers}
+        for server in servers:
+            for concurrency in concurrencies:
+                res = _run(server, concurrency, size, scale)
+                data[label][server][concurrency] = res.throughput
+                result.add_row(label, concurrency, server, res.throughput)
+    result.check(
+        "NettyServer best at 100KB once concurrency is non-trivial (c>=64; "
+        "at c=16 the thread-based server is within a few percent)",
+        all(
+            data["100KB"]["NettyServer"][c]
+            >= max(data["100KB"]["SingleT-Async"][c], data["100KB"]["sTomcat-Sync"][c]) * 0.99
+            for c in [64, 100]
+        )
+        and data["100KB"]["NettyServer"][16]
+        >= max(data["100KB"]["SingleT-Async"][16], data["100KB"]["sTomcat-Sync"][16]) * 0.94,
+        "",
+    )
+    result.check(
+        "NettyServer always beats the spinning SingleT-Async at 100KB",
+        all(
+            data["100KB"]["NettyServer"][c] > data["100KB"]["SingleT-Async"][c]
+            for c in [16, 64, 100]
+        ),
+        "",
+    )
+    result.check(
+        "NettyServer below SingleT-Async at 0.1KB (paper: optimisation "
+        "overhead; hybrid gains up to ~19% here)",
+        all(
+            data["0.1KB"]["NettyServer"][c] < data["0.1KB"]["SingleT-Async"][c] * 0.95
+            for c in [16, 64, 100]
+        ),
+        "",
+    )
+    return result

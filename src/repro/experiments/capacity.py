@@ -1,0 +1,195 @@
+"""Capacity probing: locate a server's saturation point.
+
+Utilities that answer "at what load does this architecture saturate?" —
+the question Figure 1's workload axis and Figure 2's concurrency axis both
+sweep manually.  Two probes:
+
+* :func:`closed_loop_capacity` — sweep closed-loop concurrency upward
+  (doubling) until throughput stops improving, then report the knee.
+* :func:`open_loop_capacity` — binary-search the offered Poisson rate for
+  the largest rate the server sustains with bounded latency, using the
+  extension :class:`~repro.workload.openloop.OpenLoopGenerator`.
+
+Both return a :class:`CapacityEstimate` with the supporting measurements
+so callers can inspect the whole curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cpu.scheduler import CPU
+from repro.experiments.micro import MicroConfig, run_micro, suggest_timing
+from repro.metrics.collector import RunRecorder
+from repro.metrics.queueing import saturation_knee
+from repro.net.link import Link
+from repro.net.tcp import Connection
+from repro.sim.core import Environment
+from repro.sim.rng import SeedStreams
+from repro.workload.mixes import FixedMix
+from repro.workload.openloop import OpenLoopGenerator
+
+__all__ = ["CapacityEstimate", "closed_loop_capacity", "open_loop_capacity"]
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """Result of a capacity probe."""
+
+    server: str
+    response_size: int
+    #: Load level at the saturation knee (concurrency or req/s offered).
+    knee_load: float
+    #: Throughput at the knee.
+    knee_throughput: float
+    #: The whole measured curve: (load, throughput) pairs.
+    curve: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def peak_throughput(self) -> float:
+        return max(t for _, t in self.curve) if self.curve else self.knee_throughput
+
+
+def closed_loop_capacity(
+    server: str,
+    response_size: int,
+    max_concurrency: int = 512,
+    scale: float = 1.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> CapacityEstimate:
+    """Double closed-loop concurrency until throughput plateaus.
+
+    Stops early once a doubling improves throughput by under 3%.
+    """
+    if max_concurrency < 1:
+        raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency!r}")
+    curve: List[Tuple[float, float]] = []
+    concurrency = 1
+    previous = 0.0
+    while concurrency <= max_concurrency:
+        duration, warmup = suggest_timing(concurrency, response_size, calibration)
+        duration = warmup + max(0.5, (duration - warmup) * scale)
+        result = run_micro(
+            MicroConfig(
+                server=server,
+                concurrency=concurrency,
+                response_size=response_size,
+                duration=duration,
+                warmup=warmup,
+                calibration=calibration,
+            )
+        )
+        curve.append((float(concurrency), result.throughput))
+        if previous > 0 and result.throughput < previous * 1.03:
+            break
+        previous = result.throughput
+        concurrency *= 2
+    loads = [load for load, _ in curve]
+    tputs = [tput for _, tput in curve]
+    knee_load, knee_tput = saturation_knee(loads, tputs)
+    return CapacityEstimate(
+        server=server,
+        response_size=response_size,
+        knee_load=knee_load,
+        knee_throughput=knee_tput,
+        curve=tuple(curve),
+    )
+
+
+def _offered_run(
+    server_name: str,
+    response_size: int,
+    rate: float,
+    connections: int,
+    duration: float,
+    warmup: float,
+    calibration: Calibration,
+    seed: int,
+) -> Tuple[float, float]:
+    """(throughput, mean RT) of one open-loop run at ``rate`` req/s."""
+    from repro.experiments.micro import make_server
+
+    env = Environment()
+    cpu = CPU(env, calibration, name=f"{server_name}-cpu")
+    config = MicroConfig(
+        server=server_name,
+        concurrency=connections,
+        response_size=response_size,
+        duration=duration,
+        warmup=warmup,
+        calibration=calibration,
+    )
+    server = make_server(server_name, env, cpu, config)
+    link = Link.lan(calibration)
+    conns = []
+    for _ in range(connections):
+        connection = Connection(env, link, calibration)
+        server.attach(connection)
+        conns.append(connection)
+    recorder = RunRecorder(env, warmup=warmup)
+    recorder.watch_cpu(cpu)
+    OpenLoopGenerator(
+        env,
+        conns,
+        FixedMix(response_size),
+        rate=rate,
+        rng=SeedStreams(seed).stream("openloop"),
+        recorder=recorder,
+    )
+    env.run(until=duration)
+    report = recorder.report()
+    return report.throughput, report.response_time_mean
+
+
+def open_loop_capacity(
+    server: str,
+    response_size: int,
+    rate_hint: float,
+    connections: int = 128,
+    latency_budget_factor: float = 10.0,
+    iterations: int = 7,
+    scale: float = 1.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 1,
+) -> CapacityEstimate:
+    """Binary-search the largest sustainable Poisson arrival rate.
+
+    A rate is *sustained* when measured throughput reaches 95% of it and
+    the mean response time stays under ``latency_budget_factor`` times the
+    unloaded response time.
+    """
+    if rate_hint <= 0:
+        raise ValueError(f"rate_hint must be > 0, got {rate_hint!r}")
+    duration = 0.5 + max(1.0, 2.5 * scale)
+    warmup = 0.4
+    # Unloaded response time from a whisper of load.
+    _, unloaded_rt = _offered_run(
+        server, response_size, max(rate_hint * 0.02, 1.0), connections,
+        duration, warmup, calibration, seed,
+    )
+    budget = unloaded_rt * latency_budget_factor
+    low, high = 0.0, rate_hint * 2.0
+    curve: List[Tuple[float, float]] = []
+    best: Tuple[float, float] = (0.0, 0.0)
+    for _ in range(iterations):
+        rate = (low + high) / 2.0
+        tput, rt = _offered_run(
+            server, response_size, rate, connections, duration, warmup,
+            calibration, seed,
+        )
+        curve.append((rate, tput))
+        sustained = tput >= 0.95 * rate and (rt == rt and rt <= budget)
+        if sustained:
+            best = (rate, tput)
+            low = rate
+        else:
+            high = rate
+    return CapacityEstimate(
+        server=server,
+        response_size=response_size,
+        knee_load=best[0],
+        knee_throughput=best[1],
+        curve=tuple(sorted(curve)),
+    )

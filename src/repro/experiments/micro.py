@@ -1,0 +1,232 @@
+"""Single-server micro-benchmark runner (the paper's Sections III–V setup).
+
+One server machine, one client machine, N closed-loop JMeter-style client
+threads with zero think time, a fixed (or mixed) response size, optional
+``tc``-injected network latency — exactly the apparatus behind Figures 2,
+4, 6, 7, 9, 11 and Tables I–IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.hybrid import HybridServer
+from repro.cpu.scheduler import CPU
+from repro.errors import ExperimentError
+from repro.metrics.collector import RunRecorder, RunReport
+from repro.net.link import Link
+from repro.servers.base import BaseServer
+from repro.servers.netty import NettyServer
+from repro.servers.reactor import ReactorFixServer, ReactorServer
+from repro.servers.ncopy import NCopyServer
+from repro.servers.singlet import SingleThreadedServer
+from repro.servers.staged import StagedServer
+from repro.servers.threaded import ThreadedServer
+from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
+from repro.sim.core import Environment
+from repro.sim.rng import SeedStreams
+from repro.workload.mixes import FixedMix, RequestMix
+from repro.workload.population import ConnectionOptions, build_population
+
+__all__ = ["MicroConfig", "MicroResult", "run_micro", "SERVER_FACTORIES", "make_server"]
+
+
+def _threaded(env, cpu, config):
+    return ThreadedServer(env, cpu)
+
+
+def _reactor(env, cpu, config):
+    return ReactorServer(env, cpu, workers=config.workers)
+
+
+def _reactor_fix(env, cpu, config):
+    return ReactorFixServer(env, cpu, workers=config.workers)
+
+
+def _single(env, cpu, config):
+    return SingleThreadedServer(env, cpu)
+
+
+def _netty(env, cpu, config):
+    return NettyServer(env, cpu, workers=config.netty_workers, spin_threshold=config.spin_threshold)
+
+
+def _hybrid(env, cpu, config):
+    return HybridServer(env, cpu, workers=config.netty_workers, spin_threshold=config.spin_threshold)
+
+
+def _tomcat_sync(env, cpu, config):
+    return TomcatSyncServer(env, cpu)
+
+
+def _tomcat_async(env, cpu, config):
+    return TomcatAsyncServer(env, cpu, workers=config.tomcat_workers)
+
+
+def _staged(env, cpu, config):
+    return StagedServer(env, cpu, stage_workers=max(1, config.workers // 4))
+
+
+def _ncopy(env, cpu, config):
+    return NCopyServer(env, cpu, copies=max(1, cpu.cores))
+
+
+#: Registry of server architectures by their paper names.
+SERVER_FACTORIES: Dict[str, Callable[[Environment, CPU, "MicroConfig"], BaseServer]] = {
+    "sTomcat-Sync": _threaded,
+    "sTomcat-Async": _reactor,
+    "sTomcat-Async-Fix": _reactor_fix,
+    "SingleT-Async": _single,
+    "NettyServer": _netty,
+    "HybridNetty": _hybrid,
+    "TomcatSync": _tomcat_sync,
+    "TomcatAsync": _tomcat_async,
+    "Staged-SEDA": _staged,
+    "N-copy": _ncopy,
+}
+
+
+@dataclass(frozen=True)
+class MicroConfig:
+    """One micro-benchmark run."""
+
+    server: str
+    concurrency: int
+    response_size: int = 102
+    mix: Optional[RequestMix] = None
+    duration: float = 2.0
+    warmup: float = 0.5
+    #: Added one-way network latency (the paper's ``tc`` injection).
+    added_latency: float = 0.0
+    send_buffer_size: Optional[int] = None
+    autotune: bool = False
+    calibration: Calibration = DEFAULT_CALIBRATION
+    seed: int = 1
+    #: Worker pool size for the reactor architectures.  ``None`` sizes the
+    #: pool to the *active* thread count a tuned Tomcat settles at under
+    #: this workload: enough workers for the offered concurrency, capped
+    #: at 16 (Tomcat's executor keeps most of its 200 maxThreads parked
+    #: when a CPU-bound workload cannot use them; a small active pool is
+    #: also what makes sTomcat-Async-Fix latency-sensitive in Figure 7 —
+    #: spinning workers exhaust the pool during wait-ACK drains).
+    workers_override: Optional[int] = None
+    netty_workers: int = 1
+    spin_threshold: Optional[int] = None
+
+    @property
+    def workers(self) -> int:
+        if self.workers_override is not None:
+            return self.workers_override
+        return max(2, min(16, self.concurrency))
+
+    @property
+    def tomcat_workers(self) -> int:
+        """Worker pool for the *full* TomcatAsync model (Figures 1-2).
+
+        The real Tomcat 8 executor keeps a larger active pool than the
+        simplified servers; 32 active workers reproduces its measured
+        thread footprint.
+        """
+        if self.workers_override is not None:
+            return self.workers_override
+        return max(2, min(32, self.concurrency))
+
+    def describe(self) -> str:
+        """One-line human summary of this run configuration."""
+        latency = f" +{self.added_latency * 1e3:g}ms" if self.added_latency else ""
+        return f"{self.server} c={self.concurrency} resp={self.response_size}B{latency}"
+
+
+@dataclass(frozen=True)
+class MicroResult:
+    """Run output: the measurement report plus server-side counters."""
+
+    config: MicroConfig
+    report: RunReport
+    server_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.report.throughput
+
+    @property
+    def response_time(self) -> float:
+        return self.report.response_time_mean
+
+
+def suggest_timing(
+    concurrency: int,
+    response_size: int,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    min_measure: float = 2.0,
+) -> "tuple[float, float]":
+    """(duration, warmup) long enough for a stable closed-loop measurement.
+
+    With zero think time the expected response time is roughly the
+    concurrency times the per-request CPU demand; the warm-up must cover
+    at least one full population cycle (so the pipeline is in steady
+    state) and the measurement window a couple more.
+    """
+    per_request = (
+        calibration.request_cpu_cost(response_size)
+        + calibration.copy_cost_per_byte * response_size
+        + 30.0e-6
+    )
+    rt_estimate = max(concurrency * per_request, 1e-3)
+    warmup = max(0.5, 1.3 * rt_estimate)
+    measure = max(min_measure, 2.5 * rt_estimate)
+    return warmup + measure, warmup
+
+
+def make_server(name: str, env: Environment, cpu: CPU, config: "MicroConfig") -> BaseServer:
+    """Instantiate the architecture called ``name`` in the paper."""
+    try:
+        factory = SERVER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(SERVER_FACTORIES))
+        raise ExperimentError(f"unknown server {name!r}; known: {known}") from None
+    return factory(env, cpu, config)
+
+
+def run_micro(config: MicroConfig) -> MicroResult:
+    """Run one micro-benchmark and return its measurements."""
+    if config.concurrency < 1:
+        raise ExperimentError(f"concurrency must be >= 1, got {config.concurrency!r}")
+    if config.duration <= config.warmup:
+        raise ExperimentError("duration must exceed warmup")
+    calib = config.calibration
+    env = Environment()
+    cpu = CPU(env, calib, name=f"{config.server}-cpu")
+    server = make_server(config.server, env, cpu, config)
+    link = Link.lan(calib, added_latency=config.added_latency)
+    recorder = RunRecorder(env, warmup=config.warmup)
+    recorder.watch_cpu(cpu)
+    mix = config.mix or FixedMix(config.response_size)
+    build_population(
+        env,
+        server,
+        size=config.concurrency,
+        mix=mix,
+        link=link,
+        calibration=calib,
+        seeds=SeedStreams(config.seed),
+        recorder=recorder,
+        options=ConnectionOptions(
+            send_buffer_size=config.send_buffer_size, autotune=config.autotune
+        ),
+        ramp_up=config.warmup * 0.8,
+    )
+    env.run(until=config.duration)
+    stats = {
+        "requests_completed": float(server.stats.requests_completed),
+        "responses_written": float(server.stats.responses_written),
+        "spin_jumpouts": float(server.stats.spin_jumpouts),
+        "reclassifications": float(server.stats.reclassifications),
+    }
+    if isinstance(server, HybridServer):
+        stats["light_path_requests"] = float(server.light_path_requests)
+        stats["heavy_path_requests"] = float(server.heavy_path_requests)
+        stats["light_path_fallbacks"] = float(server.light_path_fallbacks)
+    return MicroResult(config=config, report=recorder.report(), server_stats=stats)

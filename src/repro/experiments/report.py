@@ -1,0 +1,79 @@
+"""ASCII rendering of artifact results (for benchmark output and
+EXPERIMENTS.md generation)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.experiments.results import ArtifactResult
+
+__all__ = ["render_table", "render_artifact", "render_markdown"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(headers: List[str], rows: Iterable[Iterable[object]]) -> str:
+    """Monospace table with column alignment."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_artifact(result: ArtifactResult) -> str:
+    """Full ASCII report of one regenerated artifact."""
+    lines = [
+        "=" * 72,
+        f"{result.artifact.upper()} — {result.title}",
+        f"paper: {result.paper_claim}",
+        "=" * 72,
+    ]
+    if result.rows:
+        lines.append(render_table(result.headers, result.rows))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    for check in result.checks:
+        lines.append(str(check))
+    return "\n".join(lines)
+
+
+def render_markdown(result: ArtifactResult) -> str:
+    """Markdown section for EXPERIMENTS.md."""
+    lines = [f"### {result.artifact}: {result.title}", ""]
+    lines.append(f"**Paper:** {result.paper_claim}")
+    lines.append("")
+    if result.rows:
+        lines.append("| " + " | ".join(result.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in result.headers) + "|")
+        for row in result.rows:
+            lines.append("| " + " | ".join(_cell(c) for c in row) + " |")
+        lines.append("")
+    if result.notes:
+        for note in result.notes:
+            lines.append(f"- *{note}*")
+        lines.append("")
+    lines.append("**Shape checks:**")
+    lines.append("")
+    for check in result.checks:
+        mark = "x" if check.passed else " "
+        detail = f" — {check.detail}" if check.detail else ""
+        lines.append(f"- [{mark}] {check.name}{detail}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Result containers for paper-artifact reproductions.
+
+Every table/figure reproduction produces an :class:`ArtifactResult`: the
+regenerated rows, the paper's reference claim, and a list of *shape checks*
+— machine-verified assertions about the qualitative result (who wins,
+where the crossover falls, how big the collapse is).  Benchmarks print the
+rows; integration tests assert the checks; EXPERIMENTS.md is generated
+from both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["ShapeCheck", "ArtifactResult"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One machine-verified qualitative claim."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        detail = f" — {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.name}{detail}"
+
+
+@dataclass
+class ArtifactResult:
+    """A regenerated paper table or figure."""
+
+    #: Artifact id, e.g. "fig7" or "tab4".
+    artifact: str
+    #: Human title, e.g. "Figure 7: impact of network latency".
+    title: str
+    #: What the paper reports (the reproduction target), one line.
+    paper_claim: str
+    #: Column headers of the regenerated table/series.
+    headers: List[str] = field(default_factory=list)
+    #: Data rows (stringifiable cells).
+    rows: List[Sequence[object]] = field(default_factory=list)
+    #: Qualitative assertions evaluated on the regenerated data.
+    checks: List[ShapeCheck] = field(default_factory=list)
+    #: Free-form notes (calibration used, deviations, caveats).
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one data row (width-checked against the headers)."""
+        if self.headers and len(cells) != len(self.headers):
+            raise ValueError(
+                f"row width {len(cells)} != header width {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def check(self, name: str, passed: bool, detail: str = "") -> ShapeCheck:
+        """Record (and return) one shape check."""
+        result = ShapeCheck(name=name, passed=bool(passed), detail=detail)
+        self.checks.append(result)
+        return result
+
+    def note(self, text: str) -> None:
+        """Attach a free-form caveat/context note."""
+        self.notes.append(text)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every shape check passed."""
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failed_checks(self) -> List[ShapeCheck]:
+        return [c for c in self.checks if not c.passed]
+
+    def __repr__(self) -> str:
+        status = "ok" if self.all_passed else "FAILING"
+        return f"<ArtifactResult {self.artifact} rows={len(self.rows)} {status}>"

@@ -1,0 +1,149 @@
+"""Measurement collectors for simulated benchmark runs.
+
+:class:`RunRecorder` plays the role of JMeter's aggregate report plus
+collectl: it records per-request completions after a warm-up boundary and,
+paired with CPU snapshots, yields the throughput / response time / CPU /
+context-switch numbers the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cpu.accounting import CPUSnapshot, CPUUsage
+from repro.cpu.scheduler import CPU
+from repro.metrics.stats import SummaryStats
+from repro.net.messages import Request
+from repro.sim.core import Environment
+
+__all__ = ["RunRecorder", "RunReport"]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Aggregated results of one measurement window."""
+
+    duration: float
+    completed: int
+    throughput: float
+    response_time_mean: float
+    response_time_p50: float
+    response_time_p95: float
+    response_time_p99: float
+    write_calls_per_request: float
+    zero_writes_per_request: float
+    cpu: Optional[CPUUsage]
+    per_kind_throughput: Dict[str, float] = field(default_factory=dict)
+    per_kind_response_time: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def context_switch_rate(self) -> float:
+        """Context switches per second during the window (0 if no CPU)."""
+        return self.cpu.context_switch_rate if self.cpu else 0.0
+
+
+class RunRecorder:
+    """Collects request completions within a [warmup, end) window.
+
+    Usage::
+
+        recorder = RunRecorder(env, warmup=0.5)
+        recorder.watch_cpu(server_cpu)
+        ... clients call recorder.record(request) on completion ...
+        env.run(until=end)
+        report = recorder.report()
+    """
+
+    def __init__(self, env: Environment, warmup: float = 0.0):
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup!r}")
+        self.env = env
+        self.warmup = warmup
+        self.response_times = SummaryStats()
+        self.write_calls = SummaryStats()
+        self.zero_writes = SummaryStats()
+        self._per_kind: Dict[str, SummaryStats] = {}
+        self._cpu: Optional[CPU] = None
+        self._cpu_start: Optional[CPUSnapshot] = None
+        self._started = False
+        self.total_seen = 0
+
+    # ------------------------------------------------------------------
+    def watch_cpu(self, cpu: CPU) -> None:
+        """Snapshot ``cpu`` counters at the warm-up boundary and at report
+        time so CPU usage covers exactly the measurement window."""
+        self._cpu = cpu
+        if self.env.now >= self.warmup:
+            self._begin()
+        else:
+            boundary = self.env.timeout(self.warmup - self.env.now)
+            boundary.callbacks.append(lambda _event: self._begin())
+
+    def _begin(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self._cpu is not None:
+            self._cpu_start = self._cpu.snapshot()
+
+    def _maybe_start(self) -> None:
+        if not self._started and self.env.now >= self.warmup:
+            self._begin()
+
+    def record(self, request: Request) -> None:
+        """Record a completed request (ignored while warming up)."""
+        self.total_seen += 1
+        self._maybe_start()
+        if not self._started or request.completed_at is None:
+            return
+        rt = request.response_time
+        if rt is None:
+            return
+        self.response_times.add(rt)
+        self.write_calls.add(request.write_calls)
+        self.zero_writes.add(request.zero_writes)
+        self._per_kind.setdefault(request.kind, SummaryStats()).add(rt)
+
+    # ------------------------------------------------------------------
+    def report(self) -> RunReport:
+        """Summarise the window ending now."""
+        self._maybe_start()
+        start = self.warmup if self._started else self.env.now
+        duration = max(self.env.now - start, 1e-12)
+        completed = self.response_times.count
+        cpu_usage: Optional[CPUUsage] = None
+        if self._cpu is not None and self._cpu_start is not None:
+            end = self._cpu.snapshot()
+            if end.time > self._cpu_start.time:
+                cpu_usage = end.usage_since(self._cpu_start, self._cpu.cores)
+        if completed:
+            rts = self.response_times
+            per_kind_tput = {k: s.count / duration for k, s in self._per_kind.items()}
+            per_kind_rt = {k: s.mean for k, s in self._per_kind.items()}
+            return RunReport(
+                duration=duration,
+                completed=completed,
+                throughput=completed / duration,
+                response_time_mean=rts.mean,
+                response_time_p50=rts.p50,
+                response_time_p95=rts.p95,
+                response_time_p99=rts.p99,
+                write_calls_per_request=self.write_calls.mean,
+                zero_writes_per_request=self.zero_writes.mean,
+                cpu=cpu_usage,
+                per_kind_throughput=per_kind_tput,
+                per_kind_response_time=per_kind_rt,
+            )
+        return RunReport(
+            duration=duration,
+            completed=0,
+            throughput=0.0,
+            response_time_mean=float("nan"),
+            response_time_p50=float("nan"),
+            response_time_p95=float("nan"),
+            response_time_p99=float("nan"),
+            write_calls_per_request=float("nan"),
+            zero_writes_per_request=float("nan"),
+            cpu=cpu_usage,
+        )

@@ -1,0 +1,73 @@
+"""Queueing-theory helpers (Little's law and friends).
+
+The paper leans on Little's law to explain the Figure 7 collapse:
+"a server's throughput is negatively correlated with the response time of
+the server given that the workload concurrency (queued requests) keeps the
+same".  These helpers make that reasoning executable — the test suite uses
+them to verify the *simulator's* self-consistency, and the capacity probe
+uses them to locate saturation knees.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = [
+    "littles_law_concurrency",
+    "littles_law_residual",
+    "utilization_law_demand",
+    "saturation_knee",
+]
+
+
+def littles_law_concurrency(throughput: float, response_time: float,
+                            think_time: float = 0.0) -> float:
+    """Expected closed-loop population: ``N = X * (R + Z)``."""
+    if throughput < 0 or response_time < 0 or think_time < 0:
+        raise ValueError("Little's law inputs must be >= 0")
+    return throughput * (response_time + think_time)
+
+
+def littles_law_residual(concurrency: float, throughput: float,
+                         response_time: float, think_time: float = 0.0) -> float:
+    """Relative deviation of a measurement from Little's law.
+
+    0.0 means the measurement is perfectly self-consistent; steady-state
+    closed-loop measurements should stay within a few percent.
+    """
+    if concurrency <= 0:
+        raise ValueError("concurrency must be > 0")
+    implied = littles_law_concurrency(throughput, response_time, think_time)
+    return abs(implied - concurrency) / concurrency
+
+
+def utilization_law_demand(throughput: float, utilization: float,
+                           cores: int = 1) -> float:
+    """Service demand per request from the utilisation law: ``D = U*c/X``."""
+    if throughput <= 0:
+        raise ValueError("throughput must be > 0")
+    if not 0 <= utilization <= 1:
+        raise ValueError("utilization must be in [0, 1]")
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    return utilization * cores / throughput
+
+
+def saturation_knee(workloads: Sequence[float],
+                    throughputs: Sequence[float],
+                    plateau_fraction: float = 0.97) -> Tuple[float, float]:
+    """Locate the saturation knee of a throughput curve.
+
+    Returns ``(workload, throughput)`` of the first point whose throughput
+    reaches ``plateau_fraction`` of the curve's maximum — the operational
+    definition used to read "saturates at workload 11000" off Figure 1.
+    """
+    if len(workloads) != len(throughputs) or not workloads:
+        raise ValueError("need equal-length, non-empty workload/throughput series")
+    if not 0 < plateau_fraction <= 1:
+        raise ValueError("plateau_fraction must be in (0, 1]")
+    peak = max(throughputs)
+    for workload, throughput in zip(workloads, throughputs):
+        if throughput >= plateau_fraction * peak:
+            return workload, throughput
+    return workloads[-1], throughputs[-1]

@@ -1,0 +1,110 @@
+"""Summary statistics used by collectors and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+__all__ = ["SummaryStats", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted ``sorted_values``.
+
+    ``q`` is in [0, 100].  Matches ``numpy.percentile``'s default method.
+    """
+    if not sorted_values:
+        raise ValueError("cannot take the percentile of no data")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(sorted_values[low])
+    frac = rank - low
+    return float(sorted_values[low]) * (1.0 - frac) + float(sorted_values[high]) * frac
+
+
+class SummaryStats:
+    """Streaming-friendly summary of a sample (keeps the raw values).
+
+    Raw values are kept because the simulations are short and the tests
+    want exact, deterministic percentiles.
+    """
+
+    def __init__(self, values: Iterable[float] = ()):
+        self._values: List[float] = []
+        self._sorted: List[float] = []
+        self._dirty = False
+        for v in values:
+            self.add(v)
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("no observations")
+        return self.total / len(self._values)
+
+    @property
+    def minimum(self) -> float:
+        if not self._values:
+            raise ValueError("no observations")
+        return min(self._values)
+
+    @property
+    def maximum(self) -> float:
+        if not self._values:
+            raise ValueError("no observations")
+        return max(self._values)
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        if not self._values:
+            raise ValueError("no observations")
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self._values) / len(self._values))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the sample."""
+        if self._dirty:
+            self._sorted = sorted(self._values)
+            self._dirty = False
+        return percentile(self._sorted, q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        if not self._values:
+            return "<SummaryStats empty>"
+        return f"<SummaryStats n={self.count} mean={self.mean:.6g} p99={self.p99:.6g}>"

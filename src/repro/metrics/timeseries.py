@@ -1,0 +1,55 @@
+"""Bucketed time series for rate-over-time plots.
+
+Used by the n-tier experiments to watch saturation dynamics and by tests
+that assert steady state was reached before the measurement window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Counts events into fixed-width virtual-time buckets."""
+
+    def __init__(self, bucket_width: float = 0.1):
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be > 0, got {bucket_width!r}")
+        self.bucket_width = bucket_width
+        self._counts: List[float] = []
+
+    def record(self, time: float, amount: float = 1.0) -> None:
+        """Add ``amount`` to the bucket containing ``time``."""
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time!r}")
+        index = int(time / self.bucket_width)
+        if index >= len(self._counts):
+            self._counts.extend([0.0] * (index + 1 - len(self._counts)))
+        self._counts[index] += amount
+
+    @property
+    def buckets(self) -> List[float]:
+        """Raw bucket totals."""
+        return list(self._counts)
+
+    def rates(self) -> List[float]:
+        """Per-bucket rates (total / bucket width)."""
+        return [c / self.bucket_width for c in self._counts]
+
+    def rate_between(self, start: float, end: float) -> float:
+        """Average event rate over [start, end)."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        first = int(start / self.bucket_width)
+        last = int(math.ceil(end / self.bucket_width))
+        total = sum(self._counts[first:last])
+        return total / (end - start)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries buckets={len(self._counts)} width={self.bucket_width}>"

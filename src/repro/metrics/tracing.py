@@ -1,0 +1,101 @@
+"""Request lifecycle tracing.
+
+A lightweight tracer that timestamps the milestones of individual requests
+(created → arrived → service start → response handed to kernel → delivered)
+so tests and examples can verify *sequences* — the executable counterparts
+of the paper's mechanism diagrams (Figures 3, 5, 8, 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.messages import Request
+from repro.sim.core import Environment
+
+__all__ = ["TraceEvent", "RequestTrace", "RequestTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped milestone."""
+
+    time: float
+    name: str
+    detail: str = ""
+
+
+@dataclass
+class RequestTrace:
+    """All milestones of one request, in occurrence order."""
+
+    request_id: int
+    kind: str
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def names(self) -> List[str]:
+        """Milestone names in order."""
+        return [event.name for event in self.events]
+
+    def at(self, name: str) -> Optional[float]:
+        """Time of the first milestone called ``name`` (None if absent)."""
+        for event in self.events:
+            if event.name == name:
+                return event.time
+        return None
+
+    def duration(self, start: str, end: str) -> float:
+        """Elapsed time between two milestones."""
+        t_start, t_end = self.at(start), self.at(end)
+        if t_start is None or t_end is None:
+            raise KeyError(f"trace missing {start!r} or {end!r}")
+        return t_end - t_start
+
+    def is_ordered(self, *names: str) -> bool:
+        """True if the given milestones occur in the given order."""
+        positions = []
+        sequence = self.names()
+        cursor = 0
+        for name in names:
+            try:
+                cursor = sequence.index(name, cursor)
+            except ValueError:
+                return False
+            positions.append(cursor)
+            cursor += 1
+        return True
+
+
+class RequestTracer:
+    """Collects :class:`RequestTrace` objects keyed by request id."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._traces: Dict[int, RequestTrace] = {}
+
+    def mark(self, request: Request, name: str, detail: str = "") -> None:
+        """Record a milestone for ``request`` at the current virtual time."""
+        trace = self._traces.get(request.id)
+        if trace is None:
+            trace = RequestTrace(request_id=request.id, kind=request.kind)
+            self._traces[request.id] = trace
+        trace.events.append(TraceEvent(self.env.now, name, detail))
+
+    def watch(self, request: Request) -> None:
+        """Auto-mark creation and completion of ``request``."""
+        self.mark(request, "created")
+        request.completed.callbacks.append(
+            lambda _ev: self.mark(request, "completed")
+        )
+
+    def trace(self, request: Request) -> RequestTrace:
+        """The trace for ``request`` (raises KeyError if never marked)."""
+        return self._traces[request.id]
+
+    def all_traces(self) -> List[RequestTrace]:
+        """Every collected trace, in request-id order."""
+        return [self._traces[key] for key in sorted(self._traces)]
+
+    def __len__(self) -> int:
+        return len(self._traces)

@@ -1,0 +1,21 @@
+"""Simulated network substrate: links, TCP connections, send buffers and
+epoll-style readiness notification."""
+
+from repro.net.buffer import SendBuffer
+from repro.net.link import Link
+from repro.net.messages import Request
+from repro.net.selector import EVENT_READ, EVENT_WRITE, Selector
+from repro.net.tcp import IDLE_RESET_THRESHOLD, Connection, ResponseTransfer, TCPStats
+
+__all__ = [
+    "SendBuffer",
+    "Link",
+    "Request",
+    "EVENT_READ",
+    "EVENT_WRITE",
+    "Selector",
+    "IDLE_RESET_THRESHOLD",
+    "Connection",
+    "ResponseTransfer",
+    "TCPStats",
+]

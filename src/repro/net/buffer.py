@@ -1,0 +1,116 @@
+"""Kernel socket send-buffer model.
+
+The send buffer is the crux of the paper's write-spin problem: a
+non-blocking ``socket.write()`` can only copy as many bytes as the buffer
+has free, and the buffer only frees when ACKs return from the peer (the TCP
+wait-ACK mechanism, Figure 5 of the paper).
+
+:class:`SendBuffer` tracks byte occupancy (we never shuffle payload bytes —
+only counts matter to the simulation) and notifies registered waiters when
+free space appears, which is what drives level-triggered writability in the
+:mod:`repro.net.selector` and wakes blocked writers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.errors import BufferError_
+
+__all__ = ["SendBuffer"]
+
+
+class SendBuffer:
+    """Byte-counting model of a TCP socket send buffer.
+
+    ``capacity`` may be changed at runtime (kernel autotuning); shrinking
+    below current occupancy is allowed — the buffer simply stays
+    over-committed until ACKs drain it.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self._capacity = int(capacity)
+        self._used = 0
+        self._space_waiters: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Current buffer capacity in bytes."""
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value: int) -> None:
+        if value < 1:
+            raise ValueError(f"capacity must be >= 1, got {value!r}")
+        grew = value > self._capacity
+        self._capacity = int(value)
+        if grew and self.free > 0:
+            self._notify_space()
+
+    @property
+    def used(self) -> int:
+        """Bytes currently occupying the buffer (unsent + in flight)."""
+        return self._used
+
+    @property
+    def free(self) -> int:
+        """Bytes of free space (zero when over-committed after a shrink)."""
+        return max(0, self._capacity - self._used)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._used == 0
+
+    # ------------------------------------------------------------------
+    def reserve(self, nbytes: int) -> int:
+        """Copy up to ``nbytes`` into the buffer; returns bytes accepted.
+
+        This models the copy performed by ``socket.write()``: it accepts
+        ``min(nbytes, free)`` and returns that count (possibly zero — the
+        write-spin case).
+        """
+        if nbytes < 0:
+            raise BufferError_(f"cannot reserve a negative byte count ({nbytes})")
+        accepted = min(nbytes, self.free)
+        self._used += accepted
+        return accepted
+
+    def release(self, nbytes: int) -> None:
+        """Free ``nbytes`` (ACK arrival) and wake space waiters."""
+        if nbytes < 0:
+            raise BufferError_(f"cannot release a negative byte count ({nbytes})")
+        if nbytes > self._used:
+            raise BufferError_(f"releasing {nbytes} bytes but only {self._used} are buffered")
+        self._used -= nbytes
+        if nbytes > 0 and self.free > 0:
+            self._notify_space()
+
+    # ------------------------------------------------------------------
+    def add_space_waiter(self, callback: Callable[[], None]) -> None:
+        """Register a one-shot callback invoked when free space appears.
+
+        If space is free right now the callback fires immediately.
+        """
+        if self.free > 0:
+            callback()
+        else:
+            self._space_waiters.append(callback)
+
+    def _notify_space(self) -> None:
+        waiters, self._space_waiters = self._space_waiters, []
+        for callback in waiters:
+            callback()
+
+    def wake_all_waiters(self) -> None:
+        """Fire every pending space waiter regardless of free space.
+
+        Used when the owning connection closes so that blocked writers
+        wake up, observe the closed state, and unwind.
+        """
+        self._notify_space()
+
+    def __repr__(self) -> str:
+        return f"<SendBuffer {self._used}/{self._capacity} waiters={len(self._space_waiters)}>"

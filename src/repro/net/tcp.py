@@ -1,0 +1,425 @@
+"""TCP connection model with send buffer, congestion window and wait-ACK.
+
+This module reproduces — mechanistically — the behaviour the paper blames
+for the write-spin problem (Section IV):
+
+* the socket send buffer is small by default (16 KB);
+* data occupies the buffer until the peer's ACK returns one RTT later
+  (the *TCP wait-ACK mechanism*, Figure 5);
+* a **non-blocking** write copies only ``min(free, len)`` bytes and may
+  return zero, so pushing a 100 KB response through a 16 KB buffer takes
+  on the order of ``response_size / ack_granularity`` ≈ 100 syscalls
+  (the paper's Table IV measures 102);
+* a **blocking** write is a single syscall: the thread sleeps in the kernel
+  while ACK rounds complete, so thread-based servers dodge the spin at the
+  price of one blocked thread per in-flight response;
+* the congestion window starts at 10 segments (RFC 6928), grows in slow
+  start, and — like Linux with ``tcp_slow_start_after_idle=1`` — collapses
+  back after an idle period, which is what starves the kernel's send-buffer
+  *autotuning* of information (Figure 6).
+
+Only byte *counts* travel through the model (payload content is irrelevant
+to performance), but every syscall, copy, segment and ACK is an explicit
+simulated event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cpu.scheduler import SimThread
+from repro.errors import ConnectionClosedError
+from repro.net.buffer import SendBuffer
+from repro.net.link import Link
+from repro.net.messages import Request
+from repro.sim.core import Environment, Event
+
+__all__ = ["Connection", "ResponseTransfer", "TCPStats"]
+
+#: Retransmission-timeout-ish idle threshold after which Linux (with
+#: tcp_slow_start_after_idle=1, the default) resets cwnd to the initial
+#: window.  200 ms matches the minimum RTO.
+IDLE_RESET_THRESHOLD = 0.200
+
+
+class TCPStats:
+    """Per-connection syscall and transfer counters."""
+
+    __slots__ = (
+        "write_calls",
+        "zero_writes",
+        "bytes_written",
+        "bytes_delivered",
+        "responses_completed",
+        "requests_received",
+        "acks_received",
+        "idle_resets",
+    )
+
+    def __init__(self) -> None:
+        self.write_calls = 0
+        self.zero_writes = 0
+        self.bytes_written = 0
+        self.bytes_delivered = 0
+        self.responses_completed = 0
+        self.requests_received = 0
+        self.acks_received = 0
+        self.idle_resets = 0
+
+
+class ResponseTransfer:
+    """Tracks delivery of one response to the client.
+
+    Created by the server before it starts writing the response; completes
+    (``done`` event) when the final byte reaches the client.  Transfers on
+    a connection complete in FIFO order because TCP is a byte stream.
+    """
+
+    __slots__ = ("request", "total", "delivered", "done", "started_at", "completed_at")
+
+    def __init__(self, env: Environment, total: int, request: Optional[Request]):
+        if total < 0:
+            raise ValueError(f"transfer size must be >= 0, got {total!r}")
+        self.request = request
+        self.total = total
+        self.delivered = 0
+        self.done = env.event()
+        self.started_at = env.now
+        self.completed_at: Optional[float] = None
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.delivered
+
+
+class Connection:
+    """A full-duplex client↔server connection.
+
+    The client→server direction carries small requests and is modelled as a
+    simple delayed delivery.  The server→client direction (responses, where
+    all the interesting behaviour lives) is modelled with the full send
+    buffer / cwnd / wait-ACK machinery.
+    """
+
+    _ids = 0
+
+    def __init__(
+        self,
+        env: Environment,
+        link: Link,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        send_buffer_size: Optional[int] = None,
+        autotune: bool = False,
+    ):
+        Connection._ids += 1
+        self.id = Connection._ids
+        self.env = env
+        self.link = link
+        self.calibration = calibration
+        self.autotune = autotune
+        self.closed = False
+        self.stats = TCPStats()
+
+        initial_capacity = send_buffer_size or calibration.tcp_send_buffer
+        if autotune:
+            initial_capacity = min(
+                max(calibration.tcp_send_buffer, 2 * self._initial_cwnd_bytes()),
+                calibration.tcp_wmem_max,
+            )
+        self.buffer = SendBuffer(initial_capacity)
+
+        # Congestion control state (server→client direction).
+        self._cwnd = self._initial_cwnd_bytes()
+        self._cwnd_max = 256 * calibration.mss
+        self._unsent = 0
+        self._in_flight = 0
+        self._wire_free_at = 0.0
+        self._last_activity = env.now
+
+        # Response transfers awaiting delivery (FIFO byte attribution).
+        self._transfers: Deque[ResponseTransfer] = deque()
+
+        # Requests that arrived at the server but were not read yet.
+        self.inbox: Deque[Request] = deque()
+
+        # One-shot watcher callbacks (used by Selector and blocked readers).
+        self._readable_watchers: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Congestion window helpers
+    # ------------------------------------------------------------------
+    def _initial_cwnd_bytes(self) -> int:
+        return self.calibration.initial_cwnd_segments * self.calibration.mss
+
+    @property
+    def cwnd(self) -> int:
+        """Current congestion window in bytes."""
+        return self._cwnd
+
+    @property
+    def ack_granularity(self) -> int:
+        """Bytes acknowledged per ACK (delayed-ACK granularity)."""
+        return self.calibration.mss * self.calibration.segments_per_ack
+
+    def _record_send_activity(self) -> None:
+        now = self.env.now
+        if now - self._last_activity > IDLE_RESET_THRESHOLD:
+            # Linux tcp_slow_start_after_idle: restart from the initial window.
+            self._cwnd = self._initial_cwnd_bytes()
+            self.stats.idle_resets += 1
+            self._retune_buffer()
+        self._last_activity = now
+
+    def _retune_buffer(self) -> None:
+        """Kernel send-buffer autotuning: track ~2x cwnd (BDP heuristic).
+
+        The kernel sizes the buffer to keep the *link* busy; it knows
+        nothing about application response sizes — which is exactly why the
+        paper found autotuning insufficient to stop the write-spin.
+        """
+        if not self.autotune:
+            return
+        target = 2 * self._cwnd
+        target = max(target, self.calibration.tcp_send_buffer)
+        target = min(target, self.calibration.tcp_wmem_max)
+        if target > self.buffer.capacity:
+            self.buffer.capacity = target
+
+    # ------------------------------------------------------------------
+    # Client side: issue requests
+    # ------------------------------------------------------------------
+    def send_request(self, request: Request) -> None:
+        """Client sends ``request``; it arrives at the server one
+        transfer-delay later and becomes readable."""
+        self._check_open()
+        delay = self.link.transfer_delay(request.request_size)
+        arrival = self.env.timeout(delay)
+        arrival.callbacks.append(lambda _ev: self._on_request_arrival(request))
+
+    def _on_request_arrival(self, request: Request) -> None:
+        if self.closed:
+            return
+        self.inbox.append(request)
+        self.stats.requests_received += 1
+        self._notify_readable()
+
+    # ------------------------------------------------------------------
+    # Server side: read requests
+    # ------------------------------------------------------------------
+    @property
+    def readable(self) -> bool:
+        """True when at least one request is waiting to be read."""
+        return bool(self.inbox)
+
+    @property
+    def writable(self) -> bool:
+        """True when the send buffer has free space."""
+        return self.buffer.free > 0
+
+    def read_request(self) -> Optional[Request]:
+        """Pop the oldest pending request (``None`` if the inbox is empty).
+
+        The caller is responsible for charging the read syscall to a
+        thread (see :meth:`SimThread.syscall`).
+        """
+        self._check_open()
+        if not self.inbox:
+            return None
+        return self.inbox.popleft()
+
+    def wait_readable(self) -> Event:
+        """Event that succeeds when the connection has a pending request."""
+        event = self.env.event()
+        if self.inbox:
+            event.succeed()
+        else:
+            self._readable_watchers.append(lambda: event.succeed())
+        return event
+
+    def add_readable_watcher(self, callback: Callable[[], None]) -> None:
+        """One-shot callback on readability (used by the selector)."""
+        if self.inbox:
+            callback()
+        else:
+            self._readable_watchers.append(callback)
+
+    def _notify_readable(self) -> None:
+        watchers, self._readable_watchers = self._readable_watchers, []
+        for callback in watchers:
+            callback()
+
+    # ------------------------------------------------------------------
+    # Server side: write responses
+    # ------------------------------------------------------------------
+    def open_transfer(self, total: int, request: Optional[Request] = None) -> ResponseTransfer:
+        """Declare the next response of ``total`` bytes on this connection."""
+        self._check_open()
+        transfer = ResponseTransfer(self.env, total, request)
+        if total == 0:
+            transfer.completed_at = self.env.now
+            self.stats.responses_completed += 1
+            if request is not None:
+                request.mark_completed()
+            transfer.done.succeed(transfer)
+        else:
+            self._transfers.append(transfer)
+        return transfer
+
+    def try_write(self, nbytes: int, request: Optional[Request] = None) -> int:
+        """Non-blocking write: copy up to ``nbytes`` into the send buffer.
+
+        Returns the number of bytes accepted — possibly zero when the
+        buffer is full (the write-spin case).  The caller must charge the
+        syscall cost (``thread.syscall(bytes_copied=returned)``).
+        """
+        self._check_open()
+        self._record_send_activity()
+        accepted = self.buffer.reserve(nbytes)
+        self.stats.write_calls += 1
+        if request is not None:
+            request.write_calls += 1
+        if accepted == 0:
+            self.stats.zero_writes += 1
+            if request is not None:
+                request.zero_writes += 1
+            return 0
+        self.stats.bytes_written += accepted
+        self._unsent += accepted
+        self._pump()
+        return accepted
+
+    def blocking_write(self, thread: SimThread, nbytes: int, request: Optional[Request] = None):
+        """Blocking write of ``nbytes`` — a generator to ``yield from``.
+
+        Models the thread-based path: exactly **one** syscall; the calling
+        thread sleeps in the kernel while the buffer drains and the kernel
+        moves the remaining bytes in as ACKs free space.  No write-spin.
+        """
+        self._check_open()
+        self.stats.write_calls += 1
+        if request is not None:
+            request.write_calls += 1
+        # One kernel crossing up front; the per-byte copy cost is charged
+        # chunk by chunk below, as the kernel moves data into the buffer
+        # while earlier bytes are already draining onto the wire.
+        yield thread.syscall(bytes_copied=0)
+        self.stats.bytes_written += nbytes
+        copy_cost = self.calibration.copy_cost_per_byte
+        remaining = nbytes
+        while remaining > 0:
+            self._record_send_activity()
+            accepted = self.buffer.reserve(remaining)
+            if accepted > 0:
+                remaining -= accepted
+                self._unsent += accepted
+                self._pump()
+                chunk_cost = copy_cost * accepted + self.calibration.tx_kernel_cost(accepted)
+                if chunk_cost > 0:
+                    yield thread.run(chunk_cost, "system")
+            if remaining > 0:
+                if not self.closed:
+                    space = self.env.event()
+                    self.buffer.add_space_waiter(lambda ev=space: ev.succeed())
+                    yield space
+                if self.closed:
+                    # Peer went away mid-write; unwind into the caller.
+                    raise ConnectionClosedError(
+                        f"connection #{self.id} closed during blocking write"
+                    )
+
+    def wait_writable(self) -> Event:
+        """Event that succeeds when the send buffer has free space.
+
+        Succeeds immediately on a closed connection (nothing will ever
+        drain its buffer again) so that waiting writers wake up, retry,
+        and observe the :class:`ConnectionClosedError`.
+        """
+        event = self.env.event()
+        if self.closed:
+            event.succeed()
+        else:
+            self.buffer.add_space_waiter(lambda: event.succeed())
+        return event
+
+    # ------------------------------------------------------------------
+    # Kernel transmit path (segments out, ACKs back)
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Transmit buffered data while the congestion window allows."""
+        while self._unsent > 0 and self._in_flight < self._cwnd:
+            chunk = min(self.ack_granularity, self._unsent, self._cwnd - self._in_flight)
+            self._unsent -= chunk
+            self._in_flight += chunk
+            now = self.env.now
+            serialization = self.link.serialization_delay(chunk)
+            depart = max(now, self._wire_free_at)
+            self._wire_free_at = depart + serialization
+            delivery_delay = (depart - now) + serialization + self.link.one_way_latency
+            delivered = self.env.timeout(delivery_delay)
+            delivered.callbacks.append(lambda _ev, n=chunk: self._on_chunk_delivered(n))
+
+    def _on_chunk_delivered(self, nbytes: int) -> None:
+        if self.closed:
+            return
+        self.stats.bytes_delivered += nbytes
+        self._attribute_delivery(nbytes)
+        ack = self.env.timeout(self.link.one_way_latency)
+        ack.callbacks.append(lambda _ev, n=nbytes: self._on_ack(n))
+
+    def _on_ack(self, nbytes: int) -> None:
+        if self.closed:
+            return
+        self.stats.acks_received += 1
+        self._in_flight -= nbytes
+        self._last_activity = self.env.now
+        # Slow start: grow by one MSS per ACK, up to the cap.
+        if self._cwnd < self._cwnd_max:
+            self._cwnd = min(self._cwnd + self.calibration.mss, self._cwnd_max)
+            self._retune_buffer()
+        self.buffer.release(nbytes)
+        self._pump()
+
+    def _attribute_delivery(self, nbytes: int) -> None:
+        """Assign delivered bytes to response transfers in FIFO order."""
+        while nbytes > 0 and self._transfers:
+            head = self._transfers[0]
+            take = min(nbytes, head.remaining)
+            head.delivered += take
+            nbytes -= take
+            if head.remaining == 0:
+                self._transfers.popleft()
+                head.completed_at = self.env.now
+                self.stats.responses_completed += 1
+                if head.request is not None:
+                    head.request.mark_completed()
+                head.done.succeed(head)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection.
+
+        Pending requests and undelivered responses are dropped; any
+        process blocked waiting for readability or buffer space is woken
+        so it can observe the closed state and unwind (servers translate
+        the subsequent :class:`ConnectionClosedError` into per-connection
+        cleanup).  Idempotent.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self.inbox.clear()
+        self._transfers.clear()
+        self._notify_readable()
+        self.buffer.wake_all_waiters()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ConnectionClosedError(f"connection #{self.id} is closed")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Connection #{self.id} buf={self.buffer.used}/{self.buffer.capacity} "
+            f"cwnd={self._cwnd} inbox={len(self.inbox)}>"
+        )

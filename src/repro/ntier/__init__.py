@@ -1,0 +1,16 @@
+"""N-tier (RUBBoS-style) system composition: pools, tier apps, topology."""
+
+from repro.ntier.applications import ProxyApplication, QueryApplication, ServletApplication
+from repro.ntier.pool import ConnectionPool
+from repro.ntier.topology import NTierConfig, NTierResult, ThreeTierSystem, run_ntier
+
+__all__ = [
+    "ProxyApplication",
+    "QueryApplication",
+    "ServletApplication",
+    "ConnectionPool",
+    "NTierConfig",
+    "NTierResult",
+    "ThreeTierSystem",
+    "run_ntier",
+]

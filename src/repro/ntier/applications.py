@@ -1,0 +1,128 @@
+"""Tier application logic: proxying, servlet work with DB calls, queries.
+
+These :class:`~repro.servers.base.Application` subclasses turn the generic
+server architectures into the three tiers of the RUBBoS system:
+
+* :class:`ProxyApplication` — Apache httpd: forward the request downstream
+  over a pooled connection, relay the response;
+* :class:`ServletApplication` — Tomcat: per-interaction CPU work plus
+  blocking JDBC-style queries against the database tier;
+* :class:`QueryApplication` — MySQL: per-query CPU proportional to the
+  result size.
+
+All downstream calls are synchronous (the thread blocks until the full
+downstream response arrives), matching JDBC and Apache's proxy workers;
+this is true for *both* Tomcat variants — the paper's upgrade changes only
+the client-facing connector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.messages import Request
+from repro.ntier.pool import ConnectionPool
+from repro.servers.base import Application, BaseServer
+from repro.workload.rubbos import Interaction
+
+__all__ = ["ProxyApplication", "ServletApplication", "QueryApplication"]
+
+
+class ProxyApplication(Application):
+    """Apache httpd as a reverse proxy to the application tier."""
+
+    def __init__(self, pool: ConnectionPool, per_request_cpu: float = 60.0e-6):
+        if per_request_cpu < 0:
+            raise ValueError("per_request_cpu must be >= 0")
+        self.pool = pool
+        self.per_request_cpu = per_request_cpu
+
+    def service(self, server: BaseServer, thread, request: Request):
+        calib = server.calibration
+        # Parse + route the client request.
+        yield thread.run(self.per_request_cpu)
+        connection = yield self.pool.acquire()
+        try:
+            downstream = Request(
+                server.env,
+                kind=request.kind,
+                response_size=request.response_size,
+                request_size=request.request_size,
+            )
+            downstream.metadata.update(request.metadata)
+            # Forward the request (one write syscall on the pooled conn).
+            yield thread.syscall(
+                bytes_copied=downstream.request_size,
+                extra_kernel=calib.tx_kernel_cost(downstream.request_size),
+            )
+            connection.send_request(downstream)
+            yield downstream.completed
+            # Read the downstream response back into user space.
+            yield thread.syscall(
+                bytes_copied=downstream.response_size,
+                extra_kernel=calib.tx_kernel_cost(downstream.response_size),
+            )
+        finally:
+            self.pool.release(connection)
+        return request.response_size
+
+
+class ServletApplication(Application):
+    """Tomcat servlet work for RUBBoS interactions (with DB queries)."""
+
+    def __init__(self, pool: Optional[ConnectionPool], per_row_cpu: float = 15.0e-6):
+        if per_row_cpu < 0:
+            raise ValueError("per_row_cpu must be >= 0")
+        self.pool = pool
+        self.per_row_cpu = per_row_cpu
+
+    def service(self, server: BaseServer, thread, request: Request):
+        calib = server.calibration
+        interaction: Optional[Interaction] = request.metadata.get("interaction")
+        if interaction is None:
+            # Fall back to size-derived cost for non-RUBBoS requests.
+            yield thread.run(calib.request_cpu_cost(request.response_size))
+            return request.response_size
+
+        yield thread.run(interaction.app_cpu)
+        if self.pool is not None:
+            for result_size, db_cpu in interaction.queries:
+                connection = yield self.pool.acquire()
+                try:
+                    query = Request(
+                        server.env,
+                        kind=f"{interaction.name}.sql",
+                        response_size=result_size,
+                        request_size=256,
+                    )
+                    query.metadata["db_cpu"] = db_cpu
+                    yield thread.syscall(
+                        bytes_copied=query.request_size,
+                        extra_kernel=calib.tx_kernel_cost(query.request_size),
+                    )
+                    connection.send_request(query)
+                    yield query.completed
+                    yield thread.syscall(
+                        bytes_copied=result_size,
+                        extra_kernel=calib.tx_kernel_cost(result_size),
+                    )
+                finally:
+                    self.pool.release(connection)
+                # Result-set processing (row mapping, templating).
+                yield thread.run(self.per_row_cpu)
+        return interaction.response_size
+
+
+class QueryApplication(Application):
+    """MySQL: execute one query, cost given by the caller's query plan."""
+
+    def __init__(self, default_cpu: float = 90.0e-6, per_byte_cpu: float = 2.0e-9):
+        if default_cpu < 0 or per_byte_cpu < 0:
+            raise ValueError("query costs must be >= 0")
+        self.default_cpu = default_cpu
+        self.per_byte_cpu = per_byte_cpu
+
+    def service(self, server: BaseServer, thread, request: Request):
+        cpu = request.metadata.get("db_cpu", self.default_cpu)
+        yield thread.run(cpu + self.per_byte_cpu * request.response_size)
+        return request.response_size

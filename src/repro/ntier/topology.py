@@ -1,0 +1,198 @@
+"""Three-tier system assembly (the paper's Figure 12 testbed).
+
+Builds the Apache → Tomcat → MySQL deployment of the RUBBoS benchmark:
+each tier on its own (simulated) machine with its own CPU, wired by
+inter-tier connection pools over LAN links.  The Tomcat tier is pluggable
+between the thread-based connector (Tomcat 7, ``variant="sync"``) and the
+asynchronous connector (Tomcat 8, ``variant="async"``) — the single change
+whose system-wide effect Figure 1 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cpu.scheduler import CPU
+from repro.errors import ExperimentError
+from repro.metrics.collector import RunRecorder, RunReport
+from repro.net.link import Link
+from repro.ntier.applications import ProxyApplication, QueryApplication, ServletApplication
+from repro.ntier.pool import ConnectionPool
+from repro.servers.base import BaseServer
+from repro.servers.threaded import ThreadedServer
+from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
+from repro.sim.core import Environment
+from repro.sim.rng import SeedStreams
+from repro.workload.client import ExponentialThink
+from repro.workload.population import build_population
+from repro.workload.rubbos import RubbosMix
+
+__all__ = ["NTierConfig", "ThreeTierSystem", "NTierResult", "run_ntier"]
+
+
+@dataclass(frozen=True)
+class NTierConfig:
+    """One 3-tier RUBBoS run."""
+
+    #: "sync" (Tomcat 7 connector) or "async" (Tomcat 8 connector).
+    tomcat_variant: str
+    #: Number of emulated users (the paper's workload axis, 1000–13000).
+    users: int
+    think_mean: float = 7.0
+    duration: float = 22.0
+    warmup: float = 12.0
+    apache_tomcat_pool: int = 40
+    tomcat_db_pool: int = 40
+    tomcat_workers: int = 32
+    inter_tier_latency: float = 100.0e-6
+    calibration: Calibration = DEFAULT_CALIBRATION
+    seed: int = 1
+
+    def validate(self) -> "NTierConfig":
+        """Raise :class:`ExperimentError` on nonsensical settings."""
+        if self.tomcat_variant not in ("sync", "async"):
+            raise ExperimentError(f"unknown tomcat_variant {self.tomcat_variant!r}")
+        if self.users < 1:
+            raise ExperimentError(f"users must be >= 1, got {self.users!r}")
+        if self.duration <= self.warmup:
+            raise ExperimentError("duration must exceed warmup")
+        return self
+
+
+class ThreeTierSystem:
+    """Apache + Tomcat + MySQL on three simulated machines."""
+
+    def __init__(self, env: Environment, config: NTierConfig):
+        config.validate()
+        self.env = env
+        self.config = config
+        calib = config.calibration
+
+        # One CPU ("machine") per tier.
+        self.db_cpu = CPU(env, calib, name="mysql-cpu")
+        self.app_cpu = CPU(env, calib, name="tomcat-cpu")
+        self.web_cpu = CPU(env, calib, name="apache-cpu")
+
+        tier_link = Link.lan(calib, added_latency=config.inter_tier_latency)
+
+        # MySQL tier: thread-based (one thread per pooled connection).
+        self.db_server = ThreadedServer(
+            env, self.db_cpu, app=QueryApplication(), name="mysql"
+        )
+
+        # Tomcat tier: the upgrade under study.
+        self.tomcat_db_pool = None  # created after db server exists
+        self.tomcat_db_pool = ConnectionPool(
+            env, self.db_server, config.tomcat_db_pool, tier_link, calib
+        )
+        servlet_app = ServletApplication(self.tomcat_db_pool)
+        if config.tomcat_variant == "sync":
+            self.app_server: BaseServer = TomcatSyncServer(
+                env, self.app_cpu, app=servlet_app, name="tomcat-v7"
+            )
+        else:
+            self.app_server = TomcatAsyncServer(
+                env,
+                self.app_cpu,
+                app=servlet_app,
+                name="tomcat-v8",
+                workers=config.tomcat_workers,
+            )
+
+        # Apache tier: thread-based reverse proxy.
+        self.apache_tomcat_pool = ConnectionPool(
+            env, self.app_server, config.apache_tomcat_pool, tier_link, calib
+        )
+        self.web_server = ThreadedServer(
+            env,
+            self.web_cpu,
+            app=ProxyApplication(self.apache_tomcat_pool),
+            name="apache",
+        )
+
+    @property
+    def front_server(self) -> BaseServer:
+        """The tier clients connect to."""
+        return self.web_server
+
+    def cpu_by_tier(self) -> Dict[str, CPU]:
+        """Tier name → CPU, for per-tier utilisation reports."""
+        return {"apache": self.web_cpu, "tomcat": self.app_cpu, "mysql": self.db_cpu}
+
+
+@dataclass(frozen=True)
+class NTierResult:
+    """Measurements of one 3-tier run."""
+
+    config: NTierConfig
+    report: RunReport
+    #: Tier name → CPU utilisation in [0, 1] over the window.
+    tier_utilization: Dict[str, float] = field(default_factory=dict)
+    #: Tier name → context switches per second.
+    tier_switch_rate: Dict[str, float] = field(default_factory=dict)
+    #: Peak concurrent requests observed at the Tomcat tier.
+    tomcat_peak_concurrency: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return self.report.throughput
+
+    @property
+    def response_time(self) -> float:
+        return self.report.response_time_mean
+
+    @property
+    def bottleneck_tier(self) -> str:
+        """Tier with the highest CPU utilisation."""
+        return max(self.tier_utilization, key=self.tier_utilization.get)
+
+
+def run_ntier(config: NTierConfig) -> NTierResult:
+    """Run one 3-tier RUBBoS configuration and return its measurements."""
+    config.validate()
+    env = Environment()
+    system = ThreeTierSystem(env, config)
+    calib = config.calibration
+    recorder = RunRecorder(env, warmup=config.warmup)
+    recorder.watch_cpu(system.app_cpu)
+
+    client_link = Link.lan(calib)
+    build_population(
+        env,
+        system.front_server,
+        size=config.users,
+        mix=RubbosMix(),
+        link=client_link,
+        calibration=calib,
+        seeds=SeedStreams(config.seed),
+        recorder=recorder,
+        think=ExponentialThink(config.think_mean),
+        ramp_up=config.warmup * 0.8,
+    )
+
+    starts = {name: cpu.snapshot() for name, cpu in system.cpu_by_tier().items()}
+
+    def _mark_warmup():
+        yield env.timeout(config.warmup)
+        for name, cpu in system.cpu_by_tier().items():
+            starts[name] = cpu.snapshot()
+
+    env.process(_mark_warmup(), name="warmup-marker")
+    env.run(until=config.duration)
+
+    utilization: Dict[str, float] = {}
+    switch_rate: Dict[str, float] = {}
+    for name, cpu in system.cpu_by_tier().items():
+        usage = cpu.snapshot().usage_since(starts[name], cpu.cores)
+        utilization[name] = usage.utilization
+        switch_rate[name] = usage.context_switch_rate
+
+    return NTierResult(
+        config=config,
+        report=recorder.report(),
+        tier_utilization=utilization,
+        tier_switch_rate=switch_rate,
+        tomcat_peak_concurrency=system.apache_tomcat_pool.peak_in_use,
+    )

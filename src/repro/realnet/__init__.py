@@ -1,0 +1,28 @@
+"""Real-socket demonstration substrate (GIL caveat: see servers module)."""
+
+from repro.realnet.client import LoadResult, run_load
+from repro.realnet.protocol import (
+    encode_request,
+    encode_response_header,
+    parse_request_line,
+    parse_response_header,
+)
+from repro.realnet.servers import (
+    BoundedWriteSocketServer,
+    RealServerStats,
+    SelectorSocketServer,
+    ThreadedSocketServer,
+)
+
+__all__ = [
+    "LoadResult",
+    "run_load",
+    "encode_request",
+    "encode_response_header",
+    "parse_request_line",
+    "parse_response_header",
+    "BoundedWriteSocketServer",
+    "RealServerStats",
+    "SelectorSocketServer",
+    "ThreadedSocketServer",
+]

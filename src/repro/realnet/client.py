@@ -1,0 +1,107 @@
+"""Load client for the real-socket demo servers (a miniature JMeter)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.realnet.protocol import encode_request, parse_response_header, split_line
+
+__all__ = ["LoadResult", "run_load"]
+
+
+@dataclass
+class LoadResult:
+    """Aggregate of one load run."""
+
+    duration: float
+    completed: int
+    errors: int
+    response_times: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return float("nan")
+        return sum(self.response_times) / len(self.response_times)
+
+
+def _read_response(conn: socket.socket, buffer: bytes) -> Tuple[int, bytes]:
+    """Read one full response; returns (payload size, leftover buffer)."""
+    while True:
+        line, buffer = split_line(buffer)
+        if line is not None:
+            break
+        chunk = conn.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-response")
+        buffer += chunk
+    size = parse_response_header(line)
+    remaining = size - len(buffer)
+    while remaining > 0:
+        chunk = conn.recv(min(65536, remaining))
+        if not chunk:
+            raise ConnectionError("server closed mid-payload")
+        remaining -= len(chunk)
+    leftover = buffer[size:] if remaining <= 0 and len(buffer) > size else b""
+    return size, leftover
+
+
+def _client_loop(address, kind: str, response_size: int, stop_at: float,
+                 result: LoadResult, lock: threading.Lock) -> None:
+    try:
+        with socket.create_connection(address, timeout=5) as conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            buffer = b""
+            while time.monotonic() < stop_at:
+                started = time.monotonic()
+                conn.sendall(encode_request(kind, response_size))
+                _size, buffer = _read_response(conn, buffer)
+                elapsed = time.monotonic() - started
+                with lock:
+                    result.completed += 1
+                    result.response_times.append(elapsed)
+    except (OSError, ConnectionError, ValueError):
+        with lock:
+            result.errors += 1
+
+
+def run_load(
+    address,
+    concurrency: int,
+    response_size: int,
+    duration: float,
+    kind: str = "bench",
+) -> LoadResult:
+    """Closed-loop load with ``concurrency`` client threads.
+
+    Each thread keeps exactly one request in flight (zero think time),
+    mirroring the paper's JMeter configuration.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency!r}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration!r}")
+    result = LoadResult(duration=duration, completed=0, errors=0)
+    lock = threading.Lock()
+    stop_at = time.monotonic() + duration
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(address, kind, response_size, stop_at, result, lock),
+            daemon=True,
+        )
+        for _ in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=duration + 10)
+    return result

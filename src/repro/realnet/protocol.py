@@ -1,0 +1,70 @@
+"""Wire protocol for the real-socket demo servers.
+
+A deliberately tiny HTTP-like protocol so both server architectures share
+the exact same parsing/serialisation cost:
+
+* Request: one line, ``GET <kind> <response_size>\\n``.
+* Response: ``<response_size>\\n`` header followed by exactly that many
+  payload bytes.
+
+The response size is chosen by the *client* (as in the paper's JMeter
+setup, where the URL selects the 0.1 KB / 10 KB / 100 KB servlet).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = [
+    "encode_request",
+    "parse_request_line",
+    "encode_response_header",
+    "parse_response_header",
+    "MAX_RESPONSE_SIZE",
+]
+
+#: Upper bound accepted from the wire (guards against garbage input).
+MAX_RESPONSE_SIZE = 64 * 1024 * 1024
+
+
+def encode_request(kind: str, response_size: int) -> bytes:
+    """Serialise one request line."""
+    if "\n" in kind or " " in kind:
+        raise ValueError(f"kind must not contain spaces/newlines: {kind!r}")
+    if not 0 <= response_size <= MAX_RESPONSE_SIZE:
+        raise ValueError(f"response_size out of range: {response_size!r}")
+    return f"GET {kind} {response_size}\n".encode("ascii")
+
+
+def parse_request_line(line: bytes) -> Tuple[str, int]:
+    """Parse one request line; raises ``ValueError`` on malformed input."""
+    parts = line.decode("ascii", errors="replace").strip().split(" ")
+    if len(parts) != 3 or parts[0] != "GET":
+        raise ValueError(f"malformed request line: {line!r}")
+    size = int(parts[2])
+    if not 0 <= size <= MAX_RESPONSE_SIZE:
+        raise ValueError(f"response size out of range: {size}")
+    return parts[1], size
+
+
+def encode_response_header(size: int) -> bytes:
+    """Serialise the response header."""
+    if not 0 <= size <= MAX_RESPONSE_SIZE:
+        raise ValueError(f"response size out of range: {size!r}")
+    return f"{size}\n".encode("ascii")
+
+
+def parse_response_header(line: bytes) -> int:
+    """Parse the response header; raises ``ValueError`` if malformed."""
+    size = int(line.decode("ascii", errors="replace").strip())
+    if not 0 <= size <= MAX_RESPONSE_SIZE:
+        raise ValueError(f"response size out of range: {size}")
+    return size
+
+
+def split_line(buffer: bytes) -> "Tuple[Optional[bytes], bytes]":
+    """Split ``buffer`` at the first newline: (line or None, rest)."""
+    index = buffer.find(b"\n")
+    if index < 0:
+        return None, buffer
+    return buffer[: index + 1], buffer[index + 1 :]

@@ -1,0 +1,373 @@
+"""Real-socket demonstration servers (thread-per-connection vs selector).
+
+These run the paper's two basic architectures over genuine localhost TCP
+sockets, for end-to-end demonstrations and as a sanity cross-check of the
+simulator's *qualitative* behaviour (write counts, blocking vs
+non-blocking semantics).
+
+.. warning::
+   Python's GIL serialises user-space execution, so *quantitative*
+   thread-vs-event comparisons from this module do not transfer to the
+   paper's JVM servers (exactly the distortion the simulation substrate
+   exists to avoid — see DESIGN.md).  The benchmarks therefore run on the
+   simulator; this module backs the ``realnet_demo`` example and the
+   socket-level tests.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+from typing import Dict, Optional
+
+from repro.realnet.protocol import (
+    encode_response_header,
+    parse_request_line,
+    split_line,
+)
+
+__all__ = [
+    "RealServerStats",
+    "ThreadedSocketServer",
+    "SelectorSocketServer",
+    "BoundedWriteSocketServer",
+]
+
+_PAYLOAD = bytes(1024 * 1024)  # shared zero payload, sliced per response
+
+
+class RealServerStats:
+    """Counters shared by both real-socket servers (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.write_calls = 0
+        self.zero_writes = 0
+
+    def record_request(self) -> None:
+        """Count one parsed request."""
+        with self._lock:
+            self.requests += 1
+
+    def record_write(self, sent: int) -> None:
+        """Count one send() call (zero ``sent`` = a spin write)."""
+        with self._lock:
+            self.write_calls += 1
+            if sent == 0:
+                self.zero_writes += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Consistent copy of the counters."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "write_calls": self.write_calls,
+                "zero_writes": self.zero_writes,
+            }
+
+
+class _BaseSocketServer:
+    """Shared lifecycle: bind, serve in a background thread, stop."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 send_buffer: Optional[int] = None):
+        self.stats = RealServerStats()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(512)
+        self.address = self._listener.getsockname()
+        self.send_buffer = send_buffer
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "_BaseSocketServer":
+        """Start serving in a daemon thread; returns self."""
+        self._thread = threading.Thread(target=self._serve, daemon=True,
+                                        name=type(self).__name__)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the listening socket."""
+        self._stop.set()
+        try:
+            # Poke the accept loop awake.
+            with socket.create_connection(self.address, timeout=1):
+                pass
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._listener.close()
+
+    def _configure(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self.send_buffer is not None:
+            conn.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, self.send_buffer)
+
+    def _serve(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "_BaseSocketServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+
+class ThreadedSocketServer(_BaseSocketServer):
+    """Thread-per-connection with blocking reads and writes (sTomcat-Sync).
+
+    ``sendall`` is the blocking write: one call per response regardless of
+    the response size — no write-spin.
+    """
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break
+            if self._stop.is_set():
+                conn.close()
+                break
+            self._configure(conn)
+            worker = threading.Thread(target=self._handle, args=(conn,), daemon=True)
+            worker.start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        buffer = b""
+        try:
+            while not self._stop.is_set():
+                line, buffer = split_line(buffer)
+                if line is None:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        return
+                    buffer += chunk
+                    continue
+                _kind, size = parse_request_line(line)
+                self.stats.record_request()
+                conn.sendall(encode_response_header(size))
+                remaining = size
+                while remaining > 0:
+                    piece = _PAYLOAD[: min(remaining, len(_PAYLOAD))]
+                    conn.sendall(piece)  # blocking: a single logical write
+                    self.stats.record_write(len(piece))
+                    remaining -= len(piece)
+        except (OSError, ValueError):
+            pass
+        finally:
+            conn.close()
+
+
+class SelectorSocketServer(_BaseSocketServer):
+    """Single-threaded selector loop with non-blocking writes
+    (SingleT-Async).
+
+    The response write runs to completion inside the handler, retrying on
+    ``EWOULDBLOCK`` after waiting for writability of that one socket —
+    the naive write-spin of the paper's Section IV, observable here as
+    ``write_calls`` ≫ requests for responses larger than the send buffer.
+    """
+
+    def _serve(self) -> None:
+        selector = selectors.DefaultSelector()
+        self._listener.setblocking(False)
+        selector.register(self._listener, selectors.EVENT_READ, None)
+        buffers: Dict[socket.socket, bytes] = {}
+        try:
+            while not self._stop.is_set():
+                for key, _mask in selector.select(timeout=0.2):
+                    if key.fileobj is self._listener:
+                        try:
+                            conn, _addr = self._listener.accept()
+                        except OSError:
+                            continue
+                        self._configure(conn)
+                        conn.setblocking(False)
+                        buffers[conn] = b""
+                        selector.register(conn, selectors.EVENT_READ, None)
+                        continue
+                    conn = key.fileobj
+                    try:
+                        chunk = conn.recv(4096)
+                    except BlockingIOError:
+                        continue
+                    except OSError:
+                        chunk = b""
+                    if not chunk:
+                        selector.unregister(conn)
+                        buffers.pop(conn, None)
+                        conn.close()
+                        continue
+                    buffers[conn] += chunk
+                    self._drain_requests(selector, conn, buffers)
+        finally:
+            for conn in list(buffers):
+                conn.close()
+            selector.close()
+
+    def _drain_requests(self, selector, conn: socket.socket,
+                        buffers: Dict[socket.socket, bytes]) -> None:
+        while True:
+            line, rest = split_line(buffers[conn])
+            if line is None:
+                return
+            buffers[conn] = rest
+            try:
+                _kind, size = parse_request_line(line)
+            except ValueError:
+                selector.unregister(conn)
+                buffers.pop(conn, None)
+                conn.close()
+                return
+            self.stats.record_request()
+            self._spin_write(conn, encode_response_header(size))
+            remaining = size
+            while remaining > 0:
+                piece = _PAYLOAD[: min(remaining, len(_PAYLOAD))]
+                remaining -= self._spin_write(conn, piece)
+
+    def _spin_write(self, conn: socket.socket, data: bytes) -> int:
+        """Non-blocking write run to completion (the naive spin)."""
+        total = len(data)
+        view = memoryview(data)
+        sent_total = 0
+        spin_selector = selectors.DefaultSelector()
+        registered = False
+        try:
+            while sent_total < total:
+                try:
+                    sent = conn.send(view[sent_total:])
+                except BlockingIOError:
+                    sent = 0
+                except OSError:
+                    return sent_total
+                self.stats.record_write(sent)
+                sent_total += sent
+                if sent == 0:
+                    # Buffer full: wait for THIS socket's writability,
+                    # stalling every other connection (the spin).
+                    if not registered:
+                        spin_selector.register(conn, selectors.EVENT_WRITE)
+                        registered = True
+                    spin_selector.select(timeout=1.0)
+        finally:
+            spin_selector.close()
+        return sent_total
+
+
+class BoundedWriteSocketServer(SelectorSocketServer):
+    """Selector server with a Netty-style bounded write (the jump-out).
+
+    Unlike :class:`SelectorSocketServer`, an in-progress response is parked
+    when ``send()`` returns zero or the per-visit write budget (Netty's
+    ``writeSpin``, default 16) is exhausted; the loop then keeps serving
+    *other* connections and resumes the transfer when the main selector
+    reports the socket writable again — the real-socket mirror of the
+    paper's Figure 8.
+    """
+
+    def __init__(self, *args, spin_threshold: int = 16, **kwargs):
+        if spin_threshold < 1:
+            raise ValueError(f"spin_threshold must be >= 1, got {spin_threshold!r}")
+        super().__init__(*args, **kwargs)
+        self.spin_threshold = spin_threshold
+
+    def _serve(self) -> None:
+        selector = selectors.DefaultSelector()
+        self._listener.setblocking(False)
+        selector.register(self._listener, selectors.EVENT_READ, None)
+        buffers: Dict[socket.socket, bytes] = {}
+        pending: Dict[socket.socket, memoryview] = {}
+        try:
+            while not self._stop.is_set():
+                for key, mask in selector.select(timeout=0.2):
+                    if key.fileobj is self._listener:
+                        try:
+                            conn, _addr = self._listener.accept()
+                        except OSError:
+                            continue
+                        self._configure(conn)
+                        conn.setblocking(False)
+                        buffers[conn] = b""
+                        selector.register(conn, selectors.EVENT_READ, None)
+                        continue
+                    conn = key.fileobj
+                    if mask & selectors.EVENT_WRITE and conn in pending:
+                        self._pump_pending(selector, conn, pending, buffers)
+                    if mask & selectors.EVENT_READ and conn not in pending:
+                        if not self._pump_reads(selector, conn, pending, buffers):
+                            continue
+        finally:
+            for conn in list(buffers):
+                conn.close()
+            selector.close()
+
+    def _pump_reads(self, selector, conn, pending, buffers) -> bool:
+        """Read + serve requests until the connection parks or drains.
+
+        Returns False when the connection was dropped.
+        """
+        try:
+            chunk = conn.recv(4096)
+        except BlockingIOError:
+            return True
+        except OSError:
+            chunk = b""
+        if not chunk:
+            selector.unregister(conn)
+            buffers.pop(conn, None)
+            pending.pop(conn, None)
+            conn.close()
+            return False
+        buffers[conn] += chunk
+        while conn not in pending:
+            line, rest = split_line(buffers[conn])
+            if line is None:
+                return True
+            buffers[conn] = rest
+            try:
+                _kind, size = parse_request_line(line)
+            except ValueError:
+                selector.unregister(conn)
+                buffers.pop(conn, None)
+                conn.close()
+                return False
+            self.stats.record_request()
+            payload = encode_response_header(size) + _PAYLOAD[:size]
+            pending[conn] = memoryview(bytes(payload))
+            self._pump_pending(selector, conn, pending, buffers)
+        return True
+
+    def _pump_pending(self, selector, conn, pending, buffers) -> None:
+        """Write up to ``spin_threshold`` times, then park (jump-out)."""
+        view = pending.get(conn)
+        if view is None:
+            return
+        spins = 0
+        while len(view) > 0:
+            try:
+                sent = conn.send(view)
+            except BlockingIOError:
+                sent = 0
+            except OSError:
+                selector.unregister(conn)
+                pending.pop(conn, None)
+                buffers.pop(conn, None)
+                conn.close()
+                return
+            self.stats.record_write(sent)
+            view = view[sent:]
+            spins += 1
+            if len(view) > 0 and (sent == 0 or spins >= self.spin_threshold):
+                # Jump out: watch writability, serve other connections.
+                pending[conn] = view
+                selector.modify(conn, selectors.EVENT_READ | selectors.EVENT_WRITE, None)
+                return
+        pending.pop(conn, None)
+        selector.modify(conn, selectors.EVENT_READ, None)

@@ -1,0 +1,47 @@
+"""Simulated server architectures from the paper.
+
+========================  ==========================================
+Paper name                Class
+========================  ==========================================
+sTomcat-Sync              :class:`~repro.servers.threaded.ThreadedServer`
+sTomcat-Async             :class:`~repro.servers.reactor.ReactorServer`
+sTomcat-Async-Fix         :class:`~repro.servers.reactor.ReactorFixServer`
+SingleT-Async             :class:`~repro.servers.singlet.SingleThreadedServer`
+NettyServer               :class:`~repro.servers.netty.NettyServer`
+HybridNetty               :class:`~repro.core.hybrid.HybridServer`
+========================  ==========================================
+"""
+
+from repro.servers.base import (
+    Application,
+    BaseServer,
+    ComputeApplication,
+    ServerStats,
+    naive_spin_write,
+)
+from repro.servers.ncopy import NCopyServer
+from repro.servers.netty import NettyServer, NettyWorker, PendingWrite
+from repro.servers.reactor import ReactorFixServer, ReactorServer
+from repro.servers.singlet import SingleThreadedServer
+from repro.servers.staged import StagedServer
+from repro.servers.threaded import ThreadedServer
+from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
+
+__all__ = [
+    "Application",
+    "BaseServer",
+    "ComputeApplication",
+    "ServerStats",
+    "naive_spin_write",
+    "NCopyServer",
+    "NettyServer",
+    "NettyWorker",
+    "PendingWrite",
+    "ReactorFixServer",
+    "ReactorServer",
+    "SingleThreadedServer",
+    "StagedServer",
+    "ThreadedServer",
+    "TomcatAsyncServer",
+    "TomcatSyncServer",
+]

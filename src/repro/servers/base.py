@@ -1,0 +1,228 @@
+"""Common machinery shared by all simulated server architectures.
+
+A *server* in this package is a software architecture running on a
+simulated :class:`~repro.cpu.scheduler.CPU` and serving requests arriving
+over :class:`~repro.net.tcp.Connection` objects.  Concrete subclasses model
+the architectures the paper studies:
+
+=====================  ======================================  ===========
+Class                  Paper name                              Switch/req
+=====================  ======================================  ===========
+ThreadedServer         sTomcat-Sync (Tomcat 7 connector)       0 (user)
+ReactorServer          sTomcat-Async (Tomcat 8 connector)      4
+ReactorFixServer       sTomcat-Async-Fix                       2
+SingleThreadedServer   SingleT-Async                           0
+NettyServer            NettyServer (Netty v4 style)            ~0
+HybridServer           HybridNetty (the paper's contribution)  ~0
+=====================  ======================================  ===========
+
+The *application* that computes responses is pluggable (see
+:class:`Application`) so the same architectures serve both the
+micro-benchmarks (fixed-size in-memory responses) and the RUBBoS n-tier
+macro-benchmark (Tomcat tier calling a MySQL tier).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cpu.scheduler import CPU, SimThread
+from repro.errors import ServerError
+from repro.net.messages import Request
+from repro.net.tcp import Connection
+from repro.sim.core import Environment
+
+__all__ = [
+    "Application",
+    "ComputeApplication",
+    "BaseServer",
+    "ServerStats",
+    "naive_spin_write",
+]
+
+
+class Application:
+    """Business logic run by a server for each request.
+
+    Subclasses override :meth:`service`, a generator that yields simulation
+    events (CPU bursts, downstream I/O) and returns the response size in
+    bytes.  The *thread* argument is the server thread the work is charged
+    to; blocking inside ``service`` blocks that thread (which is precisely
+    the architectural property the paper studies).
+    """
+
+    def service(
+        self, server: "BaseServer", thread: SimThread, request: Request
+    ) -> Generator[object, object, int]:
+        """Process ``request``; returns the response size in bytes."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator function
+
+
+class ComputeApplication(Application):
+    """Pure in-memory computation, as in the paper's micro-benchmarks.
+
+    The server performs "some simple computation before responding with
+    0.1 KB / 10 KB / 100 KB of in-memory data"; the CPU demand scales with
+    the response size (content generation cost).
+    """
+
+    def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION):
+        self.calibration = calibration
+
+    def service(self, server, thread, request):
+        yield thread.run(self.calibration.request_cpu_cost(request.response_size))
+        return request.response_size
+
+
+class ServerStats:
+    """Aggregate counters maintained by every server."""
+
+    __slots__ = (
+        "requests_started",
+        "requests_completed",
+        "responses_written",
+        "spin_jumpouts",
+        "reclassifications",
+    )
+
+    def __init__(self) -> None:
+        self.requests_started = 0
+        self.requests_completed = 0
+        self.responses_written = 0
+        #: Times a bounded (Netty-style) write loop gave up and deferred.
+        self.spin_jumpouts = 0
+        #: Times the hybrid classifier moved a request type between paths.
+        self.reclassifications = 0
+
+
+class BaseServer:
+    """Base class: connection registry plus shared read/write helpers."""
+
+    #: Architecture label used in reports; subclasses override.
+    architecture = "base"
+
+    def __init__(
+        self,
+        env: Environment,
+        cpu: CPU,
+        app: Optional[Application] = None,
+        calibration: Optional[Calibration] = None,
+        name: str = "",
+    ):
+        self.env = env
+        self.cpu = cpu
+        self.calibration = calibration or cpu.calibration
+        self.app = app or ComputeApplication(self.calibration)
+        self.name = name or self.architecture
+        self.connections: List[Connection] = []
+        self.stats = ServerStats()
+        #: Optional :class:`~repro.metrics.tracing.RequestTracer`; when
+        #: set, the server marks request-lifecycle milestones on it.
+        self.tracer = None
+
+    def _trace(self, request: Request, milestone: str, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.mark(request, milestone, detail)
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, connection: Connection) -> None:
+        """Accept an established connection and start serving it."""
+        if connection in self.connections:
+            raise ServerError("connection already attached")
+        self.connections.append(connection)
+        self._on_attach(connection)
+
+    def _on_attach(self, connection: Connection) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared request-handling steps
+    # ------------------------------------------------------------------
+    def _read_request(self, thread: SimThread, connection: Connection):
+        """Read + parse one pending request; charged to ``thread``.
+
+        Generator; returns the request (or ``None`` if inbox was empty).
+        """
+        request = connection.read_request()
+        if request is None:
+            return None
+        yield thread.syscall(
+            bytes_copied=request.request_size,
+            extra_kernel=self.calibration.tx_kernel_cost(request.request_size),
+        )
+        request.service_started_at = self.env.now
+        self.stats.requests_started += 1
+        self._trace(request, "read", thread.name)
+        return request
+
+    def _charge_write(self, thread: SimThread, written: int):
+        """CPU cost of one non-blocking ``socket.write()`` call.
+
+        User side: syscall crossing plus JVM NIO bookkeeping.  Kernel
+        side: syscall entry, user→kernel copy, and the TX path for the
+        segments produced.  Returns the burst-completion event.
+        """
+        calib = self.calibration
+        self.cpu.counters.syscalls += 1
+        return thread.run_split(
+            calib.syscall_user_cost + calib.nio_write_user_cost,
+            calib.syscall_kernel_cost
+            + calib.copy_cost_per_byte * written
+            + calib.tx_kernel_cost(written),
+        )
+
+    def _service(self, thread: SimThread, request: Request):
+        """Run the application logic; returns the response size."""
+        response_size = yield from self.app.service(self, thread, request)
+        if response_size is None:
+            response_size = request.response_size
+        self._trace(request, "computed", thread.name)
+        return response_size
+
+    def _finish(self, request: Request) -> None:
+        self.stats.requests_completed += 1
+        self._trace(request, "response-written")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} conns={len(self.connections)}>"
+
+
+def naive_spin_write(
+    server: BaseServer,
+    thread: SimThread,
+    connection: Connection,
+    request: Request,
+    response_size: int,
+) -> Generator[object, object, None]:
+    """The naive asynchronous write path (the write-spin of Section IV).
+
+    The handler runs the response to completion before returning to the
+    event loop: it calls non-blocking ``write`` in a loop, and when the
+    send buffer is full it waits for writability *of this one connection*
+    — exactly the behaviour that (a) issues ~``response/ACK-granularity``
+    syscalls for large responses and (b) occupies the handling thread for
+    the whole wait-ACK drain, serialising the single-threaded server when
+    network latency is non-zero (Figure 7).
+
+    The loop always retries after a successful partial write and only
+    waits once it observes a zero return, so both the non-zero and the
+    zero ("spin") writes of the paper's Table IV occur.
+    """
+    transfer = connection.open_transfer(response_size, request)
+    remaining = response_size
+    while remaining > 0:
+        written = connection.try_write(remaining, request)
+        server._trace(request, "write", f"{written}B")
+        yield server._charge_write(thread, written)
+        remaining -= written
+        if remaining > 0 and written == 0:
+            yield connection.wait_writable()
+    server.stats.responses_written += 1
+    # The handler does NOT wait for delivery: once the last byte is in the
+    # kernel buffer the handler returns; delivery completes asynchronously
+    # and the transfer marks the request completed at the client.
+    del transfer

@@ -1,0 +1,85 @@
+"""Thread-based synchronous server (the paper's sTomcat-Sync / Tomcat 7).
+
+One dedicated worker thread per connection; the thread performs the whole
+request lifecycle synchronously — blocking read, compute, blocking write —
+so a request incurs **no user-space context switches** (Table II).  The
+blocking write is a single syscall: while ACK rounds drain the send buffer
+the thread sleeps in the kernel and *other* worker threads run, which makes
+this architecture insensitive to network latency (Figure 7) at the price of
+one live thread per connection — the thread-scheduling and memory-footprint
+overhead that costs it the high-concurrency end of Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConnectionClosedError
+from repro.net.tcp import Connection
+from repro.servers.base import BaseServer
+
+__all__ = ["ThreadedServer"]
+
+
+class ThreadedServer(BaseServer):
+    """Thread-per-connection synchronous architecture."""
+
+    architecture = "sTomcat-Sync"
+
+    def __init__(self, *args, max_threads: Optional[int] = None, **kwargs):
+        """``max_threads`` optionally caps the worker pool (Tomcat's
+        ``maxThreads``); connections beyond the cap wait for a free thread
+        slot before being served.  ``None`` (the default) models the
+        paper's configuration of enough threads for every connection."""
+        super().__init__(*args, **kwargs)
+        self.max_threads = max_threads
+        self._active_threads = 0
+        self._thread_waiters = []
+
+    def _on_attach(self, connection: Connection) -> None:
+        self.env.process(
+            self._connection_loop(connection),
+            name=f"{self.name}-conn{connection.id}",
+        )
+
+    # ------------------------------------------------------------------
+    def _acquire_thread_slot(self):
+        """Wait for a worker-thread slot when ``max_threads`` is set."""
+        if self.max_threads is not None and self._active_threads >= self.max_threads:
+            gate = self.env.event()
+            self._thread_waiters.append(gate)
+            yield gate
+        self._active_threads += 1
+
+    def _release_thread_slot(self) -> None:
+        self._active_threads -= 1
+        if self._thread_waiters:
+            self._thread_waiters.pop(0).succeed()
+
+    # ------------------------------------------------------------------
+    def _connection_loop(self, connection: Connection):
+        """Dedicated-thread lifecycle for one connection."""
+        yield from self._acquire_thread_slot()
+        thread = self.cpu.thread(f"{self.name}-worker-c{connection.id}")
+        try:
+            while not connection.closed:
+                if not connection.readable:
+                    yield connection.wait_readable()
+                    if connection.closed:
+                        break
+                    # Scheduler wake-up of the blocked worker thread.
+                    yield thread.run(self.calibration.thread_wake_cost, "system")
+                request = yield from self._read_request(thread, connection)
+                if request is None:
+                    continue
+                response_size = yield from self._service(thread, request)
+                connection.open_transfer(response_size, request)
+                yield from connection.blocking_write(thread, response_size, request)
+                self.stats.responses_written += 1
+                self._finish(request)
+        except ConnectionClosedError:
+            # Client disconnected mid-request: drop it and retire.
+            pass
+        finally:
+            thread.close()
+            self._release_thread_slot()

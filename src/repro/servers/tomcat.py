@@ -1,0 +1,149 @@
+"""Full Tomcat connector models (the paper's TomcatSync / TomcatAsync).
+
+The paper distinguishes the *real* servers (Tomcat 7 = TomcatSync, Tomcat 8
+= TomcatAsync; Figures 1–2, Table I) from the *simplified* servers
+(sTomcat-*; Figure 4 onward) that strip servlet lifecycle management,
+cache management and logging.
+
+Two modelling differences matter:
+
+* **Per-request framework overhead.**  The full servlet stack costs extra
+  CPU per request (lifecycle, facade objects, logging).  Modelled as a
+  fixed multiplier/addend on top of the application cost.
+
+* **Write continuations through the poller.**  Tomcat's NIO connector
+  never lets a worker block-or-spin on an incomplete response write; the
+  worker registers the channel for write interest with the poller
+  (reactor) and returns to the pool.  Every subsequent writability event
+  is dispatched to a worker again — so a 100 KB response that drains
+  through a 16 KB send buffer costs a reactor→worker dispatch round
+  (2 context switches) *per drain round*, which is how TomcatAsync reaches
+  the huge context-switch rates of Table I (tens of switches per request
+  at 100 KB) and why its throughput crossover versus TomcatSync moves out
+  to concurrency ≈1600 at 100 KB (Figure 2c).
+
+``TomcatSyncServer`` is the thread-per-connection architecture plus the
+framework overhead; its blocking write is a single syscall as before.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.selector import EVENT_READ, EVENT_WRITE
+from repro.net.tcp import Connection
+from repro.servers.reactor import ReactorServer
+from repro.servers.threaded import ThreadedServer
+
+__all__ = ["TomcatSyncServer", "TomcatAsyncServer", "FRAMEWORK_OVERHEAD"]
+
+#: Extra user-space CPU per request for the full servlet stack (seconds).
+#: Applied by both Tomcat models so the sync/async comparison is fair.
+FRAMEWORK_OVERHEAD = 12.0e-6
+
+#: Internal note kind: a connection needs write-interest registration.
+_NOTE_WATCH_WRITE = "watch-write"
+
+
+class _PendingResponse:
+    """Write-continuation state parked while waiting for writability."""
+
+    __slots__ = ("request", "remaining")
+
+    def __init__(self, request, remaining: int):
+        self.request = request
+        self.remaining = remaining
+
+
+class TomcatSyncServer(ThreadedServer):
+    """Tomcat 7 (BIO connector): thread-per-connection + framework cost."""
+
+    architecture = "TomcatSync"
+
+    def _service(self, thread, request):
+        yield thread.run(FRAMEWORK_OVERHEAD)
+        response_size = yield from super()._service(thread, request)
+        return response_size
+
+
+class TomcatAsyncServer(ReactorServer):
+    """Tomcat 8 (NIO connector): Figure 3 flow + poller-mediated writes."""
+
+    architecture = "TomcatAsync"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._pending_writes: Dict[Connection, _PendingResponse] = {}
+
+    def _service(self, thread, request):
+        yield thread.run(FRAMEWORK_OVERHEAD)
+        response_size = yield from super()._service(thread, request)
+        return response_size
+
+    # ------------------------------------------------------------------
+    # Reactor additions: write-interest bookkeeping
+    # ------------------------------------------------------------------
+    def _reactor_handle_ready(self, connection: Connection, mask: int):
+        """Split ready events into read dispatches and write continuations.
+
+        Called from the reactor loop for each ready connection.
+        """
+        self.selector.unregister(connection)
+        yield self.reactor_thread.run(self.calibration.dispatch_cost)
+        if mask & EVENT_WRITE and connection in self._pending_writes:
+            # Poller wake + executor handoff + worker wake for one drain
+            # round of an oversized response — the per-round cost behind
+            # TomcatAsync's context-switch blow-up in Table I.
+            yield self.reactor_thread.run(self.calibration.tomcat_continuation_cost)
+            yield self._work_queue.put(("continue-write", connection))
+        else:
+            yield self._work_queue.put(("read", connection))
+
+    def _reactor_note(self, kind: str, payload):
+        if kind == _NOTE_WATCH_WRITE:
+            yield self.reactor_thread.run(self.calibration.dispatch_cost)
+            self.selector.register(payload, EVENT_WRITE)
+        else:
+            yield from super()._reactor_note(kind, payload)
+
+    # ------------------------------------------------------------------
+    # Worker additions: non-blocking write without spin
+    # ------------------------------------------------------------------
+    def _handle_write(self, thread, connection: Connection, request, response_size: int):
+        yield from self._start_write(thread, connection, request, response_size)
+
+    def _handle_extra(self, thread, kind, payload):
+        if kind == "continue-write":
+            yield from self._continue_write(thread, payload)
+        else:
+            yield from super()._handle_extra(thread, kind, payload)
+
+    def _start_write(self, thread, connection: Connection, request, response_size: int):
+        connection.open_transfer(response_size, request)
+        state = _PendingResponse(request, response_size)
+        yield from self._write_some(thread, connection, state)
+
+    def _continue_write(self, thread, connection: Connection):
+        state = self._pending_writes.pop(connection, None)
+        if state is None:
+            yield self._notes.put(("reregister", connection))
+            return
+        yield from self._write_some(thread, connection, state)
+
+    def _write_some(self, thread, connection: Connection, state: _PendingResponse):
+        """Write until the buffer fills, then park and watch writability."""
+        while state.remaining > 0:
+            written = connection.try_write(state.remaining, state.request)
+            yield self._charge_write(thread, written)
+            state.remaining -= written
+            if state.remaining > 0 and written == 0:
+                # Buffer full: hand the channel back to the poller.  The
+                # next writability event restarts the reactor→worker
+                # dispatch dance — the per-round context switches that
+                # dominate TomcatAsync's profile for large responses.
+                self._pending_writes[connection] = state
+                yield self._notes.put((_NOTE_WATCH_WRITE, connection))
+                return
+        self._finish(state.request)
+        self.stats.responses_written += 1
+        yield self._notes.put(("reregister", connection))

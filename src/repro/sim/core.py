@@ -1,0 +1,481 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, self-contained discrete-event simulation
+(DES) engine in the style popularised by SimPy: simulation logic is written
+as plain Python generator functions ("processes") that ``yield`` events; the
+:class:`Environment` advances a virtual clock and resumes each process when
+the event it waits on is triggered.
+
+The engine is deliberately minimal but complete enough to model operating
+system schedulers, TCP connections and multi-tier server systems:
+
+* :class:`Environment` — the event queue and virtual clock.
+* :class:`Event` — one-shot signal carrying a value or an exception.
+* :class:`Timeout` — an event that triggers after a fixed virtual delay.
+* :class:`Process` — a running generator; itself an event that triggers when
+  the generator returns (its value) or raises (its exception).
+* :class:`Condition` / :func:`Environment.all_of` / :func:`Environment.any_of`
+  — composite events.
+
+Determinism
+-----------
+Events scheduled for the same virtual time are processed in a stable order:
+first by ``priority`` (lower runs first), then by insertion sequence. Given
+the same seed streams (see :mod:`repro.sim.rng`) a simulation is perfectly
+reproducible, which the test suite relies on heavily.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import (
+    EventLifecycleError,
+    InterruptError,
+    ProcessError,
+    SimulationError,
+    StopSimulation,
+)
+
+__all__ = [
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+]
+
+#: Scheduling priority for events that must pre-empt same-time events
+#: (used internally by interrupts).
+PRIORITY_URGENT = 0
+
+#: Default scheduling priority.
+PRIORITY_NORMAL = 1
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence inside a simulation.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it: the event is placed on the environment's queue and, when
+    the clock reaches it, every registered callback runs exactly once
+    (the event is then *processed*).
+
+    Processes wait for events by ``yield``-ing them.  Yielding an already
+    processed event resumes the process immediately (at the current virtual
+    time) with the event's value.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: Set by Process when it fails-over an exception into a waiter, so
+        #: unhandled event failures can be reported exactly once.
+        self.defused: bool = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded with (or its exception)."""
+        if self._value is _PENDING:
+            raise EventLifecycleError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise EventLifecycleError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event will have ``exception`` raised at
+        its ``yield`` statement.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise EventLifecycleError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state (ok/value) of another event.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defused = True
+            self.fail(event._value)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically ``delay`` time units from now."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay!r}>"
+
+
+class Initialize(Event):
+    """Internal event that kicks off a newly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, priority=PRIORITY_URGENT)
+
+
+class Interruption(Event):
+    """Internal urgent event that delivers an interrupt to a process."""
+
+    def __init__(self, process: "Process", cause: Any):
+        super().__init__(process.env)
+        if process.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if process is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self.process = process
+        self._ok = False
+        self._value = InterruptError(cause)
+        self.defused = True
+        self.callbacks.append(self._interrupt)
+        self.env._schedule(self, priority=PRIORITY_URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        if self.process.triggered:
+            return  # Terminated between scheduling and delivery.
+        # Detach the process from whatever event it currently waits on.
+        target = self.process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self.process._resume)
+            except ValueError:
+                pass
+        self.process._resume(self)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an :class:`Event`: it triggers with the
+    generator's return value when the generator finishes, or fails with the
+    exception if one escapes.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any], name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`InterruptError` inside the process.
+
+        The interrupted process may catch the error and continue; the event
+        it was waiting on remains valid and may be re-yielded.
+        """
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._target = None
+                self.env._active_process = None
+                self.succeed(getattr(exc, "value", None))
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                self.env._active_process = None
+                self.fail(
+                    ProcessError(f"process {self.name!r} yielded a non-event: {next_event!r}")
+                )
+                return
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: register and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: continue immediately with its value.
+            event = next_event
+        self.env._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Condition(Event):
+    """Composite event that triggers when ``evaluate`` says enough children
+    have triggered.
+
+    Succeeds with a dict mapping each *triggered* child event to its value
+    (insertion-ordered).  Fails as soon as any child fails.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        events: Iterable[Event],
+        evaluate: Callable[[int, int], bool],
+    ):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._done = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        # Only *processed* children count: a Timeout carries its value from
+        # construction, so `triggered` alone would leak future events in.
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._evaluate(len(self._events), self._done):
+            self.succeed(self._collect())
+
+    @staticmethod
+    def all_events(total: int, done: int) -> bool:
+        """Evaluate function for "wait for every child"."""
+        return total == done
+
+    @staticmethod
+    def any_event(total: int, done: int) -> bool:
+        """Evaluate function for "wait for the first child"."""
+        return done > 0 or total == 0
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue.
+
+    Typical usage::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 1.0 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (``None`` between events)."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that triggers when *all* of ``events`` have succeeded."""
+        return Condition(self, events, Condition.all_events)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event that triggers when *any* of ``events`` has succeeded."""
+        return Condition(self, events, Condition.any_event)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Virtual time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`SimulationError` if the queue is empty, and re-raises
+        any *undefused* event failure (an exception nobody waited for).
+        """
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise ProcessError(f"event failed with non-exception {exc!r}")
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is exhausted;
+        * a number — run until virtual time reaches it;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        stop_value = _PENDING
+
+        if until is None:
+            stop_time = float("inf")
+        elif isinstance(until, Event):
+            if until.processed:
+                return until.value if until._ok else self._raise(until._value)
+
+            def _stop(event: Event) -> None:
+                nonlocal stop_value
+                stop_value = event
+                raise StopSimulation()
+
+            until.callbacks.append(_stop)
+            stop_time = float("inf")
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time!r} is in the past (now={self._now!r})")
+
+        try:
+            while self._queue and self._queue[0][0] <= stop_time:
+                self.step()
+        except StopSimulation:
+            pass
+
+        if stop_value is not _PENDING:
+            event = stop_value
+            if event._ok:
+                return event._value
+            event.defused = True
+            return self._raise(event._value)
+
+        if until is not None and not isinstance(until, Event):
+            # Advance the clock to the requested time even if the queue
+            # drained early, so back-to-back run(until=...) calls compose.
+            self._now = max(self._now, stop_time)
+        return None
+
+    @staticmethod
+    def _raise(exc: Any) -> Any:
+        raise exc
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now!r} queued={len(self._queue)}>"

@@ -1,0 +1,53 @@
+"""Workload generation: closed-loop clients, request mixes, RUBBoS users."""
+
+from repro.workload.client import (
+    ClosedLoopClient,
+    ExponentialThink,
+    FixedThink,
+    NoThink,
+    ThinkTime,
+)
+from repro.workload.mixes import (
+    SIZE_LARGE,
+    SIZE_MEDIUM,
+    SIZE_SMALL,
+    BimodalMix,
+    FixedMix,
+    RequestMix,
+    WeightedMix,
+    ZipfMix,
+)
+from repro.workload.openloop import OpenLoopGenerator
+from repro.workload.population import ConnectionOptions, Population, build_population
+from repro.workload.rubbos import (
+    RUBBOS_INTERACTIONS,
+    Interaction,
+    RubbosMix,
+    interaction_table,
+    mean_response_size,
+)
+
+__all__ = [
+    "ClosedLoopClient",
+    "ExponentialThink",
+    "FixedThink",
+    "NoThink",
+    "ThinkTime",
+    "SIZE_LARGE",
+    "SIZE_MEDIUM",
+    "SIZE_SMALL",
+    "BimodalMix",
+    "FixedMix",
+    "RequestMix",
+    "WeightedMix",
+    "ZipfMix",
+    "OpenLoopGenerator",
+    "ConnectionOptions",
+    "Population",
+    "build_population",
+    "RUBBOS_INTERACTIONS",
+    "Interaction",
+    "RubbosMix",
+    "interaction_table",
+    "mean_response_size",
+]

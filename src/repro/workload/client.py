@@ -1,0 +1,111 @@
+"""Closed-loop workload clients (the JMeter model).
+
+The paper: "JMeter uses one thread to simulate each end-user. We set the
+think time between the consecutive requests sent from the same thread to
+be zero, thus we can precisely control the concurrency of the workload to
+the target server by specifying the number of threads."
+
+:class:`ClosedLoopClient` is that thread: it keeps exactly one request in
+flight on its connection, with a pluggable think time between completions
+(zero for the micro-benchmarks, ~7 s for RUBBoS users).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.metrics.collector import RunRecorder
+from repro.net.tcp import Connection
+from repro.sim.core import Environment
+from repro.workload.mixes import RequestMix
+
+__all__ = ["ThinkTime", "NoThink", "FixedThink", "ExponentialThink", "ClosedLoopClient"]
+
+
+class ThinkTime:
+    """Distribution of the pause between a response and the next request."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw the next think-time duration in seconds."""
+        raise NotImplementedError
+
+
+class NoThink(ThinkTime):
+    """Zero think time: workload concurrency == number of clients."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Always zero."""
+        return 0.0
+
+
+class FixedThink(ThinkTime):
+    """Constant think time."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise WorkloadError(f"think time must be >= 0, got {seconds!r}")
+        self.seconds = seconds
+
+    def sample(self, rng: random.Random) -> float:
+        """The fixed duration."""
+        return self.seconds
+
+
+class ExponentialThink(ThinkTime):
+    """Exponentially distributed think time (memoryless user behaviour)."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise WorkloadError(f"mean think time must be > 0, got {mean!r}")
+        self.mean = mean
+
+    def sample(self, rng: random.Random) -> float:
+        """An exponential draw with the configured mean."""
+        return rng.expovariate(1.0 / self.mean)
+
+
+class ClosedLoopClient:
+    """One emulated user: request → wait for response → think → repeat."""
+
+    def __init__(
+        self,
+        env: Environment,
+        connection: Connection,
+        mix: RequestMix,
+        rng: random.Random,
+        recorder: Optional[RunRecorder] = None,
+        think: Optional[ThinkTime] = None,
+        initial_delay: float = 0.0,
+        name: str = "",
+    ):
+        self.env = env
+        self.connection = connection
+        self.mix = mix
+        self.rng = rng
+        self.recorder = recorder
+        self.think = think or NoThink()
+        self.initial_delay = initial_delay
+        self.name = name or f"client-{connection.id}"
+        self.requests_completed = 0
+        self.process = env.process(self._run(), name=self.name)
+
+    def _run(self):
+        if self.initial_delay > 0:
+            # Stagger client start-up so closed-loop populations do not
+            # fire in lockstep (JMeter's ramp-up).
+            yield self.env.timeout(self.initial_delay)
+        while not self.connection.closed:
+            request = self.mix.sample(self.env, self.rng)
+            self.connection.send_request(request)
+            yield request.completed
+            self.requests_completed += 1
+            if self.recorder is not None:
+                self.recorder.record(request)
+            pause = self.think.sample(self.rng)
+            if pause > 0:
+                yield self.env.timeout(pause)
+
+    def __repr__(self) -> str:
+        return f"<ClosedLoopClient {self.name!r} completed={self.requests_completed}>"

@@ -1,0 +1,99 @@
+"""Builders that wire a client population to a server.
+
+A *population* is N closed-loop clients, each with its own persistent
+connection to the server (the paper's JMeter setup).  The builder owns the
+repetitive wiring: connection creation with the right socket options,
+server attachment, RNG streams, and ramp-up staggering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.calibration import Calibration
+from repro.metrics.collector import RunRecorder
+from repro.net.link import Link
+from repro.net.tcp import Connection
+from repro.servers.base import BaseServer
+from repro.sim.core import Environment
+from repro.sim.rng import SeedStreams
+from repro.workload.client import ClosedLoopClient, NoThink, ThinkTime
+from repro.workload.mixes import RequestMix
+
+__all__ = ["ConnectionOptions", "Population", "build_population"]
+
+
+@dataclass(frozen=True)
+class ConnectionOptions:
+    """Server-side socket options applied to every client connection."""
+
+    #: Socket send buffer size in bytes (``None`` → calibration default).
+    send_buffer_size: Optional[int] = None
+    #: Enable kernel send-buffer autotuning (Section IV-A / Figure 6).
+    autotune: bool = False
+
+
+@dataclass
+class Population:
+    """A built client population."""
+
+    clients: List[ClosedLoopClient]
+    connections: List[Connection]
+    recorder: Optional[RunRecorder]
+
+    @property
+    def size(self) -> int:
+        return len(self.clients)
+
+    @property
+    def completed_requests(self) -> int:
+        return sum(c.requests_completed for c in self.clients)
+
+
+def build_population(
+    env: Environment,
+    server: BaseServer,
+    size: int,
+    mix: RequestMix,
+    link: Link,
+    calibration: Calibration,
+    seeds: SeedStreams,
+    recorder: Optional[RunRecorder] = None,
+    think: Optional[ThinkTime] = None,
+    options: ConnectionOptions = ConnectionOptions(),
+    ramp_up: float = 0.0,
+) -> Population:
+    """Create ``size`` closed-loop clients against ``server``.
+
+    Clients are staggered uniformly over ``ramp_up`` virtual seconds so
+    the population does not start in lockstep.
+    """
+    if size < 1:
+        raise ValueError(f"population size must be >= 1, got {size!r}")
+    think = think or NoThink()
+    clients: List[ClosedLoopClient] = []
+    connections: List[Connection] = []
+    for index in range(size):
+        connection = Connection(
+            env,
+            link,
+            calibration,
+            send_buffer_size=options.send_buffer_size,
+            autotune=options.autotune,
+        )
+        server.attach(connection)
+        delay = (ramp_up * index / size) if ramp_up > 0 else 0.0
+        client = ClosedLoopClient(
+            env,
+            connection,
+            mix.clone_for_client(),
+            rng=seeds.stream("client", index),
+            recorder=recorder,
+            think=think,
+            initial_delay=delay,
+            name=f"client-{index}",
+        )
+        clients.append(client)
+        connections.append(connection)
+    return Population(clients=clients, connections=connections, recorder=recorder)

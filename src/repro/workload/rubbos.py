@@ -1,0 +1,231 @@
+"""RUBBoS-like n-tier benchmark workload (the paper's Appendix A).
+
+RUBBoS models a news site in the style of Slashdot: 24 web interactions,
+emulated users navigating between pages via a Markov chain, and a ~7 s
+think time between pages.  The paper's measured properties that matter for
+reproducing Figure 1 are encoded here:
+
+* the mean Tomcat response size is ~20 KB (Section III: "the average
+  response size of Tomcat per request is about 20KB"), with individual
+  interactions ranging from sub-KB redirects to ~120 KB story pages —
+  so a fraction of responses exceed the default 16 KB send buffer;
+* the workload is read-heavy (browse/view interactions dominate);
+* each interaction triggers 0–5 database queries.
+
+The interaction list is modelled after the RUBBoS distribution's 24
+servlet interactions; response sizes, CPU demands and query plans are
+synthetic (the original RUBBoS dataset is not redistributable) but are
+calibrated to the aggregate statistics above, which is what the Figure 1
+reproduction depends on (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.net.messages import Request
+from repro.sim.core import Environment
+from repro.workload.mixes import RequestMix
+
+__all__ = [
+    "Interaction",
+    "RUBBOS_INTERACTIONS",
+    "RubbosMix",
+    "mean_response_size",
+    "interaction_table",
+]
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One RUBBoS web interaction as served by the application tier."""
+
+    name: str
+    #: Response size of the generated page, in bytes.
+    response_size: int
+    #: Application-tier CPU demand (seconds), excluding I/O costs.
+    app_cpu: float
+    #: Database queries issued: (result_size_bytes, db_cpu_seconds) each.
+    queries: Tuple[Tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.response_size < 0:
+            raise WorkloadError(f"negative response size for {self.name!r}")
+        if self.app_cpu < 0:
+            raise WorkloadError(f"negative app_cpu for {self.name!r}")
+
+
+def _q(size_kb: float, cpu_us: float = 90.0) -> Tuple[int, float]:
+    return (int(size_kb * KB), cpu_us * 1e-6)
+
+
+#: The 24 RUBBoS interactions.  Sizes/demands are synthetic but match the
+#: aggregate statistics the paper reports (mean response ~20 KB).
+RUBBOS_INTERACTIONS: List[Interaction] = [
+    Interaction("StoriesOfTheDay", 28 * KB, 272e-6, (_q(24.0, 140.0),)),
+    Interaction("BrowseCategories", 6 * KB, 102e-6, (_q(4.0, 60.0),)),
+    Interaction("BrowseStoriesByCategory", 22 * KB, 221e-6, (_q(18.0, 120.0),)),
+    Interaction("OlderStories", 24 * KB, 238e-6, (_q(20.0, 130.0),)),
+    Interaction("ViewStory", 36 * KB, 323e-6, (_q(26.0, 130.0), _q(6.0, 70.0))),
+    Interaction("ViewComment", 18 * KB, 204e-6, (_q(14.0, 100.0),)),
+    Interaction("StoryTextOnly", 12 * KB, 136e-6, (_q(10.0, 90.0),)),
+    Interaction("Search", 20 * KB, 289e-6, (_q(16.0, 170.0),)),
+    Interaction("SearchInStories", 26 * KB, 323e-6, (_q(20.0, 190.0),)),
+    Interaction("SearchInComments", 16 * KB, 280e-6, (_q(12.0, 180.0),)),
+    Interaction("SearchUsers", 4 * KB, 153e-6, (_q(2.0, 120.0),)),
+    Interaction("ViewUserInfo", 7 * KB, 128e-6, (_q(5.0, 80.0),)),
+    Interaction("ViewPageOfComments", 44 * KB, 357e-6, (_q(36.0, 170.0), _q(4.0, 60.0))),
+    Interaction("FrontPageImagesAndSummary", 120 * KB, 595e-6, (_q(60.0, 200.0), _q(24.0, 110.0))),
+    Interaction("RegisterUserPage", 2 * KB, 43e-6, ()),
+    Interaction("RegisterUser", 1 * KB, 94e-6, (_q(0.5, 90.0),)),
+    Interaction("AuthorLoginPage", 2 * KB, 43e-6, ()),
+    Interaction("AuthorLogin", 1 * KB, 110e-6, (_q(0.5, 100.0),)),
+    Interaction("SubmitStoryPage", 3 * KB, 51e-6, ()),
+    Interaction("SubmitStory", 1 * KB, 153e-6, (_q(0.5, 130.0), _q(0.5, 90.0))),
+    Interaction("PostCommentPage", 4 * KB, 76e-6, (_q(2.0, 70.0),)),
+    Interaction("PostComment", 1 * KB, 144e-6, (_q(0.5, 120.0), _q(0.5, 80.0))),
+    Interaction("ModeratePage", 5 * KB, 94e-6, (_q(3.0, 90.0),)),
+    Interaction("ModerateComment", 1 * KB, 128e-6, (_q(0.5, 110.0),)),
+]
+
+_BY_NAME: Dict[str, Interaction] = {i.name: i for i in RUBBOS_INTERACTIONS}
+
+#: Markov transition table: state -> [(next state, weight), ...].
+#: Browse/read interactions dominate the stationary distribution, as in
+#: RUBBoS's read-heavy default mix.
+_TRANSITIONS: Dict[str, List[Tuple[str, float]]] = {
+    "StoriesOfTheDay": [
+        ("ViewStory", 0.45),
+        ("BrowseCategories", 0.15),
+        ("OlderStories", 0.12),
+        ("Search", 0.10),
+        ("FrontPageImagesAndSummary", 0.08),
+        ("AuthorLoginPage", 0.04),
+        ("RegisterUserPage", 0.03),
+        ("StoriesOfTheDay", 0.03),
+    ],
+    "BrowseCategories": [
+        ("BrowseStoriesByCategory", 0.75),
+        ("StoriesOfTheDay", 0.20),
+        ("SearchUsers", 0.05),
+    ],
+    "BrowseStoriesByCategory": [
+        ("ViewStory", 0.55),
+        ("BrowseCategories", 0.20),
+        ("OlderStories", 0.15),
+        ("StoriesOfTheDay", 0.10),
+    ],
+    "OlderStories": [
+        ("ViewStory", 0.50),
+        ("OlderStories", 0.25),
+        ("StoriesOfTheDay", 0.25),
+    ],
+    "ViewStory": [
+        ("ViewComment", 0.35),
+        ("ViewPageOfComments", 0.20),
+        ("StoriesOfTheDay", 0.18),
+        ("StoryTextOnly", 0.10),
+        ("PostCommentPage", 0.09),
+        ("ViewUserInfo", 0.08),
+    ],
+    "ViewComment": [
+        ("ViewStory", 0.40),
+        ("ViewPageOfComments", 0.25),
+        ("PostCommentPage", 0.15),
+        ("StoriesOfTheDay", 0.12),
+        ("ModeratePage", 0.08),
+    ],
+    "StoryTextOnly": [("ViewStory", 0.60), ("StoriesOfTheDay", 0.40)],
+    "Search": [
+        ("SearchInStories", 0.45),
+        ("SearchInComments", 0.30),
+        ("SearchUsers", 0.10),
+        ("StoriesOfTheDay", 0.15),
+    ],
+    "SearchInStories": [("ViewStory", 0.55), ("Search", 0.25), ("StoriesOfTheDay", 0.20)],
+    "SearchInComments": [("ViewComment", 0.50), ("Search", 0.25), ("StoriesOfTheDay", 0.25)],
+    "SearchUsers": [("ViewUserInfo", 0.60), ("StoriesOfTheDay", 0.40)],
+    "ViewUserInfo": [("StoriesOfTheDay", 0.60), ("ViewStory", 0.40)],
+    "ViewPageOfComments": [
+        ("ViewComment", 0.40),
+        ("ViewStory", 0.30),
+        ("StoriesOfTheDay", 0.30),
+    ],
+    "FrontPageImagesAndSummary": [("ViewStory", 0.50), ("StoriesOfTheDay", 0.50)],
+    "RegisterUserPage": [("RegisterUser", 0.80), ("StoriesOfTheDay", 0.20)],
+    "RegisterUser": [("StoriesOfTheDay", 1.0)],
+    "AuthorLoginPage": [("AuthorLogin", 0.85), ("StoriesOfTheDay", 0.15)],
+    "AuthorLogin": [("SubmitStoryPage", 0.55), ("ModeratePage", 0.25), ("StoriesOfTheDay", 0.20)],
+    "SubmitStoryPage": [("SubmitStory", 0.85), ("StoriesOfTheDay", 0.15)],
+    "SubmitStory": [("StoriesOfTheDay", 1.0)],
+    "PostCommentPage": [("PostComment", 0.85), ("ViewStory", 0.15)],
+    "PostComment": [("ViewStory", 0.60), ("StoriesOfTheDay", 0.40)],
+    "ModeratePage": [("ModerateComment", 0.80), ("StoriesOfTheDay", 0.20)],
+    "ModerateComment": [("StoriesOfTheDay", 0.60), ("ModeratePage", 0.40)],
+}
+
+
+def interaction_table() -> Dict[str, Interaction]:
+    """Name → interaction lookup (a copy)."""
+    return dict(_BY_NAME)
+
+
+def mean_response_size(samples: int = 20000, seed: int = 7) -> float:
+    """Empirical mean response size of the stationary Markov mix."""
+    rng = random.Random(seed)
+    state = "StoriesOfTheDay"
+    total = 0
+    for _ in range(samples):
+        total += _BY_NAME[state].response_size
+        state = _next_state(state, rng)
+    return total / samples
+
+
+def _next_state(state: str, rng: random.Random) -> str:
+    transitions = _TRANSITIONS[state]
+    point = rng.random()
+    acc = 0.0
+    for name, weight in transitions:
+        acc += weight
+        if point < acc:
+            return name
+    return transitions[-1][0]
+
+
+class RubbosMix(RequestMix):
+    """Markov-chain user navigation over the 24 RUBBoS interactions.
+
+    Each client must use its own instance (the navigator is stateful);
+    :meth:`clone_for_client` provides that.
+    """
+
+    def __init__(self, start: str = "StoriesOfTheDay"):
+        if start not in _BY_NAME:
+            raise WorkloadError(f"unknown start interaction {start!r}")
+        self.state = start
+
+    def clone_for_client(self) -> "RubbosMix":
+        return RubbosMix(self.state)
+
+    def sample(self, env: Environment, rng: random.Random) -> Request:
+        interaction = _BY_NAME[self.state]
+        self.state = _next_state(self.state, rng)
+        request = Request(
+            env,
+            kind=interaction.name,
+            response_size=interaction.response_size,
+            request_size=512,
+        )
+        request.metadata["interaction"] = interaction
+        return request
+
+    def kinds(self) -> List[str]:
+        return [i.name for i in RUBBOS_INTERACTIONS]
+
+    def __repr__(self) -> str:
+        return f"<RubbosMix state={self.state!r}>"

@@ -1,0 +1,88 @@
+"""Light/heavy path classifier (the hybrid's map object)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import PathCategory, PathClassifier
+
+
+def test_unknown_kind_is_unclassified():
+    assert PathClassifier().classify("page") is None
+
+
+def test_first_observation_sets_category():
+    classifier = PathClassifier()
+    assert classifier.observe("small", spun=False) is PathCategory.LIGHT
+    assert classifier.observe("big", spun=True) is PathCategory.HEAVY
+    assert classifier.classify("small") is PathCategory.LIGHT
+    assert classifier.classify("big") is PathCategory.HEAVY
+
+
+def test_immediate_update_on_contradiction():
+    classifier = PathClassifier(confirm=1)
+    classifier.observe("page", spun=False)
+    assert classifier.observe("page", spun=True) is PathCategory.HEAVY
+    assert classifier.reclassifications == 1
+    assert classifier.flips_for("page") == 1
+
+
+def test_hysteresis_requires_consecutive_contradictions():
+    classifier = PathClassifier(confirm=3)
+    classifier.observe("page", spun=False)
+    assert classifier.observe("page", spun=True) is PathCategory.LIGHT
+    assert classifier.observe("page", spun=True) is PathCategory.LIGHT
+    assert classifier.observe("page", spun=True) is PathCategory.HEAVY
+
+
+def test_consistent_observation_resets_contradictions():
+    classifier = PathClassifier(confirm=2)
+    classifier.observe("page", spun=False)
+    classifier.observe("page", spun=True)   # 1 contradiction
+    classifier.observe("page", spun=False)  # reset
+    classifier.observe("page", spun=True)   # 1 contradiction again
+    assert classifier.classify("page") is PathCategory.LIGHT
+
+
+def test_confirm_validation():
+    with pytest.raises(ValueError):
+        PathClassifier(confirm=0)
+
+
+def test_known_kinds_snapshot():
+    classifier = PathClassifier()
+    classifier.observe("a", spun=False)
+    classifier.observe("b", spun=True)
+    assert classifier.known_kinds == {
+        "a": PathCategory.LIGHT,
+        "b": PathCategory.HEAVY,
+    }
+
+
+@given(
+    observations=st.lists(st.booleans(), min_size=1, max_size=100),
+    confirm=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_converges_to_last_run_of_consistent_observations(observations, confirm):
+    """After >= confirm consecutive identical observations, the category
+    matches them."""
+    classifier = PathClassifier(confirm=confirm)
+    for spun in observations:
+        classifier.observe("k", spun)
+    tail = observations[-confirm:]
+    if len(tail) == confirm and all(t == tail[0] for t in tail):
+        expected = PathCategory.HEAVY if tail[0] else PathCategory.LIGHT
+        assert classifier.classify("k") is expected
+
+
+@given(observations=st.lists(st.booleans(), min_size=1, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_flip_count_bounded_by_contradictions(observations):
+    classifier = PathClassifier(confirm=1)
+    for spun in observations:
+        classifier.observe("k", spun)
+    transitions = sum(
+        1 for a, b in zip(observations, observations[1:]) if a != b
+    )
+    assert classifier.reclassifications <= max(transitions, 0)

@@ -1,0 +1,76 @@
+"""Runtime request profiler."""
+
+import pytest
+
+from repro.core.profiler import KindProfile, RequestProfiler
+
+
+def test_observe_creates_profile():
+    profiler = RequestProfiler()
+    profile = profiler.observe("page", write_calls=1)
+    assert profile.kind == "page"
+    assert profiler.get("page") is profile
+    assert len(profiler) == 1
+
+
+def test_unknown_kind_returns_none():
+    assert RequestProfiler().get("missing") is None
+
+
+def test_spin_detection_by_write_count():
+    profile = KindProfile("x")
+    profile.observe(1, 0)
+    assert not profile.spins()
+    profile.observe(90, 10)
+    assert profile.spins()
+
+
+def test_zero_writes_count_as_spin_observation():
+    profile = KindProfile("x")
+    profile.observe(1, 1)
+    assert profile.spin_observations == 1
+
+
+def test_mean_write_calls():
+    profile = KindProfile("x")
+    profile.observe(1, 0)
+    profile.observe(3, 0)
+    assert profile.mean_write_calls == 2.0
+
+
+def test_mean_requires_observations():
+    with pytest.raises(ValueError):
+        KindProfile("x").mean_write_calls
+    with pytest.raises(ValueError):
+        KindProfile("x").spin_fraction
+
+
+def test_negative_counters_rejected():
+    with pytest.raises(ValueError):
+        KindProfile("x").observe(-1, 0)
+
+
+def test_ewma_tracks_recent_behaviour():
+    profile = KindProfile("x")
+    for _ in range(20):
+        profile.observe(1, 0)
+    assert not profile.spins()
+    for _ in range(20):
+        profile.observe(80, 5)
+    assert profile.spins()
+    assert profile.ewma_write_calls > 50
+
+
+def test_spin_fraction():
+    profile = KindProfile("x")
+    profile.observe(1, 0)
+    profile.observe(50, 0)
+    assert profile.spin_fraction == pytest.approx(0.5)
+
+
+def test_kinds_snapshot_is_copy():
+    profiler = RequestProfiler()
+    profiler.observe("a", 1)
+    kinds = profiler.kinds
+    kinds.clear()
+    assert profiler.get("a") is not None

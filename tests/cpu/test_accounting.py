@@ -1,0 +1,74 @@
+"""CPU accounting dataclasses."""
+
+import pytest
+
+from repro.cpu.accounting import CPUCounters, CPUSnapshot
+
+
+def make_snapshot(time, **kwargs):
+    counters = CPUCounters(**kwargs)
+    return CPUSnapshot(time=time, counters=counters)
+
+
+def test_usage_since_rates():
+    a = make_snapshot(0.0)
+    b = make_snapshot(
+        2.0,
+        busy_user=1.0,
+        busy_system=0.5,
+        context_switches=100,
+        voluntary_switches=60,
+        involuntary_switches=40,
+        syscalls=200,
+    )
+    usage = b.usage_since(a, cores=1)
+    assert usage.elapsed == 2.0
+    assert usage.user_time == 1.0
+    assert usage.system_time == 0.5
+    assert usage.utilization == pytest.approx(0.75)
+    assert usage.context_switch_rate == pytest.approx(50.0)
+    assert usage.voluntary_switch_rate == pytest.approx(30.0)
+    assert usage.involuntary_switch_rate == pytest.approx(20.0)
+    assert usage.syscall_rate == pytest.approx(100.0)
+
+
+def test_user_system_percent_split_of_busy_time():
+    a = make_snapshot(0.0)
+    b = make_snapshot(1.0, busy_user=0.6, busy_system=0.2)
+    usage = b.usage_since(a, cores=1)
+    assert usage.user_percent == pytest.approx(75.0)
+    assert usage.system_percent == pytest.approx(25.0)
+    assert usage.busy_time == pytest.approx(0.8)
+
+
+def test_idle_cpu_has_zero_percents():
+    usage = make_snapshot(1.0).usage_since(make_snapshot(0.0), cores=1)
+    assert usage.user_percent == 0.0
+    assert usage.system_percent == 0.0
+    assert usage.utilization == 0.0
+
+
+def test_utilization_clamped_to_one():
+    a = make_snapshot(0.0)
+    b = make_snapshot(1.0, busy_user=1.5)
+    assert b.usage_since(a, cores=1).utilization == 1.0
+
+
+def test_multicore_capacity_divides_utilization():
+    a = make_snapshot(0.0)
+    b = make_snapshot(1.0, busy_user=1.0)
+    assert b.usage_since(a, cores=4).utilization == pytest.approx(0.25)
+
+
+def test_zero_window_rejected():
+    a = make_snapshot(1.0)
+    b = make_snapshot(1.0)
+    with pytest.raises(ValueError):
+        b.usage_since(a, cores=1)
+
+
+def test_counters_copy_is_independent():
+    counters = CPUCounters(busy_user=1.0)
+    copy = counters.copy()
+    counters.busy_user = 9.0
+    assert copy.busy_user == 1.0

@@ -1,0 +1,114 @@
+"""Property-based tests of the CPU scheduler (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import default_calibration
+from repro.cpu.scheduler import CPU
+from repro.sim.core import Environment
+
+burst_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-6, max_value=3e-3),  # user
+        st.floats(min_value=0.0, max_value=1e-3),  # system
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(workloads=st.lists(burst_lists, min_size=1, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_accounting_identity_busy_equals_submitted_plus_switches(workloads):
+    """user time == sum of submitted user work (x footprint);
+    system time == submitted system work + switch time."""
+    env = Environment()
+    calib = default_calibration()
+    cpu = CPU(env, calib)
+    threads = [cpu.thread() for _ in workloads]
+    factor = calib.thread_footprint_factor(len(threads))
+
+    def worker(env, thread, bursts):
+        for user, system in bursts:
+            yield thread.run_split(user, system)
+
+    for thread, bursts in zip(threads, workloads):
+        env.process(worker(env, thread, bursts))
+    env.run()
+
+    submitted_user = sum(u for bursts in workloads for u, _ in bursts)
+    submitted_system = sum(s for bursts in workloads for _, s in bursts)
+    assert cpu.counters.busy_user == pytest.approx(submitted_user * factor, rel=1e-9)
+    assert cpu.counters.busy_system == pytest.approx(
+        submitted_system + cpu.counters.switch_time, rel=1e-9
+    )
+
+
+@given(workloads=st.lists(burst_lists, min_size=1, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_elapsed_time_bounds(workloads):
+    """Single core: elapsed >= total work; elapsed == busy when saturated
+    from t=0 to the end (work-conserving, no idling while work queued)."""
+    env = Environment()
+    calib = default_calibration()
+    cpu = CPU(env, calib)
+    threads = [cpu.thread() for _ in workloads]
+
+    def worker(env, thread, bursts):
+        for user, system in bursts:
+            yield thread.run_split(user, system)
+
+    for thread, bursts in zip(threads, workloads):
+        env.process(worker(env, thread, bursts))
+    env.run()
+    total_busy = cpu.counters.busy_user + cpu.counters.busy_system
+    assert env.now == pytest.approx(total_busy, rel=1e-9)
+
+
+@given(
+    n_threads=st.integers(min_value=1, max_value=8),
+    n_bursts=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_switch_count_bounded_by_burst_count(n_threads, n_bursts):
+    env = Environment()
+    calib = default_calibration()
+    cpu = CPU(env, calib)
+
+    def worker(env, thread):
+        for _ in range(n_bursts):
+            yield thread.run(1e-4)
+
+    for _ in range(n_threads):
+        env.process(worker(env, cpu.thread()))
+    env.run()
+    assert cpu.counters.bursts == n_threads * n_bursts
+    # A switch can happen at most once per burst dispatch (no preemption
+    # here: bursts are shorter than the time slice).
+    assert cpu.counters.context_switches <= cpu.counters.bursts
+    assert cpu.counters.context_switches >= 1
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_scheduler_is_deterministic(seed):
+    import random
+
+    def run_once():
+        env = Environment()
+        cpu = CPU(env, default_calibration())
+        rng = random.Random(seed)
+        log = []
+
+        def worker(env, thread, name):
+            for _ in range(4):
+                yield thread.run(rng.uniform(1e-5, 1e-3))
+                log.append((round(env.now, 12), name))
+
+        for i in range(3):
+            env.process(worker(env, cpu.thread(), i))
+        env.run()
+        return (log, cpu.counters.context_switches)
+
+    assert run_once() == run_once()

@@ -1,0 +1,151 @@
+"""Context-switch accounting: stickiness, alternation, preemption."""
+
+import pytest
+
+from repro.calibration import default_calibration
+from repro.cpu.scheduler import CPU
+from repro.sim.core import Environment
+
+
+def test_back_to_back_bursts_same_thread_no_extra_switch(env, cpu):
+    thread = cpu.thread()
+
+    def worker(env, thread):
+        for _ in range(10):
+            yield thread.run(1e-4)
+
+    env.process(worker(env, thread))
+    env.run()
+    # Only the initial switch onto the idle core.
+    assert cpu.counters.context_switches == 1
+
+
+def test_alternating_threads_switch_every_burst(env, cpu):
+    t1, t2 = cpu.thread(), cpu.thread()
+    done = []
+
+    def ping(env, me, other_events, my_events, n):
+        for i in range(n):
+            yield my_events[i]
+            yield me.run(1e-4)
+            other_events[i].succeed()
+        done.append(me.name)
+
+    # Build strict alternation via handshake events.
+    n = 5
+    a_events = [env.event() for _ in range(n)]
+    b_events = [env.event() for _ in range(n)]
+    a_events[0].succeed()
+
+    def worker_a(env):
+        for i in range(n):
+            yield a_events[i]
+            yield t1.run(1e-4)
+            b_events[i].succeed()
+
+    def worker_b(env):
+        for i in range(n):
+            yield b_events[i]
+            yield t2.run(1e-4)
+            if i + 1 < n:
+                a_events[i + 1].succeed()
+
+    env.process(worker_a(env))
+    env.process(worker_b(env))
+    env.run()
+    # Strict alternation: every burst changes threads (including the
+    # initial dispatch onto the idle core).
+    assert cpu.counters.context_switches == 2 * n
+
+
+def test_switch_cost_grows_with_runnable_threads(calib):
+    assert calib.context_switch_cost(1000) > calib.context_switch_cost(2)
+
+
+def test_voluntary_vs_involuntary_classification():
+    env = Environment()
+    calib = default_calibration(time_slice=1e-4)
+    cpu = CPU(env, calib)
+    t1, t2 = cpu.thread(), cpu.thread()
+
+    def long_worker(env, thread):
+        yield thread.run(10e-4)  # 10 slices
+
+    env.process(long_worker(env, t1))
+    env.process(long_worker(env, t2))
+    env.run()
+    # The two long bursts round-robin: most switches are involuntary
+    # (slice expiry).
+    assert cpu.counters.involuntary_switches > cpu.counters.voluntary_switches
+
+
+def test_preempted_burst_completes_with_correct_total():
+    env = Environment()
+    calib = default_calibration(time_slice=1e-4)
+    cpu = CPU(env, calib)
+    t1, t2 = cpu.thread(), cpu.thread()
+
+    def worker(env, thread, duration):
+        yield thread.run(duration)
+        return env.now
+
+    p1 = env.process(worker(env, t1, 5e-4))
+    p2 = env.process(worker(env, t2, 5e-4))
+    env.run()
+    assert cpu.counters.busy_user == pytest.approx(10e-4)
+    assert p1.value is not None and p2.value is not None
+
+
+def test_solo_long_burst_never_preempted():
+    env = Environment()
+    calib = default_calibration(time_slice=1e-4)
+    cpu = CPU(env, calib)
+    thread = cpu.thread()
+
+    def worker(env, thread):
+        yield thread.run(50e-4)
+
+    env.process(worker(env, thread))
+    env.run()
+    assert cpu.counters.involuntary_switches == 0
+    assert cpu.counters.context_switches == 1
+
+
+def test_dead_thread_does_not_suppress_switch_count(env, cpu):
+    t1 = cpu.thread()
+
+    def first(env):
+        yield t1.run(1e-4)
+
+    env.process(first(env))
+    env.run()
+    t1.close()
+    t2 = cpu.thread()
+
+    def second(env):
+        yield t2.run(1e-4)
+
+    env.process(second(env))
+    env.run()
+    assert cpu.counters.context_switches == 2
+
+
+def test_switch_time_accumulates_in_system_time(env, cpu):
+    t1, t2 = cpu.thread(), cpu.thread()
+
+    def worker(env, thread):
+        yield thread.run(1e-4)
+
+    env.process(worker(env, t1))
+    env.process(worker(env, t2))
+    env.run()
+    assert cpu.counters.switch_time > 0
+    assert cpu.counters.busy_system >= cpu.counters.switch_time
+
+
+def test_runnable_count_reflects_queue(env, cpu):
+    threads = [cpu.thread() for _ in range(5)]
+    for thread in threads:
+        thread.run(1e-3)
+    # Nothing has run yet (no env.run): one queued burst per thread.
+    assert cpu.runnable_count == 5

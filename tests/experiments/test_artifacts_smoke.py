@@ -1,0 +1,45 @@
+"""Smoke tests of artifact runners at minimal scale.
+
+Only the cheap artifacts run here (the expensive sweeps are exercised by
+the benchmark suite); these verify the runner plumbing end-to-end: rows
+are produced, headers match, and the shape checks evaluate.
+"""
+
+import pytest
+
+from repro.experiments.artifacts_hybrid import ablation_send_buffer
+from repro.experiments.artifacts_micro import tab4_write_spin
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_tab4_artifact_structure():
+    result = tab4_write_spin(scale=0.1)
+    assert result.artifact == "tab4"
+    assert len(result.rows) == 3
+    assert all(len(row) == len(result.headers) for row in result.rows)
+    assert result.checks
+    assert result.all_passed
+
+
+def test_sendbuf_ablation_structure():
+    result = ablation_send_buffer(scale=0.1)
+    assert result.artifact == "ablC"
+    assert len(result.rows) == 5
+    assert result.all_passed
+
+
+def test_every_artifact_has_a_benchmark_file():
+    import pathlib
+
+    bench_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    text = "\n".join(p.read_text() for p in bench_dir.glob("test_bench_*.py"))
+    for artifact in EXPERIMENTS:
+        assert f'regenerate("{artifact}")' in text, artifact
+
+
+def test_registry_titles_and_costs():
+    for artifact, spec in EXPERIMENTS.items():
+        assert spec.artifact == artifact
+        assert spec.title
+        assert spec.cost in ("seconds", "minutes")
+        assert callable(spec.runner)

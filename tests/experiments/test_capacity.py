@@ -1,0 +1,54 @@
+"""Capacity probes."""
+
+import pytest
+
+from repro.experiments.capacity import (
+    CapacityEstimate,
+    closed_loop_capacity,
+    open_loop_capacity,
+)
+
+
+def test_closed_loop_probe_finds_plateau():
+    estimate = closed_loop_capacity("SingleT-Async", 102, max_concurrency=64,
+                                    scale=0.15)
+    assert estimate.knee_throughput > 0
+    assert estimate.knee_load >= 1
+    # The curve covers a doubling ladder starting at 1.
+    loads = [load for load, _ in estimate.curve]
+    assert loads[0] == 1
+    assert all(b == 2 * a for a, b in zip(loads, loads[1:]))
+
+
+def test_closed_loop_probe_validation():
+    with pytest.raises(ValueError):
+        closed_loop_capacity("SingleT-Async", 102, max_concurrency=0)
+
+
+def test_closed_loop_capacity_ordering_small_vs_large():
+    small = closed_loop_capacity("SingleT-Async", 102, max_concurrency=32,
+                                 scale=0.15)
+    large = closed_loop_capacity("SingleT-Async", 100 * 1024,
+                                 max_concurrency=32, scale=0.15)
+    # Small responses sustain orders of magnitude more req/s.
+    assert small.peak_throughput > 20 * large.peak_throughput
+
+
+def test_open_loop_probe_brackets_capacity():
+    estimate = open_loop_capacity("SingleT-Async", 102, rate_hint=30000.0,
+                                  connections=64, iterations=5, scale=0.2)
+    # Sustainable rate should be within sane bounds of the closed-loop
+    # capacity (~30k req/s at 0.1KB on the default calibration).
+    assert 10_000 < estimate.knee_load < 60_000
+    assert estimate.knee_throughput > 0.9 * estimate.knee_load * 0.95
+
+
+def test_open_loop_probe_validation():
+    with pytest.raises(ValueError):
+        open_loop_capacity("SingleT-Async", 102, rate_hint=0)
+
+
+def test_capacity_estimate_peak():
+    estimate = CapacityEstimate("x", 1, knee_load=2, knee_throughput=5,
+                                curve=((1, 3), (2, 5), (4, 4)))
+    assert estimate.peak_throughput == 5

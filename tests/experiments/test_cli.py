@@ -1,0 +1,45 @@
+"""CLI plumbing (argument parsing and cheap commands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_list_shows_every_artifact(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for artifact in EXPERIMENTS:
+        assert artifact in out
+
+
+def test_calibration_prints_constants(capsys):
+    assert main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "tcp_send_buffer_bytes" in out
+
+
+def test_unknown_artifact_is_an_error(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown artifact" in capsys.readouterr().err
+
+
+def test_invalid_scale_is_an_error(capsys):
+    assert main(["run", "tab4", "--scale", "7"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_run_defaults():
+    args = build_parser().parse_args(["run", "fig7"])
+    assert args.artifact == "fig7"
+    assert args.scale == 1.0
+
+
+def test_parser_all_markdown_flag():
+    args = build_parser().parse_args(["all", "--scale", "0.2", "--markdown", "out.md"])
+    assert args.markdown == "out.md"
+    assert args.scale == 0.2

@@ -1,0 +1,78 @@
+"""ArtifactResult containers and report rendering."""
+
+import pytest
+
+from repro.experiments.report import render_artifact, render_markdown, render_table
+from repro.experiments.results import ArtifactResult, ShapeCheck
+
+
+def sample_result():
+    result = ArtifactResult(
+        artifact="figX",
+        title="A sample figure",
+        paper_claim="numbers go up",
+        headers=["server", "rps"],
+    )
+    result.add_row("alpha", 1234.5)
+    result.add_row("beta", 9.87)
+    result.check("alpha wins", True, "1234 > 9")
+    result.check("beta wins", False, "no")
+    result.note("synthetic data")
+    return result
+
+
+def test_add_row_width_checked():
+    result = ArtifactResult("a", "t", "c", headers=["x", "y"])
+    with pytest.raises(ValueError):
+        result.add_row(1)
+
+
+def test_check_records_and_returns():
+    result = ArtifactResult("a", "t", "c")
+    check = result.check("works", True)
+    assert isinstance(check, ShapeCheck)
+    assert result.all_passed
+
+
+def test_failed_checks_listed():
+    result = sample_result()
+    assert not result.all_passed
+    assert [c.name for c in result.failed_checks] == ["beta wins"]
+
+
+def test_shape_check_str():
+    assert "PASS" in str(ShapeCheck("x", True))
+    assert "FAIL" in str(ShapeCheck("x", False, "why"))
+    assert "why" in str(ShapeCheck("x", False, "why"))
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_render_table_formats_floats():
+    text = render_table(["v"], [[12345.678], [float("nan")], [0.00123]])
+    assert "12,346" in text
+    assert "-" in text
+    assert "0.00123" in text
+
+
+def test_render_artifact_contains_everything():
+    text = render_artifact(sample_result())
+    assert "FIGX" in text
+    assert "numbers go up" in text
+    assert "alpha" in text
+    assert "[PASS]" in text and "[FAIL]" in text
+    assert "note: synthetic data" in text
+
+
+def test_render_markdown_table_and_checks():
+    text = render_markdown(sample_result())
+    assert text.startswith("### figX")
+    assert "| server | rps |" in text
+    assert "- [x] alpha wins" in text
+    assert "- [ ] beta wins" in text

@@ -1,0 +1,99 @@
+"""Failure injection: clients disconnecting at awkward moments.
+
+A production server must survive peers vanishing mid-request and
+mid-response without leaking worker threads, parked write contexts or
+selector registrations — and keep serving everyone else.
+"""
+
+import pytest
+
+from repro.core.hybrid import HybridServer
+from repro.net.messages import Request
+from repro.servers.netty import NettyServer
+from repro.servers.reactor import ReactorFixServer, ReactorServer
+from repro.servers.singlet import SingleThreadedServer
+from repro.servers.threaded import ThreadedServer
+from repro.servers.tomcat import TomcatAsyncServer
+
+ALL = [ThreadedServer, ReactorServer, ReactorFixServer, SingleThreadedServer,
+       NettyServer, HybridServer, TomcatAsyncServer]
+
+LARGE = 100 * 1024
+
+
+def survivors_still_served(env, cpu, make_connection, server_cls):
+    server = server_cls(env, cpu)
+    victim = make_connection()
+    survivor = make_connection()
+    server.attach(victim)
+    server.attach(survivor)
+    return server, victim, survivor
+
+
+@pytest.mark.parametrize("server_cls", ALL)
+def test_disconnect_while_idle_is_harmless(env, cpu, make_connection, server_cls):
+    server, victim, survivor = survivors_still_served(env, cpu, make_connection,
+                                                      server_cls)
+    env.run(until=0.002)
+    victim.close()
+    request = Request(env, "x", 1000)
+    survivor.send_request(request)
+    env.run(request.completed)
+    assert request.completed_at is not None
+
+
+@pytest.mark.parametrize("server_cls", ALL)
+def test_disconnect_during_large_response(env, cpu, make_connection, server_cls):
+    """Close the connection while its 100KB response is mid-drain; the
+    server must recover and keep serving the other connection."""
+    server, victim, survivor = survivors_still_served(env, cpu, make_connection,
+                                                      server_cls)
+    doomed = Request(env, "big", LARGE)
+    victim.send_request(doomed)
+    env.run(until=0.002)  # response is mid-write now
+    victim.close()
+    env.run(until=env.now + 0.01)
+    for _ in range(3):
+        request = Request(env, "x", 2000)
+        survivor.send_request(request)
+        env.run(request.completed)
+        assert request.completed_at is not None
+    assert doomed.completed_at is None
+
+
+@pytest.mark.parametrize("server_cls", [NettyServer, HybridServer])
+def test_disconnect_cleans_parked_write_context(env, cpu, make_connection, server_cls):
+    server = server_cls(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "big", LARGE)
+    conn.send_request(request)
+    env.run(until=0.002)
+    conn.close()
+    env.run(until=env.now + 0.02)
+    assert all(conn not in worker.pending for worker in server._workers)
+
+
+def test_threaded_server_retires_worker_thread(env, cpu, make_connection):
+    server = ThreadedServer(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    env.run(until=0.001)
+    threads_with_conn = cpu.live_threads
+    conn.close()
+    env.run(until=env.now + 0.01)
+    assert cpu.live_threads == threads_with_conn - 1
+
+
+def test_selector_forgets_closed_connections(env, cpu, make_connection):
+    server = SingleThreadedServer(env, cpu)
+    conns = [make_connection() for _ in range(3)]
+    for conn in conns:
+        server.attach(conn)
+    env.run(until=0.001)
+    conns[0].close()
+    # Poke readiness computation via a request on another connection.
+    request = Request(env, "x", 100)
+    conns[1].send_request(request)
+    env.run(request.completed)
+    assert server.selector.registered == 2

@@ -1,0 +1,89 @@
+"""Executable versions of the paper's mechanism diagrams via the tracer.
+
+Figure 3 (reactor flow), Figure 5 (write-spin rounds) and Figure 10
+(hybrid dispatch) as ordered milestone sequences.
+"""
+
+import pytest
+
+from repro.core.hybrid import HybridServer
+from repro.metrics.tracing import RequestTracer
+from repro.net.messages import Request
+from repro.servers.reactor import ReactorServer
+from repro.servers.singlet import SingleThreadedServer
+
+
+def traced_serve(env, cpu, make_connection, server_cls, size, **kwargs):
+    server = server_cls(env, cpu, **kwargs)
+    tracer = RequestTracer(env)
+    server.tracer = tracer
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", size)
+    tracer.watch(request)
+    conn.send_request(request)
+    env.run(request.completed)
+    env.run(until=env.now + 0.005)  # let bookkeeping settle
+    return server, tracer.trace(request)
+
+
+def test_fig3_reactor_flow_order(env, cpu, make_connection):
+    """created -> read -> computed -> write -> response-written -> completed."""
+    _, trace = traced_serve(env, cpu, make_connection, ReactorServer, 100,
+                            workers=2)
+    assert trace.is_ordered("created", "read", "computed", "write",
+                            "response-written")
+    assert trace.at("read") < trace.at("computed") < trace.at("write")
+
+
+def test_fig3_read_and_write_handled_by_different_workers(env, cpu, make_connection):
+    """The 4-switch flow's defining property: the thread that computes is
+    generally not the thread that writes."""
+    server, trace = traced_serve(env, cpu, make_connection, ReactorServer,
+                                 100, workers=4)
+    compute_thread = next(e.detail for e in trace.events if e.name == "computed")
+    read_thread = next(e.detail for e in trace.events if e.name == "read")
+    # Both milestones carry worker-thread names from the pool.
+    assert compute_thread.startswith(server.name)
+    assert read_thread.startswith(server.name)
+
+
+def test_fig5_write_spin_rounds_are_ack_paced(env, cpu, make_connection, calib):
+    """Each write round of a large response waits for ACKs: consecutive
+    write milestones are separated by at least the one-way latency."""
+    _, trace = traced_serve(env, cpu, make_connection, SingleThreadedServer,
+                            100 * 1024)
+    writes = [e.time for e in trace.events if e.name == "write"]
+    assert len(writes) > 30
+    # The whole spin spans at least one round trip (the first ACK must
+    # come back before the second successful write).
+    assert writes[-1] - writes[0] >= calib.rtt
+    # In steady state ACKs arrive one segment-serialization apart, so most
+    # positive gaps sit near that pace (not arbitrarily tight loops).
+    segment_time = calib.mss / calib.link_bandwidth
+    spaced = [b - a for a, b in zip(writes, writes[1:]) if b - a > 0]
+    paced = [gap for gap in spaced if gap >= 0.4 * segment_time]
+    assert len(paced) >= len(spaced) // 2
+
+
+def test_fig10_hybrid_single_write_on_light_path(env, cpu, make_connection):
+    server = HybridServer(env, cpu)
+    tracer = RequestTracer(env)
+    server.tracer = tracer
+    conn = make_connection()
+    server.attach(conn)
+    # Warm-up request classifies the type.
+    warm = Request(env, "page", 100)
+    conn.send_request(warm)
+    env.run(warm.completed)
+    light = Request(env, "page", 100)
+    tracer.watch(light)
+    conn.send_request(light)
+    env.run(light.completed)
+    env.run(until=env.now + 0.005)
+    trace = tracer.trace(light)
+    # The light path: read, computed, then exactly the completion marks
+    # (its single write is not the spin helper, so no "write" milestones).
+    assert trace.is_ordered("created", "read", "computed", "completed")
+    assert light.metadata["path"] == "light"
+    assert light.write_calls == 1

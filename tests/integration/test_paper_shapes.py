@@ -1,0 +1,133 @@
+"""Miniature versions of the paper's headline claims.
+
+These run small-but-real experiments (seconds of virtual time, a second or
+two of wall time each) and assert the qualitative shapes the full
+benchmarks regenerate at paper scale.
+"""
+
+import pytest
+
+from repro.experiments.micro import MicroConfig, run_micro
+from repro.workload.mixes import SIZE_LARGE, SIZE_SMALL, BimodalMix
+
+
+def run(server, **kwargs):
+    defaults = dict(server=server, concurrency=8, response_size=SIZE_SMALL,
+                    duration=1.0, warmup=0.3)
+    defaults.update(kwargs)
+    return run_micro(MicroConfig(**defaults))
+
+
+# ----------------------------------------------------------------------
+# Section III: context switches and the event processing flow
+# ----------------------------------------------------------------------
+def test_async_tomcat_slower_than_sync_at_low_concurrency():
+    sync = run("TomcatSync")
+    async_ = run("TomcatAsync")
+    assert async_.throughput < sync.throughput
+
+
+def test_async_tomcat_switches_more_than_sync():
+    sync = run("TomcatSync")
+    async_ = run("TomcatAsync")
+    assert async_.report.context_switch_rate > 1.5 * sync.report.context_switch_rate
+
+
+def test_fix_beats_plain_reactor():
+    plain = run("sTomcat-Async")
+    fix = run("sTomcat-Async-Fix")
+    assert fix.throughput > plain.throughput
+    assert fix.report.context_switch_rate < plain.report.context_switch_rate
+
+
+def test_single_threaded_fastest_for_small_responses():
+    results = {
+        server: run(server).throughput
+        for server in ["sTomcat-Sync", "sTomcat-Async", "sTomcat-Async-Fix",
+                       "SingleT-Async"]
+    }
+    assert results["SingleT-Async"] == max(results.values())
+
+
+# ----------------------------------------------------------------------
+# Section IV: the write-spin problem
+# ----------------------------------------------------------------------
+def test_write_spin_only_for_large_responses():
+    small = run("SingleT-Async", concurrency=16)
+    large = run("SingleT-Async", concurrency=16, response_size=SIZE_LARGE,
+                duration=2.0, warmup=0.5)
+    assert small.report.write_calls_per_request == pytest.approx(1.0)
+    assert large.report.write_calls_per_request > 30
+
+
+def test_single_threaded_loses_large_responses_to_threads():
+    sync = run("sTomcat-Sync", response_size=SIZE_LARGE, duration=2.0, warmup=0.5)
+    single = run("SingleT-Async", response_size=SIZE_LARGE, duration=2.0, warmup=0.5)
+    assert single.throughput < 0.93 * sync.throughput
+
+
+def test_latency_collapses_single_threaded_but_not_threads():
+    # Concurrency 100 as in the paper's Figure 7: enough pipeline depth
+    # that the thread-based server fully masks the wait-ACK rounds.
+    base = run("SingleT-Async", concurrency=100, response_size=SIZE_LARGE,
+               duration=2.5, warmup=0.8)
+    lagged = run("SingleT-Async", concurrency=100, response_size=SIZE_LARGE,
+                 duration=2.5, warmup=0.8, added_latency=5e-3)
+    assert lagged.throughput < 0.35 * base.throughput
+
+    sync_base = run("sTomcat-Sync", concurrency=100, response_size=SIZE_LARGE,
+                    duration=2.5, warmup=0.8)
+    sync_lagged = run("sTomcat-Sync", concurrency=100, response_size=SIZE_LARGE,
+                      duration=2.5, warmup=0.8, added_latency=5e-3)
+    assert sync_lagged.throughput > 0.85 * sync_base.throughput
+
+
+def test_bigger_send_buffer_fixes_the_spin():
+    spinning = run("SingleT-Async", concurrency=16, response_size=SIZE_LARGE,
+                   duration=2.0, warmup=0.5)
+    roomy = run("SingleT-Async", concurrency=16, response_size=SIZE_LARGE,
+                duration=2.0, warmup=0.5, send_buffer_size=SIZE_LARGE)
+    assert roomy.report.write_calls_per_request == pytest.approx(1.0)
+    assert roomy.throughput > spinning.throughput
+
+
+# ----------------------------------------------------------------------
+# Section V: Netty and the hybrid
+# ----------------------------------------------------------------------
+def test_netty_dodges_the_latency_collapse():
+    base = run("NettyServer", concurrency=100, response_size=SIZE_LARGE,
+               duration=2.5, warmup=0.8)
+    lagged = run("NettyServer", concurrency=100, response_size=SIZE_LARGE,
+                 duration=2.5, warmup=0.8, added_latency=5e-3)
+    assert lagged.throughput > 0.85 * base.throughput
+
+
+def test_netty_overhead_on_small_responses():
+    netty = run("NettyServer", concurrency=16)
+    single = run("SingleT-Async", concurrency=16)
+    assert netty.throughput < 0.95 * single.throughput
+
+
+def test_hybrid_matches_the_best_of_both_worlds():
+    light = {s: run(s, concurrency=16).throughput
+             for s in ["SingleT-Async", "NettyServer", "HybridNetty"]}
+    assert light["HybridNetty"] > 0.95 * light["SingleT-Async"]
+    assert light["HybridNetty"] > light["NettyServer"]
+
+    mixed = {
+        s: run(s, concurrency=32, mix=BimodalMix(0.10), duration=2.5,
+               warmup=0.8).throughput
+        for s in ["SingleT-Async", "NettyServer", "HybridNetty"]
+    }
+    assert mixed["HybridNetty"] >= 0.97 * max(mixed.values())
+    assert mixed["HybridNetty"] > 1.05 * mixed["SingleT-Async"]
+
+
+def test_hybrid_uses_both_paths_on_mixed_workload():
+    result = run("HybridNetty", concurrency=32, mix=BimodalMix(0.10),
+                 duration=2.0, warmup=0.5)
+    assert result.server_stats["light_path_requests"] > 0
+    assert result.server_stats["heavy_path_requests"] > 0
+    # Light requests dominate a 10%-heavy mix.
+    assert (result.server_stats["light_path_requests"]
+            > result.server_stats["heavy_path_requests"])

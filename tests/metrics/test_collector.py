@@ -1,0 +1,115 @@
+"""Run recorder: warm-up trimming and report derivation."""
+
+import math
+
+import pytest
+
+from repro.cpu.scheduler import CPU
+from repro.metrics.collector import RunRecorder
+from repro.net.messages import Request
+
+
+def completed_request(env, kind="x", size=100, rt=0.01, writes=1, zeros=0):
+    request = Request(env, kind, size)
+    request.write_calls = writes
+    request.zero_writes = zeros
+    request.completed_at = env.now + rt
+    request.created_at = env.now
+    return request
+
+
+def test_warmup_requests_ignored(env):
+    recorder = RunRecorder(env, warmup=1.0)
+    recorder.record(completed_request(env))
+    env.timeout(2.0)
+    env.run()
+    recorder.record(completed_request(env))
+    report = recorder.report()
+    assert report.completed == 1
+    assert recorder.total_seen == 2
+
+
+def test_negative_warmup_rejected(env):
+    with pytest.raises(ValueError):
+        RunRecorder(env, warmup=-1)
+
+
+def test_throughput_over_measurement_window(env):
+    recorder = RunRecorder(env, warmup=1.0)
+    env.timeout(1.0)
+    env.run()
+    for _ in range(10):
+        recorder.record(completed_request(env))
+    env.timeout(1.0)
+    env.run()  # now = 2.0; window = 1s
+    report = recorder.report()
+    assert report.throughput == pytest.approx(10.0)
+
+
+def test_response_time_statistics(env):
+    recorder = RunRecorder(env, warmup=0.0)
+    for rt in [0.01, 0.02, 0.03]:
+        recorder.record(completed_request(env, rt=rt))
+    env.timeout(1.0)
+    env.run()
+    report = recorder.report()
+    assert report.response_time_mean == pytest.approx(0.02)
+    assert report.response_time_p50 == pytest.approx(0.02)
+
+
+def test_write_counters_averaged(env):
+    recorder = RunRecorder(env, warmup=0.0)
+    recorder.record(completed_request(env, writes=1))
+    recorder.record(completed_request(env, writes=101, zeros=50))
+    env.timeout(1.0)
+    env.run()
+    report = recorder.report()
+    assert report.write_calls_per_request == pytest.approx(51.0)
+    assert report.zero_writes_per_request == pytest.approx(25.0)
+
+
+def test_per_kind_breakdown(env):
+    recorder = RunRecorder(env, warmup=0.0)
+    recorder.record(completed_request(env, kind="light", rt=0.01))
+    recorder.record(completed_request(env, kind="heavy", rt=0.10))
+    env.timeout(2.0)
+    env.run()
+    report = recorder.report()
+    assert set(report.per_kind_throughput) == {"light", "heavy"}
+    assert report.per_kind_response_time["heavy"] == pytest.approx(0.10)
+
+
+def test_empty_report_has_nan_latencies(env):
+    recorder = RunRecorder(env, warmup=0.0)
+    env.timeout(1.0)
+    env.run()
+    report = recorder.report()
+    assert report.completed == 0
+    assert report.throughput == 0.0
+    assert math.isnan(report.response_time_mean)
+
+
+def test_cpu_window_matches_measurement(env, calib):
+    cpu = CPU(env, calib)
+    recorder = RunRecorder(env, warmup=1.0)
+    recorder.watch_cpu(cpu)
+    thread = cpu.thread()
+
+    def worker(env, thread):
+        yield env.timeout(1.0)  # warm-up: idle
+        yield thread.run(0.5)
+
+    env.process(worker(env, thread))
+    env.timeout(2.0)
+    env.run()
+    recorder.record(completed_request(env))  # trips the warmup boundary
+    report = recorder.report()
+    assert report.cpu is not None
+    assert report.cpu.user_time == pytest.approx(0.5)
+
+
+def test_context_switch_rate_zero_without_cpu(env):
+    recorder = RunRecorder(env, warmup=0.0)
+    env.timeout(1.0)
+    env.run()
+    assert recorder.report().context_switch_rate == 0.0

@@ -1,0 +1,80 @@
+"""Queueing-law helpers, and the simulator's self-consistency with them."""
+
+import pytest
+
+from repro.metrics.queueing import (
+    littles_law_concurrency,
+    littles_law_residual,
+    saturation_knee,
+    utilization_law_demand,
+)
+
+
+def test_littles_law_concurrency():
+    assert littles_law_concurrency(100.0, 0.5) == pytest.approx(50.0)
+    assert littles_law_concurrency(100.0, 0.5, think_time=0.5) == pytest.approx(100.0)
+
+
+def test_littles_law_validation():
+    with pytest.raises(ValueError):
+        littles_law_concurrency(-1, 0.1)
+    with pytest.raises(ValueError):
+        littles_law_residual(0, 1, 1)
+
+
+def test_residual_zero_for_consistent_measurement():
+    assert littles_law_residual(50, 100.0, 0.5) == pytest.approx(0.0)
+
+
+def test_utilization_law():
+    assert utilization_law_demand(500.0, 1.0) == pytest.approx(2e-3)
+    assert utilization_law_demand(500.0, 0.5, cores=2) == pytest.approx(2e-3)
+    with pytest.raises(ValueError):
+        utilization_law_demand(0, 0.5)
+    with pytest.raises(ValueError):
+        utilization_law_demand(10, 1.5)
+
+
+def test_saturation_knee_finds_plateau_start():
+    workloads = [1, 2, 3, 4, 5]
+    throughputs = [10, 20, 29.5, 30, 30]
+    knee, tput = saturation_knee(workloads, throughputs)
+    assert knee == 3  # 29.5 >= 0.97 * 30 = 29.1
+    assert tput == 29.5
+
+
+def test_saturation_knee_validation():
+    with pytest.raises(ValueError):
+        saturation_knee([], [])
+    with pytest.raises(ValueError):
+        saturation_knee([1], [1, 2])
+    with pytest.raises(ValueError):
+        saturation_knee([1], [1], plateau_fraction=0)
+
+
+def test_simulator_respects_littles_law():
+    """Closed-loop measurement self-consistency: N ~= X * R."""
+    from repro.experiments.micro import MicroConfig, run_micro
+
+    result = run_micro(
+        MicroConfig(server="sTomcat-Sync", concurrency=32, response_size=102,
+                    duration=2.0, warmup=0.6)
+    )
+    residual = littles_law_residual(
+        32, result.throughput, result.report.response_time_mean
+    )
+    assert residual < 0.10
+
+
+def test_utilization_law_matches_simulator():
+    """Demand from the utilisation law matches demand from throughput."""
+    from repro.experiments.micro import MicroConfig, run_micro
+
+    result = run_micro(
+        MicroConfig(server="SingleT-Async", concurrency=32, response_size=102,
+                    duration=2.0, warmup=0.6)
+    )
+    usage = result.report.cpu
+    demand = utilization_law_demand(result.throughput, usage.utilization)
+    # Per-request demand should be tens of microseconds for 0.1KB.
+    assert 15e-6 < demand < 80e-6

@@ -1,0 +1,80 @@
+"""Summary statistics and percentile math."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import SummaryStats, percentile
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 0) == 7.0
+    assert percentile([7.0], 100) == 7.0
+
+
+def test_percentile_interpolates():
+    values = [0.0, 10.0]
+    assert percentile(values, 50) == pytest.approx(5.0)
+    assert percentile(values, 25) == pytest.approx(2.5)
+
+
+def test_percentile_matches_numpy():
+    numpy = pytest.importorskip("numpy")
+    values = sorted([3.1, 0.4, 9.9, 2.2, 5.5, 7.3, 1.0])
+    for q in [0, 10, 33, 50, 77, 95, 100]:
+        assert percentile(values, q) == pytest.approx(numpy.percentile(values, q))
+
+
+def test_summary_basic_moments():
+    stats = SummaryStats([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.minimum == 1.0
+    assert stats.maximum == 4.0
+    assert stats.total == pytest.approx(10.0)
+    assert stats.stddev == pytest.approx(1.118033988749895)
+
+
+def test_summary_empty_raises():
+    stats = SummaryStats()
+    with pytest.raises(ValueError):
+        stats.mean
+    with pytest.raises(ValueError):
+        stats.minimum
+
+
+def test_summary_percentiles_update_after_add():
+    stats = SummaryStats([1.0, 2.0, 3.0])
+    assert stats.p50 == 2.0
+    stats.add(100.0)
+    assert stats.p50 == pytest.approx(2.5)
+
+
+def test_len_matches_count():
+    stats = SummaryStats([1, 2, 3])
+    assert len(stats) == 3
+
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_percentile_bounds_and_monotonicity(values):
+    stats = SummaryStats(values)
+    quantiles = [stats.percentile(q) for q in (10, 50, 90)]
+    eps = 1e-9 + 1e-9 * max(abs(v) for v in values)
+    assert stats.minimum - eps <= quantiles[0]
+    assert quantiles[2] <= stats.maximum + eps
+    assert all(a <= b + eps for a, b in zip(quantiles, quantiles[1:]))
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_mean_within_min_max(values):
+    stats = SummaryStats(values)
+    assert stats.minimum - 1e-9 <= stats.mean <= stats.maximum + 1e-9

@@ -1,0 +1,54 @@
+"""Bucketed time series."""
+
+import pytest
+
+from repro.metrics.timeseries import TimeSeries
+
+
+def test_bucket_width_validation():
+    with pytest.raises(ValueError):
+        TimeSeries(0)
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        TimeSeries(1.0).record(-0.1)
+
+
+def test_records_into_correct_buckets():
+    series = TimeSeries(1.0)
+    series.record(0.5)
+    series.record(1.5)
+    series.record(1.7)
+    assert series.buckets == [1.0, 2.0]
+
+
+def test_rates_divide_by_width():
+    series = TimeSeries(0.5)
+    series.record(0.1)
+    series.record(0.2)
+    assert series.rates() == [4.0]
+
+
+def test_rate_between():
+    series = TimeSeries(1.0)
+    for t in [0.1, 0.2, 1.1, 2.9]:
+        series.record(t)
+    assert series.rate_between(0.0, 3.0) == pytest.approx(4 / 3)
+
+
+def test_rate_between_validation():
+    with pytest.raises(ValueError):
+        TimeSeries(1.0).rate_between(2.0, 1.0)
+
+
+def test_amount_parameter():
+    series = TimeSeries(1.0)
+    series.record(0.0, amount=2.5)
+    assert series.buckets == [2.5]
+
+
+def test_len_counts_buckets():
+    series = TimeSeries(1.0)
+    series.record(4.2)
+    assert len(series) == 5

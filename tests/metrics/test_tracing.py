@@ -1,0 +1,72 @@
+"""Request lifecycle tracing."""
+
+import pytest
+
+from repro.metrics.tracing import RequestTracer
+from repro.net.messages import Request
+
+
+def test_mark_and_retrieve(env):
+    tracer = RequestTracer(env)
+    request = Request(env, "x", 100)
+    tracer.mark(request, "created")
+    env.timeout(1.0)
+    env.run()
+    tracer.mark(request, "served", detail="worker-3")
+    trace = tracer.trace(request)
+    assert trace.names() == ["created", "served"]
+    assert trace.at("served") == 1.0
+    assert trace.events[1].detail == "worker-3"
+
+
+def test_unknown_request_raises(env):
+    tracer = RequestTracer(env)
+    with pytest.raises(KeyError):
+        tracer.trace(Request(env, "x", 1))
+
+
+def test_duration_between_milestones(env):
+    tracer = RequestTracer(env)
+    request = Request(env, "x", 100)
+    tracer.mark(request, "a")
+    env.timeout(2.5)
+    env.run()
+    tracer.mark(request, "b")
+    assert tracer.trace(request).duration("a", "b") == pytest.approx(2.5)
+    with pytest.raises(KeyError):
+        tracer.trace(request).duration("a", "missing")
+
+
+def test_is_ordered(env):
+    tracer = RequestTracer(env)
+    request = Request(env, "x", 100)
+    for name in ["read", "compute", "write", "done"]:
+        tracer.mark(request, name)
+    trace = tracer.trace(request)
+    assert trace.is_ordered("read", "write")
+    assert trace.is_ordered("read", "compute", "write", "done")
+    assert not trace.is_ordered("write", "read")
+    assert not trace.is_ordered("read", "nope")
+
+
+def test_watch_auto_marks_completion(env):
+    tracer = RequestTracer(env)
+    request = Request(env, "x", 100)
+    tracer.watch(request)
+    env.timeout(3.0)
+    env.run()
+    request.mark_completed()
+    env.run()
+    trace = tracer.trace(request)
+    assert trace.is_ordered("created", "completed")
+    assert trace.at("completed") == 3.0
+
+
+def test_all_traces_ordered_by_request_id(env):
+    tracer = RequestTracer(env)
+    requests = [Request(env, "x", 1) for _ in range(3)]
+    for request in reversed(requests):
+        tracer.mark(request, "seen")
+    ids = [t.request_id for t in tracer.all_traces()]
+    assert ids == sorted(ids)
+    assert len(tracer) == 3

@@ -1,0 +1,95 @@
+"""Send-buffer byte accounting and waiter notification."""
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.net.buffer import SendBuffer
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SendBuffer(0)
+
+
+def test_reserve_accepts_up_to_free():
+    buffer = SendBuffer(100)
+    assert buffer.reserve(60) == 60
+    assert buffer.reserve(60) == 40
+    assert buffer.reserve(60) == 0
+    assert buffer.used == 100
+    assert buffer.free == 0
+
+
+def test_reserve_negative_rejected():
+    with pytest.raises(BufferError_):
+        SendBuffer(10).reserve(-1)
+
+
+def test_release_frees_space():
+    buffer = SendBuffer(100)
+    buffer.reserve(100)
+    buffer.release(30)
+    assert buffer.free == 30
+    assert buffer.used == 70
+
+
+def test_release_more_than_used_rejected():
+    buffer = SendBuffer(100)
+    buffer.reserve(10)
+    with pytest.raises(BufferError_):
+        buffer.release(20)
+
+
+def test_space_waiter_fires_immediately_when_free():
+    buffer = SendBuffer(100)
+    fired = []
+    buffer.add_space_waiter(lambda: fired.append(1))
+    assert fired == [1]
+
+
+def test_space_waiter_deferred_until_release():
+    buffer = SendBuffer(100)
+    buffer.reserve(100)
+    fired = []
+    buffer.add_space_waiter(lambda: fired.append(1))
+    assert fired == []
+    buffer.release(1)
+    assert fired == [1]
+
+
+def test_space_waiters_are_one_shot():
+    buffer = SendBuffer(100)
+    buffer.reserve(100)
+    fired = []
+    buffer.add_space_waiter(lambda: fired.append(1))
+    buffer.release(10)
+    buffer.release(10)
+    assert fired == [1]
+
+
+def test_capacity_growth_wakes_waiters():
+    buffer = SendBuffer(100)
+    buffer.reserve(100)
+    fired = []
+    buffer.add_space_waiter(lambda: fired.append(1))
+    buffer.capacity = 200
+    assert fired == [1]
+    assert buffer.free == 100
+
+
+def test_capacity_shrink_below_used_is_overcommit():
+    buffer = SendBuffer(100)
+    buffer.reserve(80)
+    buffer.capacity = 50
+    assert buffer.free == 0
+    assert buffer.used == 80
+    assert buffer.reserve(10) == 0
+    buffer.release(40)
+    assert buffer.free == 10
+
+
+def test_is_empty():
+    buffer = SendBuffer(10)
+    assert buffer.is_empty
+    buffer.reserve(1)
+    assert not buffer.is_empty

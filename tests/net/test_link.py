@@ -1,0 +1,36 @@
+"""Link latency/bandwidth model."""
+
+import pytest
+
+from repro.calibration import default_calibration
+from repro.net.link import Link
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Link(one_way_latency=-1)
+    with pytest.raises(ValueError):
+        Link(bandwidth=0)
+
+
+def test_serialization_delay():
+    link = Link(one_way_latency=0.0, bandwidth=1e6)
+    assert link.serialization_delay(1_000_000) == pytest.approx(1.0)
+
+
+def test_transfer_delay_combines_latency_and_serialization():
+    link = Link(one_way_latency=0.01, bandwidth=1e6)
+    assert link.transfer_delay(500_000) == pytest.approx(0.01 + 0.5)
+
+
+def test_rtt_is_twice_one_way():
+    link = Link(one_way_latency=0.005)
+    assert link.rtt == pytest.approx(0.010)
+
+
+def test_lan_factory_adds_injected_latency():
+    calib = default_calibration()
+    plain = Link.lan(calib)
+    delayed = Link.lan(calib, added_latency=5e-3)
+    assert delayed.one_way_latency == pytest.approx(plain.one_way_latency + 5e-3)
+    assert delayed.bandwidth == plain.bandwidth

@@ -1,0 +1,130 @@
+"""Property-based tests of the TCP model (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import default_calibration
+from repro.net.link import Link
+from repro.net.tcp import Connection
+from repro.sim.core import Environment
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=200_000), min_size=1, max_size=6),
+    buffer_kb=st.integers(min_value=4, max_value=128),
+    latency_us=st.integers(min_value=10, max_value=5000),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_byte_written_is_delivered_once(sizes, buffer_kb, latency_us):
+    calib = default_calibration()
+    env = Environment()
+    link = Link(one_way_latency=latency_us * 1e-6, bandwidth=calib.link_bandwidth)
+    conn = Connection(env, link, calib, send_buffer_size=buffer_kb * 1024)
+    transfers = [conn.open_transfer(size) for size in sizes]
+
+    def writer(env):
+        for size in sizes:
+            remaining = size
+            while remaining:
+                n = conn.try_write(remaining)
+                remaining -= n
+                if remaining and n == 0:
+                    yield conn.wait_writable()
+
+    env.process(writer(env))
+    env.run()
+    assert conn.stats.bytes_delivered == sum(sizes)
+    assert all(t.remaining == 0 for t in transfers)
+    assert conn.buffer.used == 0
+    # FIFO completion order.
+    times = [t.completed_at for t in transfers]
+    assert times == sorted(times)
+
+
+@given(
+    size=st.integers(min_value=1, max_value=300_000),
+    buffer_kb=st.integers(min_value=4, max_value=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_buffer_occupancy_never_exceeds_capacity(size, buffer_kb):
+    calib = default_calibration()
+    env = Environment()
+    conn = Connection(env, Link.lan(calib), calib, send_buffer_size=buffer_kb * 1024)
+    conn.open_transfer(size)
+    violations = []
+
+    def writer(env):
+        remaining = size
+        while remaining:
+            n = conn.try_write(remaining)
+            if conn.buffer.used > conn.buffer.capacity:
+                violations.append(conn.buffer.used)
+            remaining -= n
+            if remaining and n == 0:
+                yield conn.wait_writable()
+
+    env.process(writer(env))
+    env.run()
+    assert not violations
+
+
+@given(size=st.integers(min_value=1, max_value=150_000))
+@settings(max_examples=30, deadline=None)
+def test_blocking_write_equals_nonblocking_delivery_total(size):
+    """Blocking and non-blocking paths deliver identical byte counts."""
+    calib = default_calibration()
+
+    def total_delivered(blocking: bool) -> int:
+        from repro.cpu.scheduler import CPU
+
+        env = Environment()
+        conn = Connection(env, Link.lan(calib), calib)
+        conn.open_transfer(size)
+        cpu = CPU(env, calib)
+        thread = cpu.thread()
+
+        def writer(env):
+            if blocking:
+                yield from conn.blocking_write(thread, size)
+            else:
+                remaining = size
+                while remaining:
+                    n = conn.try_write(remaining)
+                    remaining -= n
+                    if remaining and n == 0:
+                        yield conn.wait_writable()
+
+        env.process(writer(env))
+        env.run()
+        return conn.stats.bytes_delivered
+
+    assert total_delivered(True) == total_delivered(False) == size
+
+
+@given(
+    size=st.integers(min_value=20_000, max_value=200_000),
+    buffer_kb=st.sampled_from([8, 16, 32]),
+)
+@settings(max_examples=30, deadline=None)
+def test_write_call_count_scales_with_size_over_granularity(size, buffer_kb):
+    """Non-blocking writes per response are bounded below by the number of
+    ACK-granularity chunks beyond the initial buffer fill."""
+    calib = default_calibration()
+    env = Environment()
+    conn = Connection(env, Link.lan(calib), calib, send_buffer_size=buffer_kb * 1024)
+    conn.open_transfer(size)
+
+    def writer(env):
+        remaining = size
+        while remaining:
+            n = conn.try_write(remaining)
+            remaining -= n
+            if remaining and n == 0:
+                yield conn.wait_writable()
+
+    env.process(writer(env))
+    env.run()
+    overflow = max(0, size - buffer_kb * 1024)
+    min_calls = 1 + overflow // (conn.ack_granularity * 4)
+    assert conn.stats.write_calls >= min_calls

@@ -1,0 +1,136 @@
+"""Level-triggered selector semantics."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.messages import Request
+from repro.net.selector import EVENT_READ, EVENT_WRITE, Selector
+
+
+def send(env, conn, size=100):
+    request = Request(env, "x", size)
+    conn.send_request(request)
+    return request
+
+
+def test_invalid_mask_rejected(env, make_connection):
+    selector = Selector(env)
+    with pytest.raises(NetworkError):
+        selector.register(make_connection(), 0)
+
+
+def test_poll_returns_immediately_when_ready(env, make_connection):
+    selector = Selector(env)
+    conn = make_connection()
+    send(env, conn)
+    env.run()
+    selector.register(conn, EVENT_READ)
+    poll = selector.poll()
+    assert poll.triggered
+    assert poll.value == [(conn, EVENT_READ)]
+
+
+def test_poll_blocks_until_readable(env, make_connection):
+    selector = Selector(env)
+    conn = make_connection()
+    selector.register(conn, EVENT_READ)
+    poll = selector.poll()
+    assert not poll.triggered
+    send(env, conn)
+    env.run()
+    assert poll.triggered
+
+
+def test_only_one_outstanding_poll(env, make_connection):
+    selector = Selector(env)
+    selector.register(make_connection(), EVENT_READ)
+    selector.poll()
+    with pytest.raises(NetworkError):
+        selector.poll()
+
+
+def test_write_readiness_follows_buffer(env, make_connection, calib):
+    selector = Selector(env)
+    conn = make_connection()
+    selector.register(conn, EVENT_WRITE)
+    ready = selector.ready_list()
+    assert ready == [(conn, EVENT_WRITE)]
+    conn.open_transfer(calib.tcp_send_buffer)
+    conn.try_write(calib.tcp_send_buffer)
+    assert selector.ready_list() == []
+    poll = selector.poll()
+    env.run()  # ACKs free space
+    assert poll.triggered
+
+
+def test_register_during_pending_poll_arms_watcher(env, make_connection):
+    """The Tomcat pattern: unregister during processing, re-register after;
+    the pending poll must still see the connection's next request."""
+    selector = Selector(env)
+    conn = make_connection()
+    selector.register(conn, EVENT_READ)
+    send(env, conn)
+    env.run()
+    poll = selector.poll()
+    assert poll.triggered
+    selector.unregister(conn)
+    conn.read_request()
+    poll2 = selector.poll()  # nothing registered: blocks
+    assert not poll2.triggered
+    selector.register(conn, EVENT_READ)  # re-register while poll pending
+    send(env, conn)
+    env.run()
+    assert poll2.triggered
+    assert poll2.value == [(conn, EVENT_READ)]
+
+
+def test_unregistered_connection_never_reported(env, make_connection):
+    selector = Selector(env)
+    conn = make_connection()
+    selector.register(conn, EVENT_READ)
+    selector.unregister(conn)
+    send(env, conn)
+    env.run()
+    assert selector.ready_list() == []
+
+
+def test_modify_requires_registration(env, make_connection):
+    selector = Selector(env)
+    with pytest.raises(NetworkError):
+        selector.modify(make_connection(), EVENT_READ)
+
+
+def test_combined_mask_reports_both(env, make_connection):
+    selector = Selector(env)
+    conn = make_connection()
+    selector.register(conn, EVENT_READ | EVENT_WRITE)
+    send(env, conn)
+    env.run()
+    [(reported, mask)] = selector.ready_list()
+    assert reported is conn
+    assert mask == EVENT_READ | EVENT_WRITE
+
+
+def test_poll_statistics(env, make_connection):
+    selector = Selector(env)
+    c1, c2 = make_connection(), make_connection()
+    selector.register(c1, EVENT_READ)
+    selector.register(c2, EVENT_READ)
+    send(env, c1)
+    send(env, c2)
+    env.run()
+    poll = selector.poll()
+    assert poll.triggered
+    assert selector.polls == 1
+    assert selector.events_returned == 2
+
+
+def test_level_triggered_redelivery(env, make_connection):
+    """An unread request keeps the connection ready on every poll."""
+    selector = Selector(env)
+    conn = make_connection()
+    selector.register(conn, EVENT_READ)
+    send(env, conn)
+    env.run()
+    assert selector.poll().triggered
+    assert selector.poll().triggered  # still readable, still returned

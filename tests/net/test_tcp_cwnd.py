@@ -1,0 +1,129 @@
+"""Congestion-window behaviour: slow start, idle reset, autotuning."""
+
+import pytest
+
+from repro.calibration import default_calibration
+from repro.net.link import Link
+from repro.net.messages import Request
+from repro.net.tcp import IDLE_RESET_THRESHOLD, Connection
+from repro.sim.core import Environment
+
+
+def test_initial_cwnd_is_ten_segments(make_connection, calib):
+    conn = make_connection()
+    assert conn.cwnd == calib.initial_cwnd_segments * calib.mss
+
+
+def test_cwnd_grows_with_acks(env, make_connection, calib):
+    conn = make_connection()
+    initial = conn.cwnd
+    conn.open_transfer(64 * 1024)
+
+    def writer(env):
+        remaining = 64 * 1024
+        while remaining:
+            n = conn.try_write(remaining)
+            remaining -= n
+            if remaining and n == 0:
+                yield conn.wait_writable()
+
+    env.process(writer(env))
+    env.run()
+    assert conn.cwnd > initial
+
+
+def test_idle_resets_cwnd(env, make_connection, calib):
+    conn = make_connection()
+    conn.open_transfer(32 * 1024)
+
+    def writer(env):
+        remaining = 32 * 1024
+        while remaining:
+            n = conn.try_write(remaining)
+            remaining -= n
+            if remaining and n == 0:
+                yield conn.wait_writable()
+        grown = conn.cwnd
+        yield env.timeout(IDLE_RESET_THRESHOLD * 2)
+        conn.open_transfer(1000)
+        conn.try_write(1000)
+        assert conn.cwnd <= grown
+        assert conn.stats.idle_resets == 1
+
+    process = env.process(writer(env))
+    env.run(process)
+
+
+def test_no_idle_reset_for_back_to_back_sends(env, make_connection):
+    conn = make_connection()
+    conn.open_transfer(1000)
+    conn.try_write(1000)
+    conn.open_transfer(1000)
+    conn.try_write(1000)
+    assert conn.stats.idle_resets == 0
+
+
+def test_autotune_grows_buffer_with_cwnd(env, calib):
+    link = Link.lan(calib)
+    conn = Connection(env, link, calib, autotune=True)
+    initial_capacity = conn.buffer.capacity
+    size = 256 * 1024
+    conn.open_transfer(size)
+
+    def writer(env):
+        remaining = size
+        while remaining:
+            n = conn.try_write(remaining)
+            remaining -= n
+            if remaining and n == 0:
+                yield conn.wait_writable()
+
+    env.process(writer(env))
+    env.run()
+    assert conn.buffer.capacity > initial_capacity
+    assert conn.buffer.capacity <= calib.tcp_wmem_max
+
+
+def test_autotune_never_shrinks_capacity(env, calib):
+    link = Link.lan(calib)
+    conn = Connection(env, link, calib, autotune=True)
+    conn.open_transfer(64 * 1024)
+
+    def writer(env):
+        remaining = 64 * 1024
+        while remaining:
+            n = conn.try_write(remaining)
+            remaining -= n
+            if remaining and n == 0:
+                yield conn.wait_writable()
+        grown = conn.buffer.capacity
+        yield env.timeout(IDLE_RESET_THRESHOLD * 2)
+        conn.open_transfer(100)
+        conn.try_write(100)
+        assert conn.buffer.capacity >= grown
+
+    process = env.process(writer(env))
+    env.run(process)
+
+
+def test_fixed_buffer_ignores_autotune(env, make_connection, calib):
+    conn = make_connection(send_buffer_size=123456)
+    assert conn.buffer.capacity == 123456
+    conn.open_transfer(1000)
+    conn.try_write(1000)
+    env.run()
+    assert conn.buffer.capacity == 123456
+
+
+def test_request_roundtrip_delivers_to_inbox(env, make_connection):
+    conn = make_connection()
+    from repro.net.messages import Request
+
+    request = Request(env, "x", 100)
+    conn.send_request(request)
+    assert not conn.readable
+    env.run()
+    assert conn.readable
+    assert conn.read_request() is request
+    assert conn.read_request() is None
+    assert conn.stats.requests_received == 1

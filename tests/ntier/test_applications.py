@@ -1,0 +1,113 @@
+"""Tier applications: proxy, servlet, query."""
+
+import pytest
+
+from repro.net.messages import Request
+from repro.ntier.applications import ProxyApplication, QueryApplication, ServletApplication
+from repro.ntier.pool import ConnectionPool
+from repro.servers.threaded import ThreadedServer
+from repro.workload.rubbos import interaction_table
+
+
+def test_query_application_uses_metadata_cpu(env, cpu):
+    app = QueryApplication(default_cpu=1e-3)
+    server = ThreadedServer(env, cpu, app=app)
+    thread = cpu.thread()
+    request = Request(env, "q", 1000)
+    request.metadata["db_cpu"] = 5e-3
+
+    def runner(env):
+        yield from app.service(server, thread, request)
+
+    env.process(runner(env))
+    env.run()
+    assert cpu.counters.busy_user >= 5e-3
+
+
+def test_query_application_default_cpu(env, cpu):
+    app = QueryApplication(default_cpu=2e-3, per_byte_cpu=0.0)
+    server = ThreadedServer(env, cpu, app=app)
+    thread = cpu.thread()
+    request = Request(env, "q", 1000)
+
+    def runner(env):
+        yield from app.service(server, thread, request)
+
+    env.process(runner(env))
+    env.run()
+    assert cpu.counters.busy_user == pytest.approx(2e-3)
+
+
+def test_query_cost_validation():
+    with pytest.raises(ValueError):
+        QueryApplication(default_cpu=-1)
+
+
+def test_proxy_forwards_and_returns_same_size(env, cpu, lan, calib):
+    downstream = ThreadedServer(env, cpu)
+    pool = ConnectionPool(env, downstream, 2, lan, calib)
+    proxy_app = ProxyApplication(pool)
+    front = ThreadedServer(env, cpu, app=proxy_app)
+    from repro.net.tcp import Connection
+
+    conn = Connection(env, lan, calib)
+    front.attach(conn)
+    request = Request(env, "page", 5000)
+    conn.send_request(request)
+    env.run(request.completed)
+    assert request.completed_at is not None
+    assert downstream.stats.requests_completed == 1
+    assert pool.in_use == 0  # released
+
+
+def test_proxy_cpu_validation():
+    with pytest.raises(ValueError):
+        ProxyApplication(None, per_request_cpu=-1)
+
+
+def test_servlet_issues_interaction_queries(env, cpu, lan, calib):
+    db = ThreadedServer(env, cpu, app=QueryApplication())
+    pool = ConnectionPool(env, db, 2, lan, calib)
+    app = ServletApplication(pool)
+    tomcat = ThreadedServer(env, cpu, app=app)
+    from repro.net.tcp import Connection
+
+    conn = Connection(env, lan, calib)
+    tomcat.attach(conn)
+    interaction = interaction_table()["ViewStory"]  # 2 queries
+    request = Request(env, interaction.name, interaction.response_size)
+    request.metadata["interaction"] = interaction
+    conn.send_request(request)
+    env.run(request.completed)
+    assert db.stats.requests_completed == len(interaction.queries) == 2
+
+
+def test_servlet_without_pool_skips_queries(env, cpu):
+    app = ServletApplication(None)
+    tomcat = ThreadedServer(env, cpu, app=app)
+    thread = cpu.thread()
+    interaction = interaction_table()["ViewStory"]
+    request = Request(env, interaction.name, interaction.response_size)
+    request.metadata["interaction"] = interaction
+
+    def runner(env):
+        size = yield from app.service(tomcat, thread, request)
+        return size
+
+    process = env.process(runner(env))
+    assert env.run(process) == interaction.response_size
+
+
+def test_servlet_falls_back_for_plain_requests(env, cpu, calib):
+    app = ServletApplication(None)
+    tomcat = ThreadedServer(env, cpu, app=app)
+    thread = cpu.thread()
+    request = Request(env, "plain", 3000)
+
+    def runner(env):
+        size = yield from app.service(tomcat, thread, request)
+        return size
+
+    process = env.process(runner(env))
+    assert env.run(process) == 3000
+    assert cpu.counters.busy_user == pytest.approx(calib.request_cpu_cost(3000))

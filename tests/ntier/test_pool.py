@@ -1,0 +1,90 @@
+"""Inter-tier connection pool."""
+
+import pytest
+
+from repro.ntier.pool import ConnectionPool
+from repro.servers.threaded import ThreadedServer
+
+
+def make_pool(env, cpu, lan, calib, size=2):
+    server = ThreadedServer(env, cpu)
+    return ConnectionPool(env, server, size, lan, calib)
+
+
+def test_size_validation(env, cpu, lan, calib):
+    with pytest.raises(ValueError):
+        make_pool(env, cpu, lan, calib, size=0)
+
+
+def test_pool_attaches_connections_to_downstream(env, cpu, lan, calib):
+    server = ThreadedServer(env, cpu)
+    pool = ConnectionPool(env, server, 3, lan, calib)
+    assert len(server.connections) == 3
+    assert pool.idle == 3
+
+
+def test_acquire_release_cycle(env, cpu, lan, calib):
+    pool = make_pool(env, cpu, lan, calib, size=2)
+
+    def worker(env, pool):
+        conn = yield pool.acquire()
+        assert pool.in_use == 1
+        pool.release(conn)
+        assert pool.in_use == 0
+        return conn
+
+    process = env.process(worker(env, pool))
+    env.run(process)
+    assert process.value is not None
+
+
+def test_acquire_blocks_when_exhausted(env, cpu, lan, calib):
+    pool = make_pool(env, cpu, lan, calib, size=1)
+    order = []
+
+    def holder(env, pool):
+        conn = yield pool.acquire()
+        order.append("got-1")
+        yield env.timeout(1.0)
+        pool.release(conn)
+
+    def waiter(env, pool):
+        yield env.timeout(0.1)
+        conn = yield pool.acquire()
+        order.append(("got-2", env.now))
+        pool.release(conn)
+
+    env.process(holder(env, pool))
+    env.process(waiter(env, pool))
+    env.run()
+    assert order == ["got-1", ("got-2", 1.0)]
+
+
+def test_peak_in_use_tracked(env, cpu, lan, calib):
+    pool = make_pool(env, cpu, lan, calib, size=3)
+
+    def worker(env, pool):
+        conn = yield pool.acquire()
+        yield env.timeout(1.0)
+        pool.release(conn)
+
+    for _ in range(3):
+        env.process(worker(env, pool))
+    env.run()
+    assert pool.peak_in_use == 3
+    assert pool.in_use == 0
+
+
+def test_released_connections_recycle_fifo(env, cpu, lan, calib):
+    pool = make_pool(env, cpu, lan, calib, size=1)
+    seen = []
+
+    def worker(env, pool):
+        conn = yield pool.acquire()
+        seen.append(conn)
+        pool.release(conn)
+
+    for _ in range(3):
+        env.process(worker(env, pool))
+    env.run()
+    assert seen[0] is seen[1] is seen[2]

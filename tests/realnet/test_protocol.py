@@ -1,0 +1,54 @@
+"""Wire protocol for the real-socket demo."""
+
+import pytest
+
+from repro.realnet.protocol import (
+    encode_request,
+    encode_response_header,
+    parse_request_line,
+    parse_response_header,
+    split_line,
+)
+
+
+def test_request_roundtrip():
+    line = encode_request("small", 102)
+    assert parse_request_line(line) == ("small", 102)
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        encode_request("has space", 1)
+    with pytest.raises(ValueError):
+        encode_request("x", -1)
+    with pytest.raises(ValueError):
+        encode_request("x\n", 1)
+
+
+def test_parse_request_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_request_line(b"POST x 1\n")
+    with pytest.raises(ValueError):
+        parse_request_line(b"GET x\n")
+    with pytest.raises(ValueError):
+        parse_request_line(b"GET x notanumber\n")
+    with pytest.raises(ValueError):
+        parse_request_line(b"GET x 99999999999999\n")
+
+
+def test_response_header_roundtrip():
+    header = encode_response_header(100 * 1024)
+    assert parse_response_header(header) == 100 * 1024
+
+
+def test_response_header_validation():
+    with pytest.raises(ValueError):
+        encode_response_header(-1)
+    with pytest.raises(ValueError):
+        parse_response_header(b"-5\n")
+
+
+def test_split_line():
+    assert split_line(b"abc\ndef") == (b"abc\n", b"def")
+    assert split_line(b"no newline") == (None, b"no newline")
+    assert split_line(b"\nrest") == (b"\n", b"rest")

@@ -1,0 +1,110 @@
+"""Shared server machinery: applications, read/write helpers."""
+
+import pytest
+
+from repro.errors import ServerError
+from repro.net.messages import Request
+from repro.servers.base import BaseServer, ComputeApplication, naive_spin_write
+from repro.servers.threaded import ThreadedServer
+
+
+def test_compute_application_returns_response_size(env, cpu, calib):
+    app = ComputeApplication(calib)
+    server = ThreadedServer(env, cpu, app=app)
+    thread = cpu.thread()
+    request = Request(env, "x", 5000)
+
+    def runner(env):
+        size = yield from app.service(server, thread, request)
+        return size
+
+    process = env.process(runner(env))
+    assert env.run(process) == 5000
+    assert cpu.counters.busy_user == pytest.approx(calib.request_cpu_cost(5000))
+
+
+def test_double_attach_rejected(env, cpu, make_connection):
+    server = ThreadedServer(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    with pytest.raises(ServerError):
+        server.attach(conn)
+
+
+def test_read_request_charges_syscall(env, cpu, make_connection):
+    server = ThreadedServer(env, cpu)
+    conn = make_connection()
+    request = Request(env, "x", 100)
+    conn.send_request(request)
+    env.run()
+    thread = cpu.thread()
+
+    def reader(env):
+        got = yield from server._read_request(thread, conn)
+        return got
+
+    syscalls_before = cpu.counters.syscalls
+    process = env.process(reader(env))
+    assert env.run(process) is request
+    assert cpu.counters.syscalls == syscalls_before + 1
+    assert request.service_started_at is not None
+
+
+def test_read_request_empty_inbox_returns_none(env, cpu, make_connection):
+    server = ThreadedServer(env, cpu)
+    conn = make_connection()
+
+    def reader(env):
+        got = yield from server._read_request(cpu.thread(), conn)
+        return got
+        yield  # pragma: no cover
+
+    process = env.process(reader(env))
+    assert env.run(process) is None
+
+
+def test_naive_spin_write_small_response_one_call(env, cpu, make_connection):
+    server = ThreadedServer(env, cpu)
+    conn = make_connection()
+    thread = cpu.thread()
+    request = Request(env, "x", 500)
+
+    def writer(env):
+        yield from naive_spin_write(server, thread, conn, request, 500)
+
+    env.process(writer(env))
+    env.run()
+    assert request.write_calls == 1
+    assert server.stats.responses_written == 1
+
+
+def test_naive_spin_write_large_response_spins(env, cpu, make_connection, calib):
+    server = ThreadedServer(env, cpu)
+    conn = make_connection()
+    thread = cpu.thread()
+    size = 100 * 1024
+    request = Request(env, "x", size)
+
+    def writer(env):
+        yield from naive_spin_write(server, thread, conn, request, size)
+
+    env.process(writer(env))
+    env.run()
+    assert request.write_calls > size // calib.tcp_send_buffer
+    assert request.zero_writes >= 1
+    assert conn.stats.bytes_written == size
+
+
+def test_charge_write_counts_syscall_and_costs(env, cpu, calib):
+    server = ThreadedServer(env, cpu)
+    thread = cpu.thread()
+
+    def runner(env):
+        yield server._charge_write(thread, 10_000)
+
+    env.process(runner(env))
+    env.run()
+    assert cpu.counters.syscalls == 1
+    assert cpu.counters.busy_user == pytest.approx(
+        calib.syscall_user_cost + calib.nio_write_user_cost
+    )

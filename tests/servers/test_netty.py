@@ -1,0 +1,112 @@
+"""Netty-specific behaviour: bounded writes, jump-out, pipeline (Fig. 8)."""
+
+import pytest
+
+from repro.calibration import default_calibration
+from repro.cpu.scheduler import CPU
+from repro.net.messages import Request
+from repro.net.link import Link
+from repro.net.tcp import Connection
+from repro.servers.netty import NettyServer
+from repro.sim.core import Environment
+
+LARGE = 100 * 1024
+
+
+def test_workers_validation(env, cpu):
+    with pytest.raises(ValueError):
+        NettyServer(env, cpu, workers=0)
+    with pytest.raises(ValueError):
+        NettyServer(env, cpu, spin_threshold=0)
+
+
+def test_default_spin_threshold_from_calibration(env, cpu, calib):
+    server = NettyServer(env, cpu)
+    assert server.spin_threshold == calib.netty_write_spin_threshold
+
+
+def test_jump_out_recorded_on_large_response(env, cpu, make_connection):
+    server = NettyServer(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", LARGE)
+    conn.send_request(request)
+    env.run(request.completed)
+    assert server.stats.spin_jumpouts >= 1
+    assert request.completed_at is not None
+
+
+def test_no_jump_out_on_small_response(env, cpu, make_connection):
+    server = NettyServer(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", 102)
+    conn.send_request(request)
+    env.run(request.completed)
+    assert server.stats.spin_jumpouts == 0
+    assert request.write_calls == 1
+
+
+def test_spin_threshold_one_jumps_out_every_write(env, cpu, make_connection):
+    server = NettyServer(env, cpu, spin_threshold=1)
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", LARGE)
+    conn.send_request(request)
+    env.run(request.completed)
+    # Threshold 1: at most one write per visit -> jumpouts ~ write calls.
+    assert server.stats.spin_jumpouts >= request.write_calls - 1
+
+
+def test_pending_write_cleaned_up_after_completion(env, cpu, make_connection):
+    server = NettyServer(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", LARGE)
+    conn.send_request(request)
+    env.run(request.completed)
+    assert all(not worker.pending for worker in server._workers)
+
+
+def test_round_robin_connection_assignment(env, cpu, make_connection):
+    server = NettyServer(env, cpu, workers=3)
+    for _ in range(7):
+        server.attach(make_connection())
+    counts = sorted(worker.selector.registered for worker in server._workers)
+    assert counts == [2, 2, 3]
+
+
+def test_multiple_workers_serve_in_parallel(env, calib, make_connection):
+    env2 = Environment()
+    calib2 = default_calibration(cores=2)
+    cpu2 = CPU(env2, calib2)
+    server = NettyServer(env2, cpu2, workers=2)
+    link = Link.lan(calib2)
+    requests = []
+    for _ in range(2):
+        conn = Connection(env2, link, calib2)
+        server.attach(conn)
+        request = Request(env2, "x", 50 * 1024)
+        conn.send_request(request)
+        requests.append(request)
+    env2.run(env2.all_of([r.completed for r in requests]))
+    assert all(r.completed_at is not None for r in requests)
+
+
+def test_netty_pays_pipeline_cost(env, make_connection, calib):
+    """Per-request user CPU includes the pipeline traversal (part of the
+    optimisation overhead of Figure 9b)."""
+    from repro.servers.singlet import SingleThreadedServer
+
+    def user_time(server_cls):
+        env2 = Environment()
+        cpu2 = CPU(env2, default_calibration())
+        server = server_cls(env2, cpu2)
+        conn = Connection(env2, Link.lan(default_calibration()), default_calibration())
+        server.attach(conn)
+        request = Request(env2, "x", 102)
+        conn.send_request(request)
+        env2.run(request.completed)
+        return cpu2.counters.busy_user
+
+    assert user_time(NettyServer) > user_time(SingleThreadedServer) + calib.pipeline_cost * 0.9

@@ -1,0 +1,87 @@
+"""The Figure 3 event processing flow and its context-switch signature."""
+
+import pytest
+
+from repro.net.messages import Request
+from repro.servers.reactor import ReactorFixServer, ReactorServer
+from repro.servers.singlet import SingleThreadedServer
+from repro.servers.threaded import ThreadedServer
+
+
+def switches_per_request(env, cpu, make_connection, server_cls, n_requests=20, **kwargs):
+    """Average context switches per request at concurrency 1 (the paper's
+    Table II counting: one request's flow at a time)."""
+    server = server_cls(env, cpu, **kwargs)
+    conn = make_connection()
+    server.attach(conn)
+    # Warm one request through so thread start-up switches are excluded.
+    warm = Request(env, "w", 100)
+    conn.send_request(warm)
+    env.run(warm.completed)
+    before = cpu.counters.context_switches
+    for _ in range(n_requests):
+        request = Request(env, "x", 100)
+        conn.send_request(request)
+        env.run(request.completed)
+    return (cpu.counters.context_switches - before) / n_requests
+
+
+def test_reactor_four_switches_per_request(env, cpu, make_connection):
+    """Figure 3: reactor->worker (read), worker->reactor (write event),
+    reactor->worker (write), worker->reactor (done) = 4."""
+    measured = switches_per_request(env, cpu, make_connection, ReactorServer, workers=4)
+    assert 3.5 <= measured <= 5.5
+
+
+def test_reactor_fix_two_switches_per_request(env, cpu, make_connection):
+    """Merging read+write handling removes two of the four switches."""
+    measured = switches_per_request(env, cpu, make_connection, ReactorFixServer, workers=4)
+    assert 1.5 <= measured <= 3.5
+
+
+def test_single_threaded_zero_switches(env, cpu, make_connection):
+    measured = switches_per_request(env, cpu, make_connection, SingleThreadedServer)
+    assert measured <= 0.2
+
+
+def test_threaded_about_one_switch_per_request(env, cpu, make_connection):
+    """The dedicated worker thread blocks once per request (read wait);
+    the paper counts this as 0 *user-space* switches."""
+    measured = switches_per_request(env, cpu, make_connection, ThreadedServer)
+    assert measured <= 2.0
+
+
+def test_fix_strictly_cheaper_than_plain_reactor(env, cpu, make_connection):
+    from repro.sim.core import Environment
+    from repro.cpu.scheduler import CPU
+    from repro.calibration import default_calibration
+
+    def run(server_cls):
+        env2 = Environment()
+        cpu2 = CPU(env2, default_calibration())
+        from repro.net.link import Link
+        from repro.net.tcp import Connection
+
+        def make(**kwargs):
+            return Connection(env2, Link.lan(default_calibration()), default_calibration())
+
+        return switches_per_request(env2, cpu2, make, server_cls, workers=4)
+
+    assert run(ReactorFixServer) < run(ReactorServer)
+
+
+def test_reactor_workers_validation(env, cpu):
+    with pytest.raises(ValueError):
+        ReactorServer(env, cpu, workers=0)
+
+
+def test_reactor_reregisters_connection_after_response(env, cpu, make_connection):
+    server = ReactorServer(env, cpu, workers=2)
+    conn = make_connection()
+    server.attach(conn)
+    for _ in range(3):
+        request = Request(env, "x", 100)
+        conn.send_request(request)
+        env.run(request.completed)
+    # After the last response the connection must be watched again.
+    assert server.selector.registered == 1

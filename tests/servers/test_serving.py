@@ -1,0 +1,85 @@
+"""End-to-end serving behaviour common to every architecture."""
+
+import pytest
+
+from repro.core.hybrid import HybridServer
+from repro.net.messages import Request
+from repro.servers.netty import NettyServer
+from repro.servers.reactor import ReactorFixServer, ReactorServer
+from repro.servers.singlet import SingleThreadedServer
+from repro.servers.threaded import ThreadedServer
+from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
+
+ALL_SERVERS = [
+    ThreadedServer,
+    ReactorServer,
+    ReactorFixServer,
+    SingleThreadedServer,
+    NettyServer,
+    HybridServer,
+    TomcatSyncServer,
+    TomcatAsyncServer,
+]
+
+
+def serve_one(env, cpu, make_connection, server_cls, response_size=1000):
+    server = server_cls(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", response_size)
+    conn.send_request(request)
+    env.run(request.completed)
+    return server, request
+
+
+@pytest.mark.parametrize("server_cls", ALL_SERVERS)
+def test_single_request_completes(env, cpu, make_connection, server_cls):
+    server, request = serve_one(env, cpu, make_connection, server_cls)
+    assert request.completed_at is not None
+    assert request.response_time > 0
+    assert server.stats.requests_completed == 1
+
+
+@pytest.mark.parametrize("server_cls", ALL_SERVERS)
+def test_large_response_completes(env, cpu, make_connection, server_cls):
+    server, request = serve_one(env, cpu, make_connection, server_cls,
+                                response_size=100 * 1024)
+    assert request.completed_at is not None
+    assert server.stats.requests_completed == 1
+
+
+@pytest.mark.parametrize("server_cls", ALL_SERVERS)
+def test_sequential_requests_on_one_connection(env, cpu, make_connection, server_cls):
+    server = server_cls(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    times = []
+    for _ in range(5):
+        request = Request(env, "x", 2000)
+        conn.send_request(request)
+        env.run(request.completed)
+        times.append(request.completed_at)
+    assert times == sorted(times)
+    assert server.stats.requests_completed == 5
+
+
+@pytest.mark.parametrize("server_cls", ALL_SERVERS)
+def test_concurrent_connections_all_served(env, cpu, make_connection, server_cls):
+    server = server_cls(env, cpu)
+    connections = [make_connection() for _ in range(8)]
+    for conn in connections:
+        server.attach(conn)
+    requests = []
+    for conn in connections:
+        request = Request(env, "x", 1500)
+        conn.send_request(request)
+        requests.append(request)
+    env.run(env.all_of([r.completed for r in requests]))
+    assert all(r.completed_at is not None for r in requests)
+    assert server.stats.requests_completed == 8
+
+
+@pytest.mark.parametrize("server_cls", ALL_SERVERS)
+def test_zero_byte_response(env, cpu, make_connection, server_cls):
+    server, request = serve_one(env, cpu, make_connection, server_cls, response_size=0)
+    assert request.completed_at is not None

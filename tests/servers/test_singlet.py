@@ -1,0 +1,56 @@
+"""Single-threaded server specifics."""
+
+import pytest
+
+from repro.net.messages import Request
+from repro.servers.singlet import SingleThreadedServer
+
+
+def test_exactly_one_thread(env, cpu, make_connection):
+    before = cpu.live_threads
+    SingleThreadedServer(env, cpu)
+    assert cpu.live_threads == before + 1
+
+
+def test_poll_batches_multiple_ready_connections(env, cpu, make_connection):
+    server = SingleThreadedServer(env, cpu)
+    connections = [make_connection() for _ in range(5)]
+    for conn in connections:
+        server.attach(conn)
+    requests = []
+    for conn in connections:
+        request = Request(env, "x", 100)
+        conn.send_request(request)
+        requests.append(request)
+    env.run(env.all_of([r.completed for r in requests]))
+    # Fewer polls than requests: readiness was batched.
+    assert server.selector.polls <= len(requests)
+    assert server.selector.events_returned >= len(requests)
+
+
+def test_requests_on_one_connection_served_in_order(env, cpu, make_connection):
+    server = SingleThreadedServer(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    requests = [Request(env, f"r{i}", 1000) for i in range(4)]
+    for request in requests:
+        conn.send_request(request)
+    env.run(env.all_of([r.completed for r in requests]))
+    completions = [r.completed_at for r in requests]
+    assert completions == sorted(completions)
+
+
+def test_no_worker_pool_attribute(env, cpu):
+    server = SingleThreadedServer(env, cpu)
+    assert not hasattr(server, "workers")
+
+
+def test_service_start_follows_arrival(env, cpu, make_connection):
+    server = SingleThreadedServer(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", 100)
+    conn.send_request(request)
+    env.run(request.completed)
+    assert request.service_started_at >= request.created_at
+    assert request.completed_at >= request.service_started_at

@@ -1,0 +1,76 @@
+"""Full Tomcat connector models: framework overhead and write continuations."""
+
+import pytest
+
+from repro.calibration import default_calibration
+from repro.cpu.scheduler import CPU
+from repro.net.link import Link
+from repro.net.messages import Request
+from repro.net.tcp import Connection
+from repro.servers.tomcat import FRAMEWORK_OVERHEAD, TomcatAsyncServer, TomcatSyncServer
+from repro.sim.core import Environment
+
+LARGE = 100 * 1024
+
+
+def serve(server_cls, size, **kwargs):
+    calib = default_calibration()
+    env = Environment()
+    cpu = CPU(env, calib)
+    server = server_cls(env, cpu, **kwargs)
+    conn = Connection(env, Link.lan(calib), calib)
+    server.attach(conn)
+    request = Request(env, "x", size)
+    conn.send_request(request)
+    env.run(request.completed)
+    return env, cpu, server, conn, request
+
+
+def test_sync_framework_overhead_charged():
+    _, cpu_plain, _, _, _ = serve_tomcat_free(102)
+    _, cpu_tomcat, _, _, _ = serve(TomcatSyncServer, 102)
+    assert cpu_tomcat.counters.busy_user >= cpu_plain.counters.busy_user + FRAMEWORK_OVERHEAD * 0.9
+
+
+def serve_tomcat_free(size):
+    from repro.servers.threaded import ThreadedServer
+
+    return serve(ThreadedServer, size)
+
+
+def test_async_small_response_no_continuations():
+    _, _, server, conn, request = serve(TomcatAsyncServer, 102, workers=4)
+    assert request.completed_at is not None
+    assert not server._pending_writes
+    assert request.write_calls == 1
+
+
+def test_async_large_response_uses_continuations():
+    _, _, server, conn, request = serve(TomcatAsyncServer, LARGE, workers=4)
+    assert request.completed_at is not None
+    # Multiple write calls, each a poller-dispatched continuation round.
+    assert request.write_calls > 3
+    assert not server._pending_writes  # cleaned up
+
+
+def test_async_switches_explode_for_large_responses():
+    """Table I: TomcatAsync's context switches per request at 100KB are a
+    large multiple of TomcatSync's."""
+    _, cpu_async, _, _, _ = serve(TomcatAsyncServer, LARGE, workers=4)
+    _, cpu_sync, _, _, _ = serve(TomcatSyncServer, LARGE)
+    assert cpu_async.counters.context_switches > 1.5 * cpu_sync.counters.context_switches
+
+
+def test_async_sequential_large_responses():
+    calib = default_calibration()
+    env = Environment()
+    cpu = CPU(env, calib)
+    server = TomcatAsyncServer(env, cpu, workers=4)
+    conn = Connection(env, Link.lan(calib), calib)
+    server.attach(conn)
+    for _ in range(3):
+        request = Request(env, "x", LARGE)
+        conn.send_request(request)
+        env.run(request.completed)
+    assert server.stats.requests_completed == 3
+    assert server.selector.registered == 1  # back to read-watching

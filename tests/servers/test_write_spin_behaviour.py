@@ -1,0 +1,92 @@
+"""Figure 5 dynamics: the write-spin and its per-architecture signature."""
+
+import pytest
+
+from repro.net.messages import Request
+from repro.servers.netty import NettyServer
+from repro.servers.singlet import SingleThreadedServer
+from repro.servers.threaded import ThreadedServer
+
+LARGE = 100 * 1024
+
+
+def serve(env, cpu, make_connection, server_cls, size, **kwargs):
+    server = server_cls(env, cpu, **kwargs)
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", size)
+    conn.send_request(request)
+    env.run(request.completed)
+    return server, conn, request
+
+
+def test_singlet_write_spin_on_large_response(env, cpu, make_connection, calib):
+    _, conn, request = serve(env, cpu, make_connection, SingleThreadedServer, LARGE)
+    # Table IV: ~1 write per ACK-granularity chunk beyond the buffer.
+    assert request.write_calls >= (LARGE - calib.tcp_send_buffer) // (4 * conn.ack_granularity)
+    assert request.zero_writes >= 1
+
+
+def test_singlet_no_spin_on_small_response(env, cpu, make_connection):
+    _, _, request = serve(env, cpu, make_connection, SingleThreadedServer, 102)
+    assert request.write_calls == 1
+    assert request.zero_writes == 0
+
+
+def test_threaded_single_write_call_regardless_of_size(env, cpu, make_connection):
+    _, _, request = serve(env, cpu, make_connection, ThreadedServer, LARGE)
+    assert request.write_calls == 1
+
+
+def test_larger_send_buffer_removes_spin(env, cpu, calib):
+    from repro.net.link import Link
+    from repro.net.tcp import Connection
+
+    server = SingleThreadedServer(env, cpu)
+    conn = Connection(env, Link.lan(calib), calib, send_buffer_size=LARGE)
+    server.attach(conn)
+    request = Request(env, "x", LARGE)
+    conn.send_request(request)
+    env.run(request.completed)
+    assert request.write_calls == 1
+
+
+def test_singlet_blocks_loop_during_large_write(env, cpu, make_connection):
+    """The naive handler occupies the single thread until the response is
+    fully copied: a small request arriving behind a large one waits for
+    the whole drain (the serialisation behind Figure 7)."""
+    server = SingleThreadedServer(env, cpu)
+    big_conn = make_connection()
+    small_conn = make_connection()
+    server.attach(big_conn)
+    server.attach(small_conn)
+
+    big = Request(env, "big", LARGE)
+    big_conn.send_request(big)
+    env.run(until=0.002)  # big request is mid-write now
+    small = Request(env, "small", 102)
+    small_conn.send_request(small)
+    env.run(small.completed)
+    # The small response could not overtake the big one's handler.
+    assert small.completed_at >= big.service_started_at
+    assert big.completed_at is not None
+    assert small.completed_at > 0
+
+
+def test_netty_interleaves_small_during_large_write(env, cpu, make_connection):
+    """Netty's jump-out lets the worker serve other connections while a
+    large response drains; the small request does NOT wait for the big
+    transfer to finish."""
+    server = NettyServer(env, cpu)
+    big_conn = make_connection()
+    small_conn = make_connection()
+    server.attach(big_conn)
+    server.attach(small_conn)
+
+    big = Request(env, "big", LARGE)
+    big_conn.send_request(big)
+    env.run(until=0.0005)
+    small = Request(env, "small", 102)
+    small_conn.send_request(small)
+    env.run(env.all_of([small.completed, big.completed]))
+    assert small.completed_at < big.completed_at

@@ -1,0 +1,178 @@
+"""Process semantics: generators, return values, exceptions, interrupts."""
+
+import pytest
+
+from repro.errors import InterruptError, ProcessError, SimulationError
+from repro.sim.core import Environment
+
+
+def test_process_requires_generator(env):
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_process_return_value(env):
+    def worker(env):
+        yield env.timeout(1)
+        return "result"
+
+    process = env.process(worker(env))
+    assert env.run(process) == "result"
+    assert not process.is_alive
+
+
+def test_process_is_alive_until_done(env):
+    def worker(env):
+        yield env.timeout(5)
+
+    process = env.process(worker(env))
+    assert process.is_alive
+    env.run(until=1)
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+
+
+def test_exception_propagates_to_run_until_process(env):
+    def worker(env):
+        yield env.timeout(1)
+        raise KeyError("missing")
+
+    process = env.process(worker(env))
+    with pytest.raises(KeyError):
+        env.run(process)
+
+
+def test_waiting_process_receives_exception_at_yield(env):
+    def failer(env):
+        yield env.timeout(1)
+        raise ValueError("inner")
+
+    def waiter(env, target):
+        try:
+            yield target
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    target = env.process(failer(env))
+    waiter_proc = env.process(waiter(env, target))
+    assert env.run(waiter_proc) == "caught inner"
+
+
+def test_yielding_non_event_fails_the_process(env):
+    def bad(env):
+        yield 42
+
+    process = env.process(bad(env))
+    with pytest.raises(ProcessError, match="non-event"):
+        env.run(process)
+
+
+def test_yield_already_processed_event_resumes_immediately(env):
+    timeout = env.timeout(1, value="early")
+    env.run()
+
+    def worker(env, ev):
+        value = yield ev
+        return (env.now, value)
+
+    process = env.process(worker(env, timeout))
+    env.run()
+    assert process.value == (1.0, "early")
+
+
+def test_interrupt_delivers_cause(env):
+    observed = {}
+
+    def victim(env):
+        try:
+            yield env.timeout(10)
+        except InterruptError as exc:
+            observed["cause"] = exc.cause
+            observed["time"] = env.now
+
+    def attacker(env, target):
+        yield env.timeout(3)
+        target.interrupt("deadline")
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert observed == {"cause": "deadline", "time": 3.0}
+
+
+def test_interrupted_process_can_rewait_original_event(env):
+    def victim(env):
+        timeout = env.timeout(10)
+        try:
+            yield timeout
+        except InterruptError:
+            pass
+        yield timeout
+        return env.now
+
+    def attacker(env, target):
+        yield env.timeout(2)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert target.value == 10.0
+
+
+def test_interrupting_terminated_process_raises(env):
+    def quick(env):
+        yield env.timeout(1)
+
+    process = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_self_interrupt_rejected(env):
+    def worker(env):
+        process = env.active_process
+        process.interrupt()
+        yield env.timeout(1)
+
+    process = env.process(worker(env))
+    with pytest.raises(SimulationError):
+        env.run(process)
+
+
+def test_active_process_visible_during_execution(env):
+    seen = []
+
+    def worker(env):
+        seen.append(env.active_process)
+        yield env.timeout(1)
+
+    process = env.process(worker(env))
+    env.run()
+    assert seen == [process]
+    assert env.active_process is None
+
+
+def test_process_chain_passes_values(env):
+    def inner(env):
+        yield env.timeout(1)
+        return 10
+
+    def outer(env):
+        value = yield env.process(inner(env))
+        return value * 2
+
+    process = env.process(outer(env))
+    assert env.run(process) == 20
+
+
+def test_process_name_defaults_and_override(env):
+    def worker(env):
+        yield env.timeout(1)
+
+    named = env.process(worker(env), name="my-proc")
+    assert named.name == "my-proc"
+    default = env.process(worker(env))
+    assert default.name  # non-empty

@@ -1,0 +1,102 @@
+"""Resource / PriorityResource semantics."""
+
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.resources import PriorityResource, Resource
+
+
+def test_capacity_must_be_positive(env):
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_grants_up_to_capacity_immediately(env):
+    resource = Resource(env, capacity=2)
+    r1, r2, r3 = resource.request(), resource.request(), resource.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert resource.count == 2
+    assert resource.queue_length == 1
+
+
+def test_release_grants_next_in_fifo_order(env):
+    resource = Resource(env, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    third = resource.request()
+    first.release()
+    assert second.triggered and not third.triggered
+    second.release()
+    assert third.triggered
+
+
+def test_cancel_pending_request(env):
+    resource = Resource(env, capacity=1)
+    holder = resource.request()
+    waiting = resource.request()
+    waiting.release()  # cancel while queued
+    other = resource.request()
+    holder.release()
+    assert other.triggered
+    assert not waiting.triggered
+
+
+def test_context_manager_releases(env):
+    resource = Resource(env, capacity=1)
+
+    def worker(env, resource, log, name):
+        with resource.request() as req:
+            yield req
+            log.append((env.now, name))
+            yield env.timeout(1)
+
+    log = []
+    env.process(worker(env, resource, log, "a"))
+    env.process(worker(env, resource, log, "b"))
+    env.run()
+    assert log == [(0.0, "a"), (1.0, "b")]
+
+
+def test_priority_resource_orders_by_priority(env):
+    resource = PriorityResource(env, capacity=1)
+    holder = resource.request()
+    low = resource.request(priority=10)
+    high = resource.request(priority=1)
+    holder.release()
+    assert high.triggered and not low.triggered
+
+
+def test_priority_ties_break_fifo(env):
+    resource = PriorityResource(env, capacity=1)
+    holder = resource.request()
+    first = resource.request(priority=5)
+    second = resource.request(priority=5)
+    holder.release()
+    assert first.triggered and not second.triggered
+
+
+def test_queue_length_counts_waiting_only(env):
+    resource = Resource(env, capacity=1)
+    resource.request()
+    resource.request()
+    resource.request()
+    assert resource.count == 1
+    assert resource.queue_length == 2
+
+
+def test_many_workers_throughput(env):
+    resource = Resource(env, capacity=3)
+    done = []
+
+    def worker(env, resource, i):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(1)
+        done.append((env.now, i))
+
+    for i in range(9):
+        env.process(worker(env, resource, i))
+    env.run()
+    assert env.now == 3.0
+    assert len(done) == 9

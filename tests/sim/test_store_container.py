@@ -1,0 +1,107 @@
+"""Store and Container semantics."""
+
+import pytest
+
+from repro.sim.resources import Container, Store
+
+
+def test_store_fifo_order(env):
+    store = Store(env)
+    for i in range(3):
+        store.put(i)
+    got = [store.get() for _ in range(3)]
+    env.run()
+    assert [g.value for g in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put(env):
+    store = Store(env)
+    get = store.get()
+    assert not get.triggered
+
+    def producer(env, store):
+        yield env.timeout(2)
+        yield store.put("item")
+
+    env.process(producer(env, store))
+    env.run()
+    assert get.value == "item"
+
+
+def test_store_bounded_put_blocks(env):
+    store = Store(env, capacity=1)
+    p1 = store.put("a")
+    p2 = store.put("b")
+    assert p1.triggered
+    assert not p2.triggered
+    store.get()
+    assert p2.triggered
+
+
+def test_store_capacity_validation(env):
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_size_tracks_items(env):
+    store = Store(env)
+    store.put("x")
+    store.put("y")
+    assert store.size == 2
+    store.get()
+    assert store.size == 1
+
+
+def test_store_interleaved_producers_consumers(env):
+    store = Store(env)
+    consumed = []
+
+    def producer(env, store):
+        for i in range(5):
+            yield env.timeout(1)
+            yield store.put(i)
+
+    def consumer(env, store):
+        for _ in range(5):
+            item = yield store.get()
+            consumed.append((env.now, item))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert consumed == [(float(i + 1), i) for i in range(5)]
+
+
+def test_container_initial_level_validation(env):
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+
+
+def test_container_get_blocks_until_enough(env):
+    container = Container(env, capacity=100, init=0)
+    get = container.get(10)
+    assert not get.triggered
+    container.put(5)
+    assert not get.triggered
+    container.put(5)
+    assert get.triggered
+    assert container.level == 0
+
+
+def test_container_put_blocks_at_capacity(env):
+    container = Container(env, capacity=10, init=8)
+    put = container.put(5)
+    assert not put.triggered
+    container.get(5)
+    assert put.triggered
+    assert container.level == 8
+
+
+def test_container_rejects_nonpositive_amounts(env):
+    container = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        container.put(0)
+    with pytest.raises(ValueError):
+        container.get(-1)

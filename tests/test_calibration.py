@@ -1,0 +1,89 @@
+"""Calibration constants and derived helpers."""
+
+import pytest
+
+from repro.calibration import Calibration, DEFAULT_CALIBRATION, default_calibration
+from repro.errors import CalibrationError
+
+
+def test_default_is_valid():
+    DEFAULT_CALIBRATION.validate()
+
+
+def test_default_calibration_returns_shared_instance():
+    assert default_calibration() is DEFAULT_CALIBRATION
+
+
+def test_with_overrides_returns_new_validated_instance():
+    custom = default_calibration(cores=4)
+    assert custom.cores == 4
+    assert DEFAULT_CALIBRATION.cores == 1
+
+
+def test_invalid_overrides_rejected():
+    with pytest.raises(CalibrationError):
+        default_calibration(cores=0)
+    with pytest.raises(CalibrationError):
+        default_calibration(context_switch_base=-1.0)
+    with pytest.raises(CalibrationError):
+        default_calibration(mss=0)
+    with pytest.raises(CalibrationError):
+        default_calibration(link_bandwidth=0)
+    with pytest.raises(CalibrationError):
+        default_calibration(netty_write_spin_threshold=0)
+
+
+def test_context_switch_cost_monotone():
+    calib = DEFAULT_CALIBRATION
+    costs = [calib.context_switch_cost(n) for n in [1, 10, 100, 1000]]
+    assert costs == sorted(costs)
+    assert costs[0] >= calib.context_switch_base
+
+
+def test_footprint_factor_free_below_threshold():
+    calib = DEFAULT_CALIBRATION
+    assert calib.thread_footprint_factor(calib.thread_footprint_free) == 1.0
+    assert calib.thread_footprint_factor(1) == 1.0
+    assert calib.thread_footprint_factor(1000) > 1.0
+
+
+def test_request_cpu_cost_scales_with_size():
+    calib = DEFAULT_CALIBRATION
+    assert calib.request_cpu_cost(0) == calib.request_base_cost
+    assert calib.request_cpu_cost(100_000) > calib.request_cpu_cost(100)
+
+
+def test_syscall_cost_split():
+    calib = DEFAULT_CALIBRATION
+    user, system = calib.syscall_cost(1000)
+    assert user == calib.syscall_user_cost
+    assert system == pytest.approx(
+        calib.syscall_kernel_cost + 1000 * calib.copy_cost_per_byte
+    )
+
+
+def test_tx_kernel_cost_segments():
+    calib = DEFAULT_CALIBRATION
+    assert calib.tx_kernel_cost(0) == 0.0
+    assert calib.tx_kernel_cost(1) == calib.tcp_tx_cost_per_segment
+    assert calib.tx_kernel_cost(calib.mss + 1) == 2 * calib.tcp_tx_cost_per_segment
+
+
+def test_rtt_and_bdp():
+    calib = DEFAULT_CALIBRATION
+    assert calib.rtt == pytest.approx(2 * calib.lan_one_way_latency)
+    assert calib.bdp(5e-3) == pytest.approx(calib.link_bandwidth * 2 * 5e-3)
+    # BDP never drops below the LAN's own value.
+    assert calib.bdp(0.0) == pytest.approx(calib.link_bandwidth * calib.rtt)
+
+
+def test_describe_includes_key_constants():
+    described = DEFAULT_CALIBRATION.describe()
+    assert described["tcp_send_buffer_bytes"] == 16 * 1024
+    assert described["cores"] == 1
+    assert "netty_write_spin_threshold" in described
+
+
+def test_frozen_dataclass():
+    with pytest.raises(Exception):
+        DEFAULT_CALIBRATION.cores = 2

@@ -1,0 +1,53 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for attr_name, attr in vars(obj).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(attr):
+                        continue
+                    if attr.__doc__ and attr.__doc__.strip():
+                        continue
+                    # An override inherits its contract's documentation.
+                    inherited = any(
+                        (getattr(base, attr_name, None) is not None
+                         and getattr(getattr(base, attr_name), "__doc__", None))
+                        for base in obj.__mro__[1:]
+                    )
+                    if not inherited:
+                        undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, f"{module.__name__}: {undocumented}"

@@ -1,0 +1,35 @@
+"""Exception hierarchy sanity."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_interrupt_error_carries_cause():
+    exc = errors.InterruptError("why")
+    assert exc.cause == "why"
+
+
+def test_simulation_errors_grouped():
+    assert issubclass(errors.EventLifecycleError, errors.SimulationError)
+    assert issubclass(errors.ProcessError, errors.SimulationError)
+    assert issubclass(errors.StopSimulation, errors.SimulationError)
+
+
+def test_network_errors_grouped():
+    assert issubclass(errors.ConnectionClosedError, errors.NetworkError)
+    assert issubclass(errors.BufferError_, errors.NetworkError)
+
+
+def test_catching_repro_error_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.CalibrationError("bad constant")
+    with pytest.raises(errors.ReproError):
+        raise errors.WorkloadError("bad mix")

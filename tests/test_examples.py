@@ -1,0 +1,44 @@
+"""The example scripts stay importable and runnable.
+
+Full example runs take minutes (they are demos, not tests); here we
+compile each script, check its interface, and exercise the cheapest one
+end-to-end.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+def test_at_least_five_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard_and_docstring(path):
+    text = path.read_text()
+    assert '__name__ == "__main__"' in text
+    assert text.lstrip().startswith(("#!/usr/bin/env python", '"""'))
+    assert '"""' in text  # module docstring
+
+
+def test_write_spin_demo_runs_end_to_end():
+    path = next(p for p in EXAMPLES if p.name == "write_spin_demo.py")
+    proc = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=120
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "write() calls total" in proc.stdout
+    assert "Blocking write" in proc.stdout

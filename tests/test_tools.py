@@ -1,0 +1,44 @@
+"""The EXPERIMENTS.md assembler script."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture
+def assembler(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location(
+        "assemble_experiments", ROOT / "tools" / "assemble_experiments.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "GENERATED", tmp_path / "generated")
+    monkeypatch.setattr(module, "OUTPUT", tmp_path / "EXPERIMENTS.md")
+    return module
+
+
+def test_fails_without_generated_dir(assembler):
+    assert assembler.main() == 1
+
+
+def test_assembles_sections_in_paper_order(assembler):
+    assembler.GENERATED.mkdir()
+    (assembler.GENERATED / "fig7.md").write_text("### fig7: latency\n")
+    (assembler.GENERATED / "fig1.md").write_text("### fig1: rubbos\n")
+    (assembler.GENERATED / "scale.txt").write_text("0.5")
+    assert assembler.main() == 0
+    text = assembler.OUTPUT.read_text()
+    assert text.index("fig1: rubbos") < text.index("fig7: latency")
+    assert "REPRO_BENCH_SCALE=0.5" in text
+    assert text.startswith("# EXPERIMENTS")
+
+
+def test_warns_on_missing_sections(assembler, capsys):
+    assembler.GENERATED.mkdir()
+    (assembler.GENERATED / "fig1.md").write_text("### fig1\n")
+    assert assembler.main() == 0
+    assert "missing sections" in capsys.readouterr().err

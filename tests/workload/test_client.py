@@ -1,0 +1,86 @@
+"""Closed-loop client behaviour."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics.collector import RunRecorder
+from repro.servers.threaded import ThreadedServer
+from repro.workload.client import (
+    ClosedLoopClient,
+    ExponentialThink,
+    FixedThink,
+    NoThink,
+)
+from repro.workload.mixes import FixedMix
+
+
+def make_served_connection(env, cpu, make_connection):
+    server = ThreadedServer(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    return server, conn
+
+
+def test_think_time_validation():
+    with pytest.raises(WorkloadError):
+        FixedThink(-1)
+    with pytest.raises(WorkloadError):
+        ExponentialThink(0)
+
+
+def test_no_think_samples_zero():
+    assert NoThink().sample(random.Random(0)) == 0.0
+
+
+def test_fixed_think_constant():
+    think = FixedThink(2.5)
+    assert think.sample(random.Random(0)) == 2.5
+
+
+def test_exponential_think_mean():
+    think = ExponentialThink(2.0)
+    rng = random.Random(9)
+    samples = [think.sample(rng) for _ in range(5000)]
+    assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+
+
+def test_client_keeps_one_request_in_flight(env, cpu, make_connection):
+    _, conn = make_served_connection(env, cpu, make_connection)
+    client = ClosedLoopClient(env, conn, FixedMix(100), random.Random(0))
+    env.run(until=0.01)
+    # With zero think time the client completed many sequential requests.
+    assert client.requests_completed > 3
+    # Never more than one outstanding: inbox holds at most one request.
+    assert len(conn.inbox) <= 1
+
+
+def test_client_records_to_recorder(env, cpu, make_connection):
+    _, conn = make_served_connection(env, cpu, make_connection)
+    recorder = RunRecorder(env, warmup=0.0)
+    ClosedLoopClient(env, conn, FixedMix(100), random.Random(0), recorder=recorder)
+    env.run(until=0.01)
+    assert recorder.response_times.count > 0
+
+
+def test_think_time_reduces_request_rate(env, cpu, make_connection):
+    _, conn1 = make_served_connection(env, cpu, make_connection)
+    _, conn2 = make_served_connection(env, cpu, make_connection)
+    eager = ClosedLoopClient(env, conn1, FixedMix(100), random.Random(0))
+    lazy = ClosedLoopClient(
+        env, conn2, FixedMix(100), random.Random(0), think=FixedThink(0.01)
+    )
+    env.run(until=0.1)
+    assert eager.requests_completed > 3 * lazy.requests_completed
+
+
+def test_initial_delay_postpones_first_request(env, cpu, make_connection):
+    _, conn = make_served_connection(env, cpu, make_connection)
+    client = ClosedLoopClient(
+        env, conn, FixedMix(100), random.Random(0), initial_delay=0.05
+    )
+    env.run(until=0.04)
+    assert client.requests_completed == 0
+    env.run(until=0.1)
+    assert client.requests_completed > 0

@@ -1,0 +1,63 @@
+"""Open-loop Poisson workload generation (extension)."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics.collector import RunRecorder
+from repro.servers.threaded import ThreadedServer
+from repro.workload.mixes import FixedMix
+from repro.workload.openloop import OpenLoopGenerator
+
+
+def build(env, cpu, make_connection, n_conns=8, rate=2000.0, recorder=None):
+    server = ThreadedServer(env, cpu)
+    connections = [make_connection() for _ in range(n_conns)]
+    for conn in connections:
+        server.attach(conn)
+    generator = OpenLoopGenerator(
+        env, connections, FixedMix(102), rate=rate,
+        rng=random.Random(1), recorder=recorder,
+    )
+    return server, generator
+
+
+def test_validation(env, cpu, make_connection):
+    with pytest.raises(WorkloadError):
+        build(env, cpu, make_connection, rate=0)
+    server = ThreadedServer(env, cpu)
+    with pytest.raises(WorkloadError):
+        OpenLoopGenerator(env, [], FixedMix(1), 10.0, random.Random(0))
+
+
+def test_arrival_rate_approximately_honoured(env, cpu, make_connection):
+    recorder = RunRecorder(env, warmup=0.1)
+    _, generator = build(env, cpu, make_connection, n_conns=32, rate=3000.0,
+                         recorder=recorder)
+    env.run(until=1.1)
+    report = recorder.report()
+    # Served throughput tracks the offered rate (server is far from
+    # saturation at 3000/s of 0.1KB requests).
+    assert report.throughput == pytest.approx(3000.0, rel=0.15)
+    assert generator.shed < generator.issued * 0.05
+
+
+def test_sheds_when_connections_exhausted(env, cpu, make_connection):
+    _, generator = build(env, cpu, make_connection, n_conns=1, rate=100000.0)
+    env.run(until=0.2)
+    assert generator.shed > 0
+    assert generator.in_flight <= 1
+
+
+def test_in_flight_bounded_by_connections(env, cpu, make_connection):
+    _, generator = build(env, cpu, make_connection, n_conns=4, rate=50000.0)
+    env.run(until=0.1)
+    assert generator.in_flight <= 4
+
+
+def test_recorder_receives_completions(env, cpu, make_connection):
+    recorder = RunRecorder(env, warmup=0.0)
+    build(env, cpu, make_connection, rate=1000.0, recorder=recorder)
+    env.run(until=0.3)
+    assert recorder.response_times.count > 100

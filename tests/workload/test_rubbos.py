@@ -1,0 +1,95 @@
+"""RUBBoS workload model: interactions, Markov chain, statistics."""
+
+import random
+
+import pytest
+
+from repro.workload.rubbos import (
+    RUBBOS_INTERACTIONS,
+    RubbosMix,
+    _TRANSITIONS,
+    interaction_table,
+    mean_response_size,
+)
+
+
+def test_exactly_24_interactions():
+    assert len(RUBBOS_INTERACTIONS) == 24
+    assert len({i.name for i in RUBBOS_INTERACTIONS}) == 24
+
+
+def test_every_transition_target_exists():
+    names = {i.name for i in RUBBOS_INTERACTIONS}
+    for state, transitions in _TRANSITIONS.items():
+        assert state in names
+        for target, _weight in transitions:
+            assert target in names, f"{state} -> {target}"
+
+
+def test_every_interaction_has_transitions():
+    for interaction in RUBBOS_INTERACTIONS:
+        assert interaction.name in _TRANSITIONS
+
+
+def test_transition_weights_sum_to_one():
+    for state, transitions in _TRANSITIONS.items():
+        assert sum(w for _, w in transitions) == pytest.approx(1.0), state
+
+
+def test_mean_response_size_near_paper_value():
+    """Paper: 'the average response size of Tomcat per request is about
+    20KB' — the synthetic mix lands in 18-28KB."""
+    mean = mean_response_size()
+    assert 18 * 1024 <= mean <= 28 * 1024
+
+
+def test_some_responses_exceed_send_buffer():
+    """A fraction of RUBBoS pages must exceed the default 16KB buffer
+    (that is where TomcatAsync's write continuations bite)."""
+    big = [i for i in RUBBOS_INTERACTIONS if i.response_size > 16 * 1024]
+    assert len(big) >= 5
+
+
+def test_mix_produces_metadata(env):
+    mix = RubbosMix()
+    request = mix.sample(env, random.Random(0))
+    assert request.metadata["interaction"].name == request.kind
+
+
+def test_mix_navigates_between_states(env):
+    mix = RubbosMix()
+    rng = random.Random(1)
+    kinds = {mix.sample(env, rng).kind for _ in range(200)}
+    assert len(kinds) > 10  # visits a good chunk of the site
+
+
+def test_clone_for_client_is_independent(env):
+    mix = RubbosMix()
+    clone = mix.clone_for_client()
+    assert clone is not mix
+    rng = random.Random(2)
+    mix.sample(env, rng)
+    # Advancing one navigator does not move the other.
+    assert clone.state == "StoriesOfTheDay" or clone.state != mix.state
+
+
+def test_unknown_start_rejected():
+    with pytest.raises(Exception):
+        RubbosMix(start="NotAPage")
+
+
+def test_stationary_mix_is_read_heavy(env):
+    """Write interactions (posts, stores, registrations) stay a small
+    minority, as in RUBBoS's default read-heavy mix."""
+    mix = RubbosMix()
+    rng = random.Random(3)
+    writes = {"RegisterUser", "SubmitStory", "PostComment", "ModerateComment", "AuthorLogin"}
+    total = 3000
+    write_count = sum(1 for _ in range(total) if mix.sample(env, rng).kind in writes)
+    assert write_count / total < 0.20
+
+
+def test_interaction_table_is_copy():
+    table = interaction_table()
+    table.clear()
+    assert interaction_table()
