@@ -9,7 +9,9 @@ Run with::
     pytest benchmarks/ --benchmark-only
 
 Set ``REPRO_BENCH_SCALE`` (e.g. ``0.3``) to shrink measurement windows
-for a quick pass; sweeps keep their full point sets either way.
+for a quick pass; sweeps keep their full point sets either way.  Set
+``REPRO_JOBS`` (an integer or ``auto``) to fan sweep points out over
+worker processes — results are bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ import pathlib
 
 import pytest
 
-from repro.experiments.registry import bench_scale, run_experiment
+from repro.experiments.registry import bench_jobs, bench_scale, run_experiment
 from repro.experiments.report import render_artifact, render_markdown
 
 #: Per-artifact markdown sections are dropped here; the repository's
@@ -32,8 +34,13 @@ def regenerate(benchmark, capsys):
 
     def _run(artifact: str):
         scale = bench_scale()
+        jobs = bench_jobs()
         result = benchmark.pedantic(
-            run_experiment, args=(artifact, scale), rounds=1, iterations=1
+            run_experiment,
+            args=(artifact, scale),
+            kwargs={"jobs": jobs},
+            rounds=1,
+            iterations=1,
         )
         with capsys.disabled():
             print()

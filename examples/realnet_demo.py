@@ -54,9 +54,9 @@ def main() -> None:
         )
     print(
         "The kernel buffers on loopback are generous, so the spin is milder "
-        "than the\npaper's 102 calls — but the blocking server stays at ~1 "
-        "write per request\nwhile the selector server multiplies, exactly "
-        "the Table IV contrast."
+        "than the\npaper's 102 calls — but the blocking server stays at its "
+        "floor (header +\npayload, 2 sends per request) while the selector "
+        "server multiplies, exactly\nthe Table IV contrast."
     )
 
 

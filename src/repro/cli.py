@@ -4,12 +4,18 @@ Commands
 --------
 ``repro-bench list``
     Show every reproducible artifact with its rough runtime.
-``repro-bench run fig7 [--scale 0.3]``
+``repro-bench run fig7 [--scale 0.3] [--jobs 4]``
     Regenerate one artifact, print the table and shape checks.
-``repro-bench all [--scale 0.3] [--markdown experiments.md]``
+``repro-bench all [--scale 0.3] [--jobs auto] [--markdown experiments.md]``
     Regenerate everything; optionally write a markdown report.
 ``repro-bench calibration``
     Print the calibration constants in use.
+``repro-bench cache [--clear]``
+    Show (or empty) the on-disk sweep-result cache.
+
+``--jobs N`` fans each artifact's sweep points out over ``N`` worker
+processes (``auto`` = one per core); results are bit-identical to a
+serial run.  The ``REPRO_JOBS`` environment variable sets the default.
 """
 
 from __future__ import annotations
@@ -21,10 +27,19 @@ from typing import List, Optional
 
 from repro.calibration import DEFAULT_CALIBRATION
 from repro.errors import ReproError
+from repro.experiments.parallel import cache_root, clear_cache, resolve_jobs
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.report import render_artifact, render_markdown
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="measurement-window scale in (0, 1]; lower = faster")
+    parser.add_argument("--jobs", default=None, metavar="N",
+                        help="sweep worker processes (integer or 'auto'; "
+                        "default: $REPRO_JOBS, else serial)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,13 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible artifacts")
     sub.add_parser("calibration", help="print calibration constants")
 
+    cache = sub.add_parser("cache", help="show or clear the sweep-result cache")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached sweep point")
+
     run = sub.add_parser("run", help="regenerate one artifact")
     run.add_argument("artifact", help="artifact id, e.g. fig7 or tab4")
-    run.add_argument("--scale", type=float, default=1.0,
-                     help="measurement-window scale in (0, 1]; lower = faster")
+    _add_sweep_flags(run)
 
     all_cmd = sub.add_parser("all", help="regenerate every artifact")
-    all_cmd.add_argument("--scale", type=float, default=1.0)
+    _add_sweep_flags(all_cmd)
     all_cmd.add_argument("--markdown", default=None,
                          help="also write a markdown report to this path")
     return parser
@@ -65,27 +83,46 @@ def _cmd_calibration() -> int:
     return 0
 
 
+def _cmd_cache(clear: bool) -> int:
+    root = cache_root()
+    if root is None:
+        print("cache disabled (REPRO_CACHE=0)")
+        return 0
+    if clear:
+        removed = clear_cache(root)
+        print(f"removed {removed} cached point(s) from {root}")
+        return 0
+    entries = list(root.rglob("*.pkl")) if root.exists() else []
+    total = sum(path.stat().st_size for path in entries)
+    print(f"cache directory: {root}")
+    print(f"cached points:   {len(entries)}")
+    print(f"total size:      {total / 1024:.1f} KiB")
+    return 0
+
+
 def _check_scale(scale: float) -> float:
     if not 0.0 < scale <= 1.0:
         raise ReproError(f"--scale must be in (0, 1], got {scale}")
     return scale
 
 
-def _cmd_run(artifact: str, scale: float) -> int:
+def _cmd_run(artifact: str, scale: float, jobs: Optional[str]) -> int:
     spec = get_experiment(artifact)
     started = time.time()
-    result = spec.runner(_check_scale(scale))
+    result = spec.runner(_check_scale(scale), jobs=resolve_jobs(jobs))
     print(render_artifact(result))
     print(f"(regenerated in {time.time() - started:.1f}s at scale {scale})")
     return 0 if result.all_passed else 1
 
-def _cmd_all(scale: float, markdown: Optional[str]) -> int:
+
+def _cmd_all(scale: float, jobs: Optional[str], markdown: Optional[str]) -> int:
     _check_scale(scale)
+    resolved_jobs = resolve_jobs(jobs)
     sections: List[str] = []
     failures = 0
     for artifact, spec in EXPERIMENTS.items():
         started = time.time()
-        result = spec.runner(scale)
+        result = spec.runner(scale, jobs=resolved_jobs)
         print(render_artifact(result))
         print(f"(regenerated in {time.time() - started:.1f}s)\n")
         sections.append(render_markdown(result))
@@ -107,10 +144,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list()
         if args.command == "calibration":
             return _cmd_calibration()
+        if args.command == "cache":
+            return _cmd_cache(args.clear)
         if args.command == "run":
-            return _cmd_run(args.artifact, args.scale)
+            return _cmd_run(args.artifact, args.scale, args.jobs)
         if args.command == "all":
-            return _cmd_all(args.scale, args.markdown)
+            return _cmd_all(args.scale, args.jobs, args.markdown)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -13,9 +13,20 @@ from repro.experiments.micro import (
     run_micro,
     suggest_timing,
 )
+from repro.experiments.parallel import (
+    SweepExecutor,
+    SweepStats,
+    cache_root,
+    cached_call,
+    cached_micro,
+    cached_ntier,
+    clear_cache,
+    resolve_jobs,
+)
 from repro.experiments.registry import (
     EXPERIMENTS,
     ExperimentSpec,
+    bench_jobs,
     bench_scale,
     get_experiment,
     run_experiment,
@@ -33,8 +44,17 @@ __all__ = [
     "make_server",
     "run_micro",
     "suggest_timing",
+    "SweepExecutor",
+    "SweepStats",
+    "cache_root",
+    "cached_call",
+    "cached_micro",
+    "cached_ntier",
+    "clear_cache",
+    "resolve_jobs",
     "EXPERIMENTS",
     "ExperimentSpec",
+    "bench_jobs",
     "bench_scale",
     "get_experiment",
     "run_experiment",

@@ -10,21 +10,25 @@ measure:
 * **N-copy scaling** (``ablE``): the Section II-A N-copy approach on a
   multi-core machine — it scales small responses almost linearly while
   inheriting the single-threaded design's write-spin for large ones.
+
+Both sweeps run through :class:`~repro.experiments.parallel.SweepExecutor`
+(process fan-out + on-disk memo); results are independent of ``jobs``.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.calibration import default_calibration
-from repro.experiments.micro import MicroConfig, run_micro
+from repro.experiments.micro import MicroConfig
+from repro.experiments.parallel import SweepExecutor
 from repro.experiments.results import ArtifactResult
 from repro.workload.mixes import SIZE_LARGE, SIZE_SMALL
 
 __all__ = ["ablation_flow_granularity", "ablation_ncopy_scaling"]
 
 
-def ablation_flow_granularity(scale: float = 1.0) -> ArtifactResult:
+def ablation_flow_granularity(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Throughput and switches vs event-processing-flow granularity."""
     result = ArtifactResult(
         artifact="ablD",
@@ -42,13 +46,16 @@ def ablation_flow_granularity(scale: float = 1.0) -> ArtifactResult:
         ("sTomcat-Async", 2),
         ("Staged-SEDA", 3),
     ]
+    sweep = SweepExecutor("ablD", scale=scale, jobs=jobs)
+    runs = sweep.map_micro({
+        server: MicroConfig(server=server, concurrency=16, response_size=SIZE_SMALL,
+                            duration=duration, warmup=0.4)
+        for server, _ in designs
+    })
     tputs: Dict[str, float] = {}
     switches: Dict[str, float] = {}
     for server, boundaries in designs:
-        res = run_micro(
-            MicroConfig(server=server, concurrency=16, response_size=SIZE_SMALL,
-                        duration=duration, warmup=0.4)
-        )
+        res = runs[server]
         tputs[server] = res.throughput
         switches[server] = res.report.context_switch_rate / max(res.throughput, 1e-9)
         result.add_row(server, boundaries, res.throughput, switches[server])
@@ -66,7 +73,7 @@ def ablation_flow_granularity(scale: float = 1.0) -> ArtifactResult:
     return result
 
 
-def ablation_ncopy_scaling(scale: float = 1.0) -> ArtifactResult:
+def ablation_ncopy_scaling(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """N-copy single-threaded servers across core counts."""
     result = ArtifactResult(
         artifact="ablE",
@@ -78,19 +85,26 @@ def ablation_ncopy_scaling(scale: float = 1.0) -> ArtifactResult:
         headers=["cores/copies", "size", "rps", "speedup vs 1 core"],
     )
     duration = 0.5 + max(0.8, 2.0 * scale)
+    core_counts = [1, 2, 4]
+    sizes = [(SIZE_SMALL, "0.1KB"), (SIZE_LARGE, "100KB")]
+    sweep = SweepExecutor("ablE", scale=scale, jobs=jobs)
+    runs = sweep.map_micro({
+        (cores, label): MicroConfig(
+            server="N-copy", concurrency=64, response_size=size,
+            duration=duration, warmup=0.4,
+            calibration=default_calibration(cores=cores),
+        )
+        for cores in core_counts
+        for size, label in sizes
+    })
     baselines: Dict[str, float] = {}
     speedups: Dict[str, Dict[int, float]] = {"0.1KB": {}, "100KB": {}}
-    for cores in [1, 2, 4]:
-        calib = default_calibration(cores=cores)
-        for size, label in [(SIZE_SMALL, "0.1KB"), (SIZE_LARGE, "100KB")]:
-            res = run_micro(
-                MicroConfig(server="N-copy", concurrency=64, response_size=size,
-                            duration=duration, warmup=0.4, calibration=calib)
-            )
-            key = f"{label}"
+    for cores in core_counts:
+        for _size, label in sizes:
+            res = runs[(cores, label)]
             if cores == 1:
-                baselines[key] = res.throughput
-            speedup = res.throughput / baselines[key]
+                baselines[label] = res.throughput
+            speedup = res.throughput / baselines[label]
             speedups[label][cores] = speedup
             result.add_row(cores, label, res.throughput, speedup)
     result.check(

@@ -1,14 +1,19 @@
 """Reproductions of the hybrid-solution evaluation (Figure 11) and the
 ablations DESIGN.md calls out (spin threshold, send-buffer size, hybrid
-reclassification)."""
+reclassification).
+
+Sweeps enumerate their points and run them through a
+:class:`~repro.experiments.parallel.SweepExecutor` (process fan-out plus
+the ``.repro-cache/`` memo); results are identical for every ``jobs``.
+"""
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.calibration import default_calibration
-from repro.experiments.micro import MicroConfig, run_micro
+from repro.experiments.micro import MicroConfig
+from repro.experiments.parallel import SweepExecutor
 from repro.experiments.results import ArtifactResult
 from repro.workload.mixes import SIZE_LARGE, SIZE_SMALL, BimodalMix, RequestMix
 from repro.net.messages import Request
@@ -21,22 +26,20 @@ __all__ = [
 ]
 
 
-def _run_mix(server: str, mix, scale: float, latency: float = 0.0, **kwargs):
+def _mix_config(server: str, mix, scale: float, latency: float = 0.0, **kwargs) -> MicroConfig:
     duration = 1.5 + max(1.0, 3.5 * scale)
-    return run_micro(
-        MicroConfig(
-            server=server,
-            concurrency=100,
-            mix=mix,
-            duration=duration,
-            warmup=1.5,
-            added_latency=latency,
-            **kwargs,
-        )
+    return MicroConfig(
+        server=server,
+        concurrency=100,
+        mix=mix,
+        duration=duration,
+        warmup=1.5,
+        added_latency=latency,
+        **kwargs,
     )
 
 
-def fig11_hybrid(scale: float = 1.0) -> ArtifactResult:
+def fig11_hybrid(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Figure 11: normalised throughput vs fraction of heavy requests."""
     result = ArtifactResult(
         artifact="fig11",
@@ -49,17 +52,25 @@ def fig11_hybrid(scale: float = 1.0) -> ArtifactResult:
         headers=["latency ms", "heavy %", "SingleT/Hybrid", "Netty/Hybrid", "Hybrid rps"],
     )
     fractions = [0.0, 0.05, 0.10, 0.20, 0.50, 1.0]
+    latencies = [0.0, 2e-3]
+    servers = ["SingleT-Async", "NettyServer", "HybridNetty"]
+    sweep = SweepExecutor("fig11", scale=scale, jobs=jobs)
+    runs = sweep.map_micro({
+        (latency, fraction, server): _mix_config(
+            server, BimodalMix(fraction), scale, latency
+        )
+        for latency in latencies
+        for fraction in fractions
+        for server in servers
+    })
     norm: Dict[float, Dict[float, Dict[str, float]]] = {}
-    for latency in [0.0, 2e-3]:
+    for latency in latencies:
         norm[latency] = {}
         for fraction in fractions:
-            runs = {}
-            for server in ["SingleT-Async", "NettyServer", "HybridNetty"]:
-                runs[server] = _run_mix(server, BimodalMix(fraction), scale, latency).throughput
-            hybrid = runs["HybridNetty"]
+            hybrid = runs[(latency, fraction, "HybridNetty")].throughput
             norm[latency][fraction] = {
-                "singlet": runs["SingleT-Async"] / hybrid,
-                "netty": runs["NettyServer"] / hybrid,
+                "singlet": runs[(latency, fraction, "SingleT-Async")].throughput / hybrid,
+                "netty": runs[(latency, fraction, "NettyServer")].throughput / hybrid,
             }
             result.add_row(
                 latency * 1e3,
@@ -104,7 +115,7 @@ def fig11_hybrid(scale: float = 1.0) -> ArtifactResult:
     return result
 
 
-def ablation_spin_threshold(scale: float = 1.0) -> ArtifactResult:
+def ablation_spin_threshold(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Ablation: Netty's writeSpin jump-out (threshold default 16).
 
     Netty's write loop exits on *either* condition — a zero-byte return or
@@ -126,36 +137,39 @@ def ablation_spin_threshold(scale: float = 1.0) -> ArtifactResult:
         headers=["write loop", "rps", "spin jumpouts/req"],
     )
     duration = 1.5 + max(1.0, 3.0 * scale)
-    tputs: Dict[object, float] = {}
-    for threshold in [1, 4, 16, 64]:
-        res = run_micro(
-            MicroConfig(
-                server="NettyServer",
-                concurrency=100,
-                response_size=SIZE_LARGE,
-                duration=duration,
-                warmup=1.5,
-                added_latency=2e-3,
-                spin_threshold=threshold,
-            )
-        )
-        tputs[threshold] = res.throughput
-        jumpouts = res.server_stats["spin_jumpouts"] / max(
-            res.server_stats["requests_completed"], 1
-        )
-        result.add_row(f"jump-out, writeSpin={threshold}", res.throughput, jumpouts)
-    naive = run_micro(
-        MicroConfig(
-            server="SingleT-Async",
+    thresholds = [1, 4, 16, 64]
+    sweep = SweepExecutor("ablA", scale=scale, jobs=jobs)
+    points: Dict[object, MicroConfig] = {
+        threshold: MicroConfig(
+            server="NettyServer",
             concurrency=100,
             response_size=SIZE_LARGE,
             duration=duration,
             warmup=1.5,
             added_latency=2e-3,
+            spin_threshold=threshold,
         )
+        for threshold in thresholds
+    }
+    points["naive"] = MicroConfig(
+        server="SingleT-Async",
+        concurrency=100,
+        response_size=SIZE_LARGE,
+        duration=duration,
+        warmup=1.5,
+        added_latency=2e-3,
     )
-    tputs["naive"] = naive.throughput
-    result.add_row("no jump-out (naive spin)", naive.throughput, 0.0)
+    runs = sweep.map_micro(points)
+    tputs: Dict[object, float] = {}
+    for threshold in thresholds:
+        res = runs[threshold]
+        tputs[threshold] = res.throughput
+        jumpouts = res.server_stats["spin_jumpouts"] / max(
+            res.server_stats["requests_completed"], 1
+        )
+        result.add_row(f"jump-out, writeSpin={threshold}", res.throughput, jumpouts)
+    tputs["naive"] = runs["naive"].throughput
+    result.add_row("no jump-out (naive spin)", tputs["naive"], 0.0)
     result.check(
         "removing the jump-out entirely collapses throughput under latency",
         tputs["naive"] < tputs[16] * 0.5,
@@ -164,8 +178,8 @@ def ablation_spin_threshold(scale: float = 1.0) -> ArtifactResult:
     result.check(
         "the threshold value itself is not a throughput lever "
         "(all bounded settings within 15%)",
-        max(tputs[t] for t in [1, 4, 16, 64])
-        <= 1.15 * min(tputs[t] for t in [1, 4, 16, 64]),
+        max(tputs[t] for t in thresholds)
+        <= 1.15 * min(tputs[t] for t in thresholds),
         "",
     )
     result.check(
@@ -176,7 +190,7 @@ def ablation_spin_threshold(scale: float = 1.0) -> ArtifactResult:
     return result
 
 
-def ablation_send_buffer(scale: float = 1.0) -> ArtifactResult:
+def ablation_send_buffer(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Ablation: the 'intuitive solution' — raising the TCP send buffer."""
     result = ArtifactResult(
         artifact="ablC",
@@ -188,20 +202,23 @@ def ablation_send_buffer(scale: float = 1.0) -> ArtifactResult:
         headers=["buffer KB", "rps", "writes/request"],
     )
     sizes = [16, 32, 64, 100, 128]
+    duration = 1.5 + max(1.0, 3.0 * scale)
+    sweep = SweepExecutor("ablC", scale=scale, jobs=jobs)
+    runs = sweep.map_micro({
+        kb: MicroConfig(
+            server="SingleT-Async",
+            concurrency=100,
+            response_size=SIZE_LARGE,
+            duration=duration,
+            warmup=1.5,
+            send_buffer_size=kb * 1024,
+        )
+        for kb in sizes
+    })
     tputs: List[float] = []
     writes: List[float] = []
     for kb in sizes:
-        duration = 1.5 + max(1.0, 3.0 * scale)
-        res = run_micro(
-            MicroConfig(
-                server="SingleT-Async",
-                concurrency=100,
-                response_size=SIZE_LARGE,
-                duration=duration,
-                warmup=1.5,
-                send_buffer_size=kb * 1024,
-            )
-        )
+        res = runs[kb]
         tputs.append(res.throughput)
         writes.append(res.report.write_calls_per_request)
         result.add_row(kb, res.throughput, res.report.write_calls_per_request)
@@ -246,7 +263,7 @@ class _DriftingMix(RequestMix):
         return ["page"]
 
 
-def ablation_hybrid_reclassification(scale: float = 1.0) -> ArtifactResult:
+def ablation_hybrid_reclassification(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Ablation: runtime re-classification under drifting response sizes."""
     result = ArtifactResult(
         artifact="ablB",
@@ -258,15 +275,15 @@ def ablation_hybrid_reclassification(scale: float = 1.0) -> ArtifactResult:
     )
     duration = 3.0 + max(2.0, 6.0 * scale)
     switch_at = duration / 2
-    mix = _DriftingMix(switch_at)
-    hybrid = run_micro(
-        MicroConfig(server="HybridNetty", concurrency=50, mix=mix,
-                    duration=duration, warmup=0.5)
-    )
-    netty = run_micro(
-        MicroConfig(server="NettyServer", concurrency=50, mix=mix,
-                    duration=duration, warmup=0.5)
-    )
+    sweep = SweepExecutor("ablB", scale=scale, jobs=jobs)
+    runs = sweep.map_micro({
+        server: MicroConfig(server=server, concurrency=50,
+                            mix=_DriftingMix(switch_at),
+                            duration=duration, warmup=0.5)
+        for server in ("HybridNetty", "NettyServer")
+    })
+    hybrid = runs["HybridNetty"]
+    netty = runs["NettyServer"]
     light_share = hybrid.server_stats["light_path_requests"] / max(
         hybrid.server_stats["requests_completed"], 1
     )

@@ -5,14 +5,20 @@ checks) and returns an :class:`~repro.experiments.results.ArtifactResult`.
 The ``scale`` argument (0 < scale <= 1) shrinks measurement windows for
 quick runs; sweeps keep their full point sets so the regenerated rows
 always match the paper's axes.
+
+Every sweep enumerates its simulation points up front and submits them
+through a :class:`~repro.experiments.parallel.SweepExecutor`: points fan
+out over ``jobs`` worker processes and completed points are memoised in
+``.repro-cache/``.  Results are bit-identical for every ``jobs`` value.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional
 
 from repro.calibration import DEFAULT_CALIBRATION
-from repro.experiments.micro import MicroConfig, MicroResult, run_micro, suggest_timing
+from repro.experiments.micro import MicroConfig, MicroResult, suggest_timing
+from repro.experiments.parallel import SweepExecutor
 from repro.experiments.results import ArtifactResult
 from repro.workload.mixes import SIZE_LARGE, SIZE_MEDIUM, SIZE_SMALL
 
@@ -44,14 +50,10 @@ def _timed_config(server: str, concurrency: int, size: int, scale: float, **kwar
     )
 
 
-def _run(server: str, concurrency: int, size: int, scale: float, **kwargs) -> MicroResult:
-    return run_micro(_timed_config(server, concurrency, size, scale, **kwargs))
-
-
 # ----------------------------------------------------------------------
 # Figure 2
 # ----------------------------------------------------------------------
-def fig2_tomcat_micro(scale: float = 1.0) -> ArtifactResult:
+def fig2_tomcat_micro(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Figure 2: TomcatSync vs TomcatAsync throughput vs concurrency."""
     result = ArtifactResult(
         artifact="fig2",
@@ -62,12 +64,22 @@ def fig2_tomcat_micro(scale: float = 1.0) -> ArtifactResult:
         headers=["size", "concurrency", "TomcatSync rps", "TomcatAsync rps", "async/sync"],
     )
     concurrencies = [1, 8, 64, 200, 800, 1600, 3200]
+    sweep = SweepExecutor("fig2", scale=scale, jobs=jobs)
+    points: Dict[object, MicroConfig] = {}
+    for size, label in _SIZES:
+        for concurrency in concurrencies:
+            for server in ("TomcatSync", "TomcatAsync"):
+                points[(label, concurrency, server)] = _timed_config(
+                    server, concurrency, size, scale
+                )
+    runs = sweep.map_micro(points)
+
     ratios: Dict[str, Dict[int, float]] = {}
     for size, label in _SIZES:
         ratios[label] = {}
         for concurrency in concurrencies:
-            sync = _run("TomcatSync", concurrency, size, scale)
-            async_ = _run("TomcatAsync", concurrency, size, scale)
+            sync = runs[(label, concurrency, "TomcatSync")]
+            async_ = runs[(label, concurrency, "TomcatAsync")]
             ratio = async_.throughput / sync.throughput if sync.throughput else float("nan")
             ratios[label][concurrency] = ratio
             result.add_row(label, concurrency, sync.throughput, async_.throughput, ratio)
@@ -106,7 +118,7 @@ def fig2_tomcat_micro(scale: float = 1.0) -> ArtifactResult:
 # ----------------------------------------------------------------------
 # Table I
 # ----------------------------------------------------------------------
-def tab1_context_switch_rates(scale: float = 1.0) -> ArtifactResult:
+def tab1_context_switch_rates(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Table I: context switch rates, TomcatAsync vs TomcatSync, c=8."""
     result = ArtifactResult(
         artifact="tab1",
@@ -117,11 +129,16 @@ def tab1_context_switch_rates(scale: float = 1.0) -> ArtifactResult:
         "K/s for 0.1/10/100KB)",
         headers=["size", "TomcatAsync K/s", "TomcatSync K/s", "async/sync"],
     )
+    sweep = SweepExecutor("tab1", scale=scale, jobs=jobs)
+    points = {
+        (label, server): _timed_config(server, 8, size, scale)
+        for size, label in _SIZES
+        for server in ("TomcatAsync", "TomcatSync")
+    }
+    runs = sweep.map_micro(points)
     for size, label in _SIZES:
-        async_ = _run("TomcatAsync", 8, size, scale)
-        sync = _run("TomcatSync", 8, size, scale)
-        a = async_.report.context_switch_rate / 1e3
-        s = sync.report.context_switch_rate / 1e3
+        a = runs[(label, "TomcatAsync")].report.context_switch_rate / 1e3
+        s = runs[(label, "TomcatSync")].report.context_switch_rate / 1e3
         result.add_row(label, a, s, a / s if s else float("nan"))
         result.check(
             f"TomcatAsync switches more than TomcatSync at {label}",
@@ -134,7 +151,7 @@ def tab1_context_switch_rates(scale: float = 1.0) -> ArtifactResult:
 # ----------------------------------------------------------------------
 # Table II
 # ----------------------------------------------------------------------
-def tab2_switches_per_request(scale: float = 1.0) -> ArtifactResult:
+def tab2_switches_per_request(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Table II: user-space context switches per request by design."""
     result = ArtifactResult(
         artifact="tab2",
@@ -149,11 +166,16 @@ def tab2_switches_per_request(scale: float = 1.0) -> ArtifactResult:
         ("sTomcat-Sync", 0.0, (0.0, 2.0)),
         ("SingleT-Async", 0.0, (0.0, 0.3)),
     ]
+    sweep = SweepExecutor("tab2", scale=scale, jobs=jobs)
+    # Low concurrency so event batching does not hide the per-request
+    # flow; the paper counts the same way (a single request's flow).
+    runs = sweep.map_micro({
+        server: _timed_config(server, 2, SIZE_SMALL, scale)
+        for server, _, _ in expectations
+    })
     measured: Dict[str, float] = {}
     for server, paper, (low, high) in expectations:
-        # Low concurrency so event batching does not hide the per-request
-        # flow; the paper counts the same way (a single request's flow).
-        res = _run(server, 2, SIZE_SMALL, scale)
+        res = runs[server]
         per_request = res.report.context_switch_rate / max(res.throughput, 1e-9)
         measured[server] = per_request
         result.add_row(server, per_request, paper)
@@ -182,7 +204,7 @@ def tab2_switches_per_request(scale: float = 1.0) -> ArtifactResult:
 _FIG4_SERVERS = ["sTomcat-Async", "sTomcat-Async-Fix", "sTomcat-Sync", "SingleT-Async"]
 
 
-def fig4_four_servers(scale: float = 1.0) -> ArtifactResult:
+def fig4_four_servers(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Figure 4: throughput (a-c) and context switches (d) of the four
     simplified servers under increasing concurrency."""
     result = ArtifactResult(
@@ -196,13 +218,21 @@ def fig4_four_servers(scale: float = 1.0) -> ArtifactResult:
         headers=["size", "concurrency", "server", "rps", "cs/sec"],
     )
     concurrencies = [1, 4, 16, 64, 100]
+    sweep = SweepExecutor("fig4", scale=scale, jobs=jobs)
+    points = {
+        (label, server, concurrency): _timed_config(server, concurrency, size, scale)
+        for size, label in _SIZES
+        for server in _FIG4_SERVERS
+        for concurrency in concurrencies
+    }
+    runs = sweep.map_micro(points)
     data: Dict[str, Dict[str, Dict[int, MicroResult]]] = {}
     for size, label in _SIZES:
         data[label] = {}
         for server in _FIG4_SERVERS:
             data[label][server] = {}
             for concurrency in concurrencies:
-                res = _run(server, concurrency, size, scale)
+                res = runs[(label, server, concurrency)]
                 data[label][server][concurrency] = res
                 result.add_row(
                     label, concurrency, server, res.throughput,
@@ -249,7 +279,7 @@ def fig4_four_servers(scale: float = 1.0) -> ArtifactResult:
 # ----------------------------------------------------------------------
 # Table III
 # ----------------------------------------------------------------------
-def tab3_cpu_split(scale: float = 1.0) -> ArtifactResult:
+def tab3_cpu_split(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Table III: CPU user/system split at concurrency 100."""
     result = ArtifactResult(
         artifact="tab3",
@@ -259,13 +289,21 @@ def tab3_cpu_split(scale: float = 1.0) -> ArtifactResult:
         "beats sTomcat-Sync at c=100 for both sizes",
         headers=["server", "size", "rps", "user %", "system %"],
     )
+    servers = ["sTomcat-Sync", "SingleT-Async"]
+    sizes = [(SIZE_SMALL, "0.1KB"), (SIZE_LARGE, "100KB")]
+    sweep = SweepExecutor("tab3", scale=scale, jobs=jobs)
+    runs = sweep.map_micro({
+        (server, label): _timed_config(server, 100, size, scale)
+        for server in servers
+        for size, label in sizes
+    })
     shares: Dict[str, Dict[str, float]] = {}
     tputs: Dict[str, Dict[str, float]] = {}
-    for server in ["sTomcat-Sync", "SingleT-Async"]:
+    for server in servers:
         shares[server] = {}
         tputs[server] = {}
-        for size, label in [(SIZE_SMALL, "0.1KB"), (SIZE_LARGE, "100KB")]:
-            res = _run(server, 100, size, scale)
+        for _size, label in sizes:
+            res = runs[(server, label)]
             usage = res.report.cpu
             shares[server][label] = usage.user_percent
             tputs[server][label] = res.throughput
@@ -294,7 +332,7 @@ def tab3_cpu_split(scale: float = 1.0) -> ArtifactResult:
 # ----------------------------------------------------------------------
 # Table IV
 # ----------------------------------------------------------------------
-def tab4_write_spin(scale: float = 1.0) -> ArtifactResult:
+def tab4_write_spin(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Table IV: socket.write() calls per request in SingleT-Async."""
     result = ArtifactResult(
         artifact="tab4",
@@ -304,9 +342,14 @@ def tab4_write_spin(scale: float = 1.0) -> ArtifactResult:
         headers=["size", "writes/request", "zero-writes/request", "paper"],
     )
     papers = {SIZE_SMALL: 1, SIZE_MEDIUM: 1, SIZE_LARGE: 102}
+    sweep = SweepExecutor("tab4", scale=scale, jobs=jobs)
+    runs = sweep.map_micro({
+        label: _timed_config("SingleT-Async", 100, size, scale)
+        for size, label in _SIZES
+    })
     measured: Dict[int, float] = {}
     for size, label in _SIZES:
-        res = _run("SingleT-Async", 100, size, scale)
+        res = runs[label]
         measured[size] = res.report.write_calls_per_request
         result.add_row(label, res.report.write_calls_per_request,
                        res.report.zero_writes_per_request, papers[size])
@@ -327,7 +370,7 @@ def tab4_write_spin(scale: float = 1.0) -> ArtifactResult:
 # ----------------------------------------------------------------------
 # Figure 6
 # ----------------------------------------------------------------------
-def fig6_autotune(scale: float = 1.0) -> ArtifactResult:
+def fig6_autotune(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Figure 6: kernel send-buffer autotuning vs a fixed large buffer."""
     result = ArtifactResult(
         artifact="fig6",
@@ -337,12 +380,23 @@ def fig6_autotune(scale: float = 1.0) -> ArtifactResult:
         "the gap grows with network latency",
         headers=["latency ms", "autotune rps", "fixed-100KB rps", "auto/fixed"],
     )
+    latencies = [0.0, 2e-3, 5e-3, 10e-3]
+    sweep = SweepExecutor("fig6", scale=scale, jobs=jobs)
+    points: Dict[object, MicroConfig] = {}
+    for latency in latencies:
+        points[(latency, "autotune")] = _timed_config(
+            "SingleT-Async", 100, SIZE_LARGE, scale, autotune=True,
+            added_latency=latency,
+        )
+        points[(latency, "fixed")] = _timed_config(
+            "SingleT-Async", 100, SIZE_LARGE, scale,
+            send_buffer_size=SIZE_LARGE, added_latency=latency,
+        )
+    runs = sweep.map_micro(points)
     gaps: List[float] = []
-    for latency in [0.0, 2e-3, 5e-3, 10e-3]:
-        auto = _run("SingleT-Async", 100, SIZE_LARGE, scale, autotune=True,
-                    added_latency=latency)
-        fixed = _run("SingleT-Async", 100, SIZE_LARGE, scale,
-                     send_buffer_size=SIZE_LARGE, added_latency=latency)
+    for latency in latencies:
+        auto = runs[(latency, "autotune")]
+        fixed = runs[(latency, "fixed")]
         ratio = auto.throughput / fixed.throughput if fixed.throughput else float("nan")
         gaps.append(ratio)
         result.add_row(latency * 1e3, auto.throughput, fixed.throughput, ratio)
@@ -362,7 +416,31 @@ def fig6_autotune(scale: float = 1.0) -> ArtifactResult:
 # ----------------------------------------------------------------------
 # Figure 7
 # ----------------------------------------------------------------------
-def fig7_latency(scale: float = 1.0) -> ArtifactResult:
+def _fig7_config(server: str, latency: float, scale: float) -> MicroConfig:
+    """Latency-aware window sizing for the Figure 7 sweep.
+
+    The serialised single-threaded server's response time grows to
+    ~concurrency x drain-rounds x RTT, and the measurement window must
+    cover several of those or the response-time sample is censored.
+    """
+    drain_rounds = SIZE_LARGE / DEFAULT_CALIBRATION.tcp_send_buffer
+    rt_estimate = 100 * (
+        DEFAULT_CALIBRATION.request_cpu_cost(SIZE_LARGE)
+        + DEFAULT_CALIBRATION.copy_cost_per_byte * SIZE_LARGE
+    ) + 100 * drain_rounds * 2 * latency
+    warmup = max(0.5, 1.2 * rt_estimate)
+    measure = max(2.0 * scale, 2.2 * rt_estimate)
+    return MicroConfig(
+        server=server,
+        concurrency=100,
+        response_size=SIZE_LARGE,
+        duration=min(warmup + measure, 25.0),
+        warmup=min(warmup, 12.0),
+        added_latency=latency,
+    )
+
+
+def fig7_latency(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Figure 7: network latency vs throughput and response time."""
     result = ArtifactResult(
         artifact="fig7",
@@ -373,32 +451,19 @@ def fig7_latency(scale: float = 1.0) -> ArtifactResult:
     )
     servers = ["SingleT-Async", "sTomcat-Async-Fix", "sTomcat-Sync", "NettyServer"]
     latencies = [0.0, 1e-3, 2e-3, 5e-3, 10e-3]
+    sweep = SweepExecutor("fig7", scale=scale, jobs=jobs)
+    runs = sweep.map_micro({
+        (server, latency): _fig7_config(server, latency, scale)
+        for server in servers
+        for latency in latencies
+    })
     tput: Dict[str, Dict[float, float]] = {}
     rt: Dict[str, Dict[float, float]] = {}
     for server in servers:
         tput[server] = {}
         rt[server] = {}
         for latency in latencies:
-            # Latency-aware windows: the serialised single-threaded server's
-            # response time grows to ~concurrency x drain-rounds x RTT, and
-            # the measurement window must cover several of those or the
-            # response-time sample is censored.
-            drain_rounds = SIZE_LARGE / DEFAULT_CALIBRATION.tcp_send_buffer
-            rt_estimate = 100 * (
-                DEFAULT_CALIBRATION.request_cpu_cost(SIZE_LARGE)
-                + DEFAULT_CALIBRATION.copy_cost_per_byte * SIZE_LARGE
-            ) + 100 * drain_rounds * 2 * latency
-            warmup = max(0.5, 1.2 * rt_estimate)
-            measure = max(2.0 * scale, 2.2 * rt_estimate)
-            config = MicroConfig(
-                server=server,
-                concurrency=100,
-                response_size=SIZE_LARGE,
-                duration=min(warmup + measure, 25.0),
-                warmup=min(warmup, 12.0),
-                added_latency=latency,
-            )
-            res = run_micro(config)
+            res = runs[(server, latency)]
             tput[server][latency] = res.throughput
             rt[server][latency] = res.response_time
             result.add_row(server, latency * 1e3, res.throughput, res.response_time)
@@ -438,7 +503,7 @@ def fig7_latency(scale: float = 1.0) -> ArtifactResult:
 # ----------------------------------------------------------------------
 # Figure 9
 # ----------------------------------------------------------------------
-def fig9_netty(scale: float = 1.0) -> ArtifactResult:
+def fig9_netty(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Figure 9: NettyServer vs SingleT-Async vs sTomcat-Sync."""
     result = ArtifactResult(
         artifact="fig9",
@@ -451,14 +516,22 @@ def fig9_netty(scale: float = 1.0) -> ArtifactResult:
     )
     servers = ["NettyServer", "SingleT-Async", "sTomcat-Sync"]
     concurrencies = [4, 16, 64, 100]
+    sizes = [(SIZE_LARGE, "100KB"), (SIZE_SMALL, "0.1KB")]
+    sweep = SweepExecutor("fig9", scale=scale, jobs=jobs)
+    runs = sweep.map_micro({
+        (label, server, concurrency): _timed_config(server, concurrency, size, scale)
+        for size, label in sizes
+        for server in servers
+        for concurrency in concurrencies
+    })
     data: Dict[str, Dict[str, Dict[int, float]]] = {}
-    for size, label in [(SIZE_LARGE, "100KB"), (SIZE_SMALL, "0.1KB")]:
+    for _size, label in sizes:
         data[label] = {s: {} for s in servers}
         for server in servers:
             for concurrency in concurrencies:
-                res = _run(server, concurrency, size, scale)
-                data[label][server][concurrency] = res.throughput
-                result.add_row(label, concurrency, server, res.throughput)
+                tput = runs[(label, server, concurrency)].throughput
+                data[label][server][concurrency] = tput
+                result.add_row(label, concurrency, server, tput)
     result.check(
         "NettyServer best at 100KB once concurrency is non-trivial (c>=64; "
         "at c=16 the thread-based server is within a few percent)",

@@ -1,11 +1,17 @@
-"""Reproduction of Figure 1: the RUBBoS 3-tier Tomcat-upgrade study."""
+"""Reproduction of Figure 1: the RUBBoS 3-tier Tomcat-upgrade study.
+
+The (variant × users) sweep runs through
+:class:`~repro.experiments.parallel.SweepExecutor`, fanning the 3-tier
+simulations out over worker processes and memoising finished points.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.experiments.parallel import SweepExecutor
 from repro.experiments.results import ArtifactResult
-from repro.ntier.topology import NTierConfig, NTierResult, run_ntier
+from repro.ntier.topology import NTierConfig, NTierResult
 
 __all__ = ["fig1_rubbos_upgrade"]
 
@@ -13,7 +19,7 @@ __all__ = ["fig1_rubbos_upgrade"]
 WORKLOADS: List[int] = [1000, 3000, 5000, 7000, 9000, 11000, 13000]
 
 
-def fig1_rubbos_upgrade(scale: float = 1.0) -> ArtifactResult:
+def fig1_rubbos_upgrade(scale: float = 1.0, jobs: Optional[int] = None) -> ArtifactResult:
     """Figure 1: 3-tier RUBBoS throughput and response time vs workload,
     before (Tomcat 7 sync) and after (Tomcat 8 async) the upgrade."""
     result = ArtifactResult(
@@ -31,17 +37,21 @@ def fig1_rubbos_upgrade(scale: float = 1.0) -> ArtifactResult:
     )
     measure = max(4.0, 10.0 * scale)
     warmup = max(6.0, 12.0 * scale)
+    sweep = SweepExecutor("fig1", scale=scale, jobs=jobs)
+    runs = sweep.map_ntier({
+        (variant, users): NTierConfig(
+            tomcat_variant=variant,
+            users=users,
+            duration=warmup + measure,
+            warmup=warmup,
+        )
+        for variant in ["sync", "async"]
+        for users in WORKLOADS
+    })
     data: Dict[str, Dict[int, NTierResult]] = {"sync": {}, "async": {}}
     for variant in ["sync", "async"]:
         for users in WORKLOADS:
-            res = run_ntier(
-                NTierConfig(
-                    tomcat_variant=variant,
-                    users=users,
-                    duration=warmup + measure,
-                    warmup=warmup,
-                )
-            )
+            res = runs[(variant, users)]
             data[variant][users] = res
             util = res.tier_utilization
             result.add_row(

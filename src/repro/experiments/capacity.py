@@ -11,7 +11,10 @@ sweep manually.  Two probes:
   extension :class:`~repro.workload.openloop.OpenLoopGenerator`.
 
 Both return a :class:`CapacityEstimate` with the supporting measurements
-so callers can inspect the whole curve.
+so callers can inspect the whole curve.  Individual probe runs are
+memoised under ``.repro-cache/capacity/`` (see
+:mod:`repro.experiments.parallel`), so repeating a probe on unchanged
+sources replays instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -21,7 +24,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cpu.scheduler import CPU
-from repro.experiments.micro import MicroConfig, run_micro, suggest_timing
+from repro.experiments.micro import MicroConfig, suggest_timing
+from repro.experiments.parallel import cached_call, cached_micro
 from repro.metrics.collector import RunRecorder
 from repro.metrics.queueing import saturation_knee
 from repro.net.link import Link
@@ -71,7 +75,7 @@ def closed_loop_capacity(
     while concurrency <= max_concurrency:
         duration, warmup = suggest_timing(concurrency, response_size, calibration)
         duration = warmup + max(0.5, (duration - warmup) * scale)
-        result = run_micro(
+        result = cached_micro(
             MicroConfig(
                 server=server,
                 concurrency=concurrency,
@@ -79,7 +83,8 @@ def closed_loop_capacity(
                 duration=duration,
                 warmup=warmup,
                 calibration=calibration,
-            )
+            ),
+            label="capacity",
         )
         curve.append((float(concurrency), result.throughput))
         if previous > 0 and result.throughput < previous * 1.03:
@@ -165,9 +170,9 @@ def open_loop_capacity(
     duration = 0.5 + max(1.0, 2.5 * scale)
     warmup = 0.4
     # Unloaded response time from a whisper of load.
-    _, unloaded_rt = _offered_run(
-        server, response_size, max(rate_hint * 0.02, 1.0), connections,
-        duration, warmup, calibration, seed,
+    _, unloaded_rt = cached_call(
+        _offered_run, server, response_size, max(rate_hint * 0.02, 1.0),
+        connections, duration, warmup, calibration, seed, label="capacity",
     )
     budget = unloaded_rt * latency_budget_factor
     low, high = 0.0, rate_hint * 2.0
@@ -175,9 +180,9 @@ def open_loop_capacity(
     best: Tuple[float, float] = (0.0, 0.0)
     for _ in range(iterations):
         rate = (low + high) / 2.0
-        tput, rt = _offered_run(
-            server, response_size, rate, connections, duration, warmup,
-            calibration, seed,
+        tput, rt = cached_call(
+            _offered_run, server, response_size, rate, connections, duration,
+            warmup, calibration, seed, label="capacity",
         )
         curve.append((rate, tput))
         sustained = tput >= 0.95 * rate and (rt == rt and rt <= budget)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.errors import ExperimentError
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.artifacts_hybrid import (
     ablation_hybrid_reclassification,
     ablation_send_buffer,
@@ -36,7 +37,14 @@ from repro.experiments.artifacts_extensions import (
 from repro.experiments.artifacts_ntier import fig1_rubbos_upgrade
 from repro.experiments.results import ArtifactResult
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment", "bench_scale"]
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "bench_scale",
+    "bench_jobs",
+]
 
 
 @dataclass(frozen=True)
@@ -45,7 +53,9 @@ class ExperimentSpec:
 
     artifact: str
     title: str
-    runner: Callable[[float], ArtifactResult]
+    #: ``runner(scale, jobs=N)`` regenerates the artifact; its sweep points
+    #: fan out over ``jobs`` worker processes (see ``experiments.parallel``).
+    runner: Callable[..., ArtifactResult]
     #: Rough full-scale runtime on a laptop, for the CLI listing.
     cost: str = "seconds"
 
@@ -98,6 +108,21 @@ def bench_scale() -> float:
     return scale
 
 
-def run_experiment(artifact: str, scale: float = 1.0) -> ArtifactResult:
-    """Run one registered artifact reproduction."""
-    return get_experiment(artifact).runner(scale)
+def bench_jobs() -> int:
+    """Worker-process count for benchmark/CLI runs.
+
+    Controlled by the ``REPRO_JOBS`` environment variable (``auto`` = one
+    worker per core; default 1 = serial).  Parallel runs produce
+    bit-identical results — see ``repro.experiments.parallel``.
+    """
+    return resolve_jobs(None)
+
+
+def run_experiment(artifact: str, scale: float = 1.0,
+                   jobs: "int | str | None" = None) -> ArtifactResult:
+    """Run one registered artifact reproduction.
+
+    ``jobs`` picks the sweep fan-out (``None`` falls back to ``REPRO_JOBS``,
+    then serial); results do not depend on it.
+    """
+    return get_experiment(artifact).runner(scale, jobs=resolve_jobs(jobs))

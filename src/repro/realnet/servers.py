@@ -38,7 +38,18 @@ _PAYLOAD = bytes(1024 * 1024)  # shared zero payload, sliced per response
 
 
 class RealServerStats:
-    """Counters shared by both real-socket servers (thread-safe)."""
+    """Counters shared by the real-socket servers (thread-safe).
+
+    Two recording disciplines coexist:
+
+    * the selector servers count incrementally (``record_request`` at parse
+      time, ``record_write`` per ``send()``) because a single loop thread
+      owns all progress and the spin counts are the measurement;
+    * the threaded server records a whole response *atomically* via
+      :meth:`record_response` only after every byte is written, so a client
+      disconnect mid-response never leaves the counters torn
+      (``write_calls < expected``) at snapshot time.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -57,6 +68,18 @@ class RealServerStats:
             self.write_calls += 1
             if sent == 0:
                 self.zero_writes += 1
+
+    def record_response(self, writes: int, zero_writes: int = 0) -> None:
+        """Atomically count one fully-written response.
+
+        Increments the request counter and its ``writes`` send() calls
+        under a single lock acquisition, so no snapshot can observe the
+        request without its writes (or vice versa).
+        """
+        with self._lock:
+            self.requests += 1
+            self.write_calls += writes
+            self.zero_writes += zero_writes
 
     def snapshot(self) -> Dict[str, int]:
         """Consistent copy of the counters."""
@@ -121,8 +144,12 @@ class _BaseSocketServer:
 class ThreadedSocketServer(_BaseSocketServer):
     """Thread-per-connection with blocking reads and writes (sTomcat-Sync).
 
-    ``sendall`` is the blocking write: one call per response regardless of
-    the response size — no write-spin.
+    ``sendall`` is the blocking write — no write-spin.  Like the selector
+    servers, the header ``sendall`` is counted as a write, so a response of
+    ``size`` bytes costs ``1 + ceil(size / 1MB)`` logical writes (one per
+    payload chunk).  The counters are committed atomically only after the
+    whole response is on the wire: a client that disconnects mid-response
+    leaves no trace in the stats (see :meth:`RealServerStats.record_response`).
     """
 
     def _serve(self) -> None:
@@ -150,14 +177,17 @@ class ThreadedSocketServer(_BaseSocketServer):
                     buffer += chunk
                     continue
                 _kind, size = parse_request_line(line)
-                self.stats.record_request()
                 conn.sendall(encode_response_header(size))
+                writes = 1  # the header sendall, as the selector servers count it
                 remaining = size
                 while remaining > 0:
                     piece = _PAYLOAD[: min(remaining, len(_PAYLOAD))]
                     conn.sendall(piece)  # blocking: a single logical write
-                    self.stats.record_write(len(piece))
+                    writes += 1
                     remaining -= len(piece)
+                # Commit only once the response is fully written: a
+                # disconnect above raises OSError and records nothing.
+                self.stats.record_response(writes)
         except (OSError, ValueError):
             pass
         finally:

@@ -43,3 +43,31 @@ def test_parser_all_markdown_flag():
     args = build_parser().parse_args(["all", "--scale", "0.2", "--markdown", "out.md"])
     assert args.markdown == "out.md"
     assert args.scale == 0.2
+
+
+def test_parser_accepts_jobs():
+    assert build_parser().parse_args(["run", "fig7", "--jobs", "4"]).jobs == "4"
+    assert build_parser().parse_args(["all", "--jobs", "auto"]).jobs == "auto"
+    assert build_parser().parse_args(["run", "fig7"]).jobs is None
+
+
+def test_invalid_jobs_is_an_error(capsys):
+    assert main(["run", "tab4", "--jobs", "many"]) == 2
+    assert "jobs" in capsys.readouterr().err
+
+
+def test_cache_status_and_clear(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    (tmp_path / "fig7").mkdir(parents=True)
+    (tmp_path / "fig7" / "micro-abc.pkl").write_bytes(b"x")
+    assert main(["cache"]) == 0
+    assert "cached points:   1" in capsys.readouterr().out
+    assert main(["cache", "--clear"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert not tmp_path.exists()
+
+
+def test_cache_disabled_message(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    assert main(["cache"]) == 0
+    assert "disabled" in capsys.readouterr().out

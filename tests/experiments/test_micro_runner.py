@@ -38,7 +38,10 @@ def test_duration_must_exceed_warmup():
 
 @pytest.mark.parametrize("server", sorted(SERVER_FACTORIES))
 def test_every_registered_server_runs(server):
-    result = run_micro(quick(server))
+    # Cached: re-simulated whenever the package sources change.
+    from repro.experiments.parallel import cached_micro
+
+    result = cached_micro(quick(server), label="micro-smoke")
     assert result.throughput > 0
     assert result.report.completed > 0
 

@@ -3,11 +3,16 @@
 These run small-but-real experiments (seconds of virtual time, a second or
 two of wall time each) and assert the qualitative shapes the full
 benchmarks regenerate at paper scale.
+
+Runs go through :func:`repro.experiments.parallel.cached_micro`, so on a
+warm ``.repro-cache/`` this module re-verifies in well under a second;
+any edit to the ``repro`` sources invalidates the cache and re-simulates.
 """
 
 import pytest
 
-from repro.experiments.micro import MicroConfig, run_micro
+from repro.experiments.micro import MicroConfig
+from repro.experiments.parallel import cached_micro
 from repro.workload.mixes import SIZE_LARGE, SIZE_SMALL, BimodalMix
 
 
@@ -15,7 +20,7 @@ def run(server, **kwargs):
     defaults = dict(server=server, concurrency=8, response_size=SIZE_SMALL,
                     duration=1.0, warmup=0.3)
     defaults.update(kwargs)
-    return run_micro(MicroConfig(**defaults))
+    return cached_micro(MicroConfig(**defaults), label="paper-shapes")
 
 
 # ----------------------------------------------------------------------

@@ -7,18 +7,20 @@ Tomcat saturates earlier and switches more.
 
 import pytest
 
-from repro.ntier.topology import NTierConfig, run_ntier
+from repro.experiments.parallel import cached_ntier
+from repro.ntier.topology import NTierConfig
 
 
 def mini(variant, users):
-    return run_ntier(
+    return cached_ntier(
         NTierConfig(
             tomcat_variant=variant,
             users=users,
             think_mean=0.05,
             duration=2.5,
             warmup=1.0,
-        )
+        ),
+        label="rubbos-mini",
     )
 
 

@@ -54,11 +54,13 @@ def test_saturation_knee_validation():
 
 def test_simulator_respects_littles_law():
     """Closed-loop measurement self-consistency: N ~= X * R."""
-    from repro.experiments.micro import MicroConfig, run_micro
+    from repro.experiments.micro import MicroConfig
+    from repro.experiments.parallel import cached_micro
 
-    result = run_micro(
+    result = cached_micro(
         MicroConfig(server="sTomcat-Sync", concurrency=32, response_size=102,
-                    duration=2.0, warmup=0.6)
+                    duration=2.0, warmup=0.6),
+        label="queueing",
     )
     residual = littles_law_residual(
         32, result.throughput, result.report.response_time_mean
@@ -68,11 +70,13 @@ def test_simulator_respects_littles_law():
 
 def test_utilization_law_matches_simulator():
     """Demand from the utilisation law matches demand from throughput."""
-    from repro.experiments.micro import MicroConfig, run_micro
+    from repro.experiments.micro import MicroConfig
+    from repro.experiments.parallel import cached_micro
 
-    result = run_micro(
+    result = cached_micro(
         MicroConfig(server="SingleT-Async", concurrency=32, response_size=102,
-                    duration=2.0, warmup=0.6)
+                    duration=2.0, warmup=0.6),
+        label="queueing",
     )
     usage = result.report.cpu
     demand = utilization_law_demand(result.throughput, usage.utilization)

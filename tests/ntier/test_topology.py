@@ -50,22 +50,29 @@ def mini_config(variant, users=40):
     )
 
 
+def mini_run(variant, users=40):
+    # Cached: identical configs across tests simulate once per code version.
+    from repro.experiments.parallel import cached_ntier
+
+    return cached_ntier(mini_config(variant, users), label="topology-mini")
+
+
 @pytest.mark.parametrize("variant", ["sync", "async"])
 def test_mini_run_completes_requests(variant):
-    result = run_ntier(mini_config(variant))
+    result = mini_run(variant)
     assert result.throughput > 0
     assert result.response_time > 0
     assert result.report.completed > 10
 
 
 def test_mini_run_bottleneck_is_tomcat():
-    result = run_ntier(mini_config("sync", users=120))
+    result = mini_run("sync", users=120)
     assert result.bottleneck_tier == "tomcat"
     assert result.tier_utilization["tomcat"] > result.tier_utilization["mysql"]
 
 
 def test_peak_concurrency_bounded_by_pool():
-    result = run_ntier(mini_config("sync", users=120))
+    result = mini_run("sync", users=120)
     assert result.tomcat_peak_concurrency <= 40
 
 

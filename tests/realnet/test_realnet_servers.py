@@ -5,6 +5,8 @@ import pytest
 from repro.realnet.client import run_load
 from repro.realnet.servers import SelectorSocketServer, ThreadedSocketServer
 
+pytestmark = pytest.mark.realnet
+
 
 @pytest.mark.parametrize("server_cls", [ThreadedSocketServer, SelectorSocketServer])
 def test_serves_small_responses(server_cls):
@@ -30,8 +32,12 @@ def test_threaded_server_one_logical_write_per_chunk():
         run_load(server.address, concurrency=2, response_size=100 * 1024,
                  duration=0.4)
         stats = server.stats.snapshot()
-    # sendall: writes == payload chunks (1MB payload slices -> 1/request).
-    assert stats["write_calls"] == stats["requests"]
+    # sendall: header + payload chunks (1MB slices -> 1 chunk for 100KB),
+    # committed atomically per response — exact even when clients
+    # disconnect mid-response at the end of the load window.
+    assert stats["requests"] > 0
+    assert stats["write_calls"] == 2 * stats["requests"]
+    assert stats["zero_writes"] == 0
 
 
 def test_selector_server_spins_on_large_responses():

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI gate: run the test suite in two tiers and report each tier's wall clock.
+#
+#   fast tier     everything except the real-socket tests, with sweeps fanned
+#                 out over all cores (REPRO_JOBS=auto) and the on-disk result
+#                 cache enabled -- a warm .repro-cache/ makes this tier cheap.
+#   realnet tier  the loopback-socket tests (-m realnet) on their own, so
+#                 timing-sensitive socket work is not interleaved with the
+#                 CPU-heavy simulation tier.
+#
+# Usage: tools/ci_check.sh [extra pytest args for both tiers]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+export REPRO_JOBS="${REPRO_JOBS:-auto}"
+
+run_tier() {
+    local name=$1; shift
+    local started elapsed
+    started=$SECONDS
+    python -m pytest -q "$@"
+    elapsed=$((SECONDS - started))
+    eval "${name}_elapsed=$elapsed"
+    echo "[ci_check] $name tier: ${elapsed}s"
+}
+
+echo "[ci_check] fast tier (REPRO_JOBS=$REPRO_JOBS, cache: ${REPRO_CACHE:-on})"
+run_tier fast -m "not realnet" "$@"
+
+echo "[ci_check] realnet tier"
+run_tier realnet -m realnet "$@"
+
+echo "[ci_check] done: fast ${fast_elapsed}s + realnet ${realnet_elapsed}s"
