@@ -1,0 +1,13 @@
+"""Chaos extension: resilience under deterministic fault injection.
+
+Regenerates artifact ``chaos`` from the experiment registry and asserts
+its shape checks (zero-impact of an empty plan, graceful degradation,
+retry amplification monotonicity).
+"""
+
+import pytest
+
+
+@pytest.mark.chaos
+def test_bench_chaos(regenerate):
+    regenerate("chaos")

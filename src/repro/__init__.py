@@ -29,6 +29,7 @@ from repro.calibration import Calibration, DEFAULT_CALIBRATION, default_calibrat
 from repro.core import HybridServer, PathCategory, PathClassifier, RequestProfiler
 from repro.cpu import CPU, SimThread
 from repro.errors import ReproError
+from repro.faults import FAULT_PRESETS, FaultInjector, FaultPlan, FaultReport, StallWindow
 from repro.experiments import (
     EXPERIMENTS,
     ArtifactResult,
@@ -47,6 +48,7 @@ from repro.servers import (
     NettyServer,
     ReactorFixServer,
     ReactorServer,
+    ServerLimits,
     SingleThreadedServer,
     ThreadedServer,
     TomcatAsyncServer,
@@ -57,6 +59,7 @@ from repro.workload import (
     BimodalMix,
     ClosedLoopClient,
     FixedMix,
+    RetryPolicy,
     RubbosMix,
     ZipfMix,
     build_population,
@@ -76,6 +79,11 @@ __all__ = [
     "CPU",
     "SimThread",
     "ReproError",
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "StallWindow",
     "EXPERIMENTS",
     "ArtifactResult",
     "MicroConfig",
@@ -98,6 +106,7 @@ __all__ = [
     "NettyServer",
     "ReactorFixServer",
     "ReactorServer",
+    "ServerLimits",
     "SingleThreadedServer",
     "ThreadedServer",
     "TomcatAsyncServer",
@@ -107,6 +116,7 @@ __all__ = [
     "BimodalMix",
     "ClosedLoopClient",
     "FixedMix",
+    "RetryPolicy",
     "RubbosMix",
     "ZipfMix",
     "build_population",

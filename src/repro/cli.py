@@ -8,6 +8,8 @@ Commands
     Regenerate one artifact, print the table and shape checks.
 ``repro-bench all [--scale 0.3] [--jobs auto] [--markdown experiments.md]``
     Regenerate everything; optionally write a markdown report.
+``repro-bench chaos [--scale 0.3] [--jobs 4]``
+    Shortcut for ``run chaos``: the fault-injection resilience sweep.
 ``repro-bench calibration``
     Print the calibration constants in use.
 ``repro-bench cache [--clear]``
@@ -62,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="regenerate one artifact")
     run.add_argument("artifact", help="artifact id, e.g. fig7 or tab4")
     _add_sweep_flags(run)
+
+    chaos = sub.add_parser("chaos", help="run the fault-injection chaos sweep")
+    _add_sweep_flags(chaos)
 
     all_cmd = sub.add_parser("all", help="regenerate every artifact")
     _add_sweep_flags(all_cmd)
@@ -148,6 +153,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args.clear)
         if args.command == "run":
             return _cmd_run(args.artifact, args.scale, args.jobs)
+        if args.command == "chaos":
+            return _cmd_run("chaos", args.scale, args.jobs)
         if args.command == "all":
             return _cmd_all(args.scale, args.jobs, args.markdown)
     except ReproError as exc:

@@ -15,9 +15,10 @@ from repro.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.hybrid import HybridServer
 from repro.cpu.scheduler import CPU
 from repro.errors import ExperimentError
+from repro.faults import FaultInjector, FaultPlan, FaultReport
 from repro.metrics.collector import RunRecorder, RunReport
 from repro.net.link import Link
-from repro.servers.base import BaseServer
+from repro.servers.base import BaseServer, ServerLimits
 from repro.servers.netty import NettyServer
 from repro.servers.reactor import ReactorFixServer, ReactorServer
 from repro.servers.ncopy import NCopyServer
@@ -27,6 +28,7 @@ from repro.servers.threaded import ThreadedServer
 from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
 from repro.sim.core import Environment
 from repro.sim.rng import SeedStreams
+from repro.workload.client import ClientStats, RetryPolicy
 from repro.workload.mixes import FixedMix, RequestMix
 from repro.workload.population import ConnectionOptions, build_population
 
@@ -114,6 +116,13 @@ class MicroConfig:
     workers_override: Optional[int] = None
     netty_workers: int = 1
     spin_threshold: Optional[int] = None
+    #: Chaos plan for this run (``None`` or an all-zero plan → no fault
+    #: machinery is instantiated at all; bit-identical to the default).
+    fault_plan: Optional[FaultPlan] = None
+    #: Client-side resilience policy (``None`` → historical client loop).
+    retry: Optional[RetryPolicy] = None
+    #: Server-side load-shedding limits (``None`` → unlimited).
+    limits: Optional[ServerLimits] = None
 
     @property
     def workers(self) -> int:
@@ -146,6 +155,11 @@ class MicroResult:
     config: MicroConfig
     report: RunReport
     server_stats: Dict[str, float] = field(default_factory=dict)
+    #: Aggregated resilience counters across the client population (only
+    #: populated when the run used a retry policy or fault injection).
+    client_stats: Dict[str, float] = field(default_factory=dict)
+    #: Fault-injection report (``None`` for clean runs).
+    faults: Optional[FaultReport] = None
 
     @property
     def throughput(self) -> float:
@@ -200,23 +214,32 @@ def run_micro(config: MicroConfig) -> MicroResult:
     env = Environment()
     cpu = CPU(env, calib, name=f"{config.server}-cpu")
     server = make_server(config.server, env, cpu, config)
+    if config.limits is not None:
+        server.limits = config.limits
     link = Link.lan(calib, added_latency=config.added_latency)
     recorder = RunRecorder(env, warmup=config.warmup)
     recorder.watch_cpu(cpu)
     mix = config.mix or FixedMix(config.response_size)
-    build_population(
+    seeds = SeedStreams(config.seed)
+    injector: Optional[FaultInjector] = None
+    if config.fault_plan is not None and config.fault_plan.enabled:
+        injector = FaultInjector(env, config.fault_plan, seeds.fork("faults"))
+        injector.start_stalls(cpu)
+    population = build_population(
         env,
         server,
         size=config.concurrency,
         mix=mix,
         link=link,
         calibration=calib,
-        seeds=SeedStreams(config.seed),
+        seeds=seeds,
         recorder=recorder,
         options=ConnectionOptions(
             send_buffer_size=config.send_buffer_size, autotune=config.autotune
         ),
         ramp_up=config.warmup * 0.8,
+        faults=injector,
+        retry=config.retry,
     )
     env.run(until=config.duration)
     stats = {
@@ -224,9 +247,24 @@ def run_micro(config: MicroConfig) -> MicroResult:
         "responses_written": float(server.stats.responses_written),
         "spin_jumpouts": float(server.stats.spin_jumpouts),
         "reclassifications": float(server.stats.reclassifications),
+        "requests_rejected": float(server.stats.requests_rejected),
+        "requests_aborted": float(server.stats.requests_aborted),
+        "connections_refused": float(server.stats.connections_refused),
     }
     if isinstance(server, HybridServer):
         stats["light_path_requests"] = float(server.light_path_requests)
         stats["heavy_path_requests"] = float(server.heavy_path_requests)
         stats["light_path_fallbacks"] = float(server.light_path_fallbacks)
-    return MicroResult(config=config, report=recorder.report(), server_stats=stats)
+    client_stats: Dict[str, float] = {}
+    if injector is not None or config.retry is not None:
+        for counter in ClientStats.__slots__:
+            client_stats[counter] = float(
+                sum(getattr(c.stats, counter) for c in population.clients)
+            )
+    return MicroResult(
+        config=config,
+        report=recorder.report(),
+        server_stats=stats,
+        client_stats=client_stats,
+        faults=injector.report() if injector is not None else None,
+    )

@@ -30,6 +30,7 @@ from repro.experiments.artifacts_micro import (
     tab3_cpu_split,
     tab4_write_spin,
 )
+from repro.experiments.artifacts_chaos import chaos_resilience
 from repro.experiments.artifacts_extensions import (
     ablation_flow_granularity,
     ablation_ncopy_scaling,
@@ -79,6 +80,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("ablC", "Ablation: TCP send-buffer size", ablation_send_buffer),
         ExperimentSpec("ablD", "Ablation: event-flow granularity (SEDA)", ablation_flow_granularity),
         ExperimentSpec("ablE", "Ablation: N-copy multi-core scaling", ablation_ncopy_scaling),
+        ExperimentSpec("chaos", "Chaos resilience under fault injection", chaos_resilience, "minutes"),
     ]
 }
 

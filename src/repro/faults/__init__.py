@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the simulated stack.
+
+Chaos runs are driven entirely by the sim RNG (:mod:`repro.sim.rng`), so a
+``(seed, FaultPlan)`` pair fully determines every dropped segment, latency
+spike, connection reset, client abort and server stall window — runs are
+bit-reproducible and therefore cache-friendly under the PR-1 sweep
+executor, regardless of ``--jobs``.
+"""
+
+from repro.faults.injector import (
+    ClientFaults,
+    ConnectionFaults,
+    FaultEvent,
+    FaultInjector,
+    FaultReport,
+)
+from repro.faults.plan import FAULT_PRESETS, FaultPlan, StallWindow
+
+__all__ = [
+    "ClientFaults",
+    "ConnectionFaults",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultReport",
+    "FAULT_PRESETS",
+    "FaultPlan",
+    "StallWindow",
+]

@@ -1,0 +1,169 @@
+"""Declarative description of what should go wrong during a run.
+
+A :class:`FaultPlan` is a frozen value object: it carries probabilities and
+offsets but no state, so it hashes into the sweep-executor cache key and
+compares by value.  All randomness is drawn later, by the
+:class:`repro.faults.injector.FaultInjector`, from seeded streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["FaultPlan", "StallWindow", "FAULT_PRESETS"]
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """One server-side stall: the CPU is seized for ``duration`` seconds.
+
+    Models a stop-the-world pause (GC, page-fault storm, noisy neighbour)
+    starting at sim time ``start``.
+    """
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ExperimentError(f"stall start must be >= 0, got {self.start!r}")
+        if self.duration <= 0:
+            raise ExperimentError(f"stall duration must be > 0, got {self.duration!r}")
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ExperimentError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What goes wrong, how often, and where.
+
+    The default-constructed plan injects nothing (``enabled`` is False) and
+    a run configured with it is bit-identical to a run with no plan at all.
+
+    Probabilities are *per segment* (loss/corruption/spike, applied on the
+    server→client data path), *per request* (connection reset on request
+    arrival) or *per issued request* (client abort).
+    """
+
+    #: Probability a data segment is lost and must be retransmitted after
+    #: an RTO — modelled as extra delivery delay, since only timing matters.
+    segment_loss_prob: float = 0.0
+    #: Probability a segment arrives corrupted and is retransmitted.
+    segment_corrupt_prob: float = 0.0
+    #: Probability a segment experiences an added latency spike.
+    latency_spike_prob: float = 0.0
+    #: Size of one latency spike in seconds.
+    latency_spike: float = 0.020
+    #: Probability the connection is reset when a request arrives.
+    reset_request_prob: float = 0.0
+    #: Reset the connection after this many requests have arrived on it.
+    reset_after_requests: Optional[int] = None
+    #: Reset the connection after this many response bytes were delivered.
+    reset_after_bytes: Optional[int] = None
+    #: Probability a client abandons (aborts) an issued request early.
+    client_abort_prob: float = 0.0
+    #: How long an aborting client waits before giving up, in seconds.
+    client_abort_delay: float = 0.050
+    #: Server-side stop-the-world stall windows.
+    server_stalls: Tuple[StallWindow, ...] = ()
+    #: Retransmission timeout charged per lost/corrupted segment.
+    rto: float = 0.200
+
+    def __post_init__(self) -> None:
+        _check_prob("segment_loss_prob", self.segment_loss_prob)
+        _check_prob("segment_corrupt_prob", self.segment_corrupt_prob)
+        _check_prob("latency_spike_prob", self.latency_spike_prob)
+        _check_prob("reset_request_prob", self.reset_request_prob)
+        _check_prob("client_abort_prob", self.client_abort_prob)
+        if self.latency_spike < 0:
+            raise ExperimentError(f"latency_spike must be >= 0, got {self.latency_spike!r}")
+        if self.client_abort_delay <= 0:
+            raise ExperimentError(
+                f"client_abort_delay must be > 0, got {self.client_abort_delay!r}"
+            )
+        if self.rto <= 0:
+            raise ExperimentError(f"rto must be > 0, got {self.rto!r}")
+        if self.reset_after_requests is not None and self.reset_after_requests < 1:
+            raise ExperimentError(
+                f"reset_after_requests must be >= 1, got {self.reset_after_requests!r}"
+            )
+        if self.reset_after_bytes is not None and self.reset_after_bytes < 1:
+            raise ExperimentError(
+                f"reset_after_bytes must be >= 1, got {self.reset_after_bytes!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when this plan can inject at least one fault."""
+        return (
+            self.segment_loss_prob > 0
+            or self.segment_corrupt_prob > 0
+            or self.latency_spike_prob > 0
+            or self.reset_request_prob > 0
+            or self.reset_after_requests is not None
+            or self.reset_after_bytes is not None
+            or self.client_abort_prob > 0
+            or bool(self.server_stalls)
+        )
+
+    @property
+    def connection_faults_enabled(self) -> bool:
+        """True when the plan injects faults on the TCP data path."""
+        return (
+            self.segment_loss_prob > 0
+            or self.segment_corrupt_prob > 0
+            or self.latency_spike_prob > 0
+            or self.reset_request_prob > 0
+            or self.reset_after_requests is not None
+            or self.reset_after_bytes is not None
+        )
+
+    def describe(self) -> str:
+        """One-line summary listing only the non-default knobs."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default and f.name != "server_stalls":
+                parts.append(f"{f.name}={value:g}" if isinstance(value, float) else f"{f.name}={value}")
+        if self.server_stalls:
+            parts.append(f"stalls={len(self.server_stalls)}")
+        return ", ".join(parts) if parts else "no faults"
+
+
+#: Named fault intensities used by the chaos artifact (escalating severity).
+FAULT_PRESETS: Dict[str, FaultPlan] = {
+    "none": FaultPlan(),
+    "mild": FaultPlan(
+        segment_loss_prob=0.002,
+        latency_spike_prob=0.01,
+        latency_spike=0.005,
+        client_abort_prob=0.002,
+    ),
+    "moderate": FaultPlan(
+        segment_loss_prob=0.01,
+        segment_corrupt_prob=0.005,
+        latency_spike_prob=0.03,
+        latency_spike=0.010,
+        reset_request_prob=0.002,
+        client_abort_prob=0.01,
+        server_stalls=(StallWindow(start=1.0, duration=0.05),),
+    ),
+    "severe": FaultPlan(
+        segment_loss_prob=0.03,
+        segment_corrupt_prob=0.01,
+        latency_spike_prob=0.08,
+        latency_spike=0.020,
+        reset_request_prob=0.01,
+        client_abort_prob=0.03,
+        server_stalls=(
+            StallWindow(start=0.8, duration=0.10),
+            StallWindow(start=1.6, duration=0.10),
+        ),
+    ),
+}

@@ -36,6 +36,16 @@ class RunReport:
     cpu: Optional[CPUUsage]
     per_kind_throughput: Dict[str, float] = field(default_factory=dict)
     per_kind_response_time: Dict[str, float] = field(default_factory=dict)
+    #: Rejection responses received (server load shedding) in the window.
+    rejected: int = 0
+    #: Logical requests abandoned by clients after exhausting retries.
+    failed: int = 0
+
+    @property
+    def goodput(self) -> float:
+        """Successful responses per second (rejections excluded by
+        construction: only full responses enter ``completed``)."""
+        return self.throughput
 
     @property
     def context_switch_rate(self) -> float:
@@ -68,6 +78,10 @@ class RunRecorder:
         self._cpu_start: Optional[CPUSnapshot] = None
         self._started = False
         self.total_seen = 0
+        #: Rejection responses observed inside the measurement window.
+        self.rejected = 0
+        #: Failed (retry-exhausted) logical requests inside the window.
+        self.failed = 0
 
     # ------------------------------------------------------------------
     def watch_cpu(self, cpu: CPU) -> None:
@@ -92,10 +106,18 @@ class RunRecorder:
             self._begin()
 
     def record(self, request: Request) -> None:
-        """Record a completed request (ignored while warming up)."""
+        """Record a completed request (ignored while warming up).
+
+        A request flagged ``rejected`` by server load shedding is counted
+        separately and kept out of the response-time population — a tiny
+        503-style response must not masquerade as a fast success.
+        """
         self.total_seen += 1
         self._maybe_start()
         if not self._started or request.completed_at is None:
+            return
+        if request.metadata.get("rejected"):
+            self.rejected += 1
             return
         rt = request.response_time
         if rt is None:
@@ -104,6 +126,13 @@ class RunRecorder:
         self.write_calls.add(request.write_calls)
         self.zero_writes.add(request.zero_writes)
         self._per_kind.setdefault(request.kind, SummaryStats()).add(rt)
+
+    def record_failure(self, request: Request) -> None:
+        """Record a logical request that exhausted its retries (no response)."""
+        self._maybe_start()
+        if not self._started:
+            return
+        self.failed += 1
 
     # ------------------------------------------------------------------
     def report(self) -> RunReport:
@@ -134,6 +163,8 @@ class RunRecorder:
                 cpu=cpu_usage,
                 per_kind_throughput=per_kind_tput,
                 per_kind_response_time=per_kind_rt,
+                rejected=self.rejected,
+                failed=self.failed,
             )
         return RunReport(
             duration=duration,
@@ -146,4 +177,6 @@ class RunRecorder:
             write_calls_per_request=float("nan"),
             zero_writes_per_request=float("nan"),
             cpu=cpu_usage,
+            rejected=self.rejected,
+            failed=self.failed,
         )

@@ -33,6 +33,7 @@ class SendBuffer:
             raise ValueError(f"capacity must be >= 1, got {capacity!r}")
         self._capacity = int(capacity)
         self._used = 0
+        self._closed = False
         self._space_waiters: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
@@ -64,6 +65,11 @@ class SendBuffer:
     def is_empty(self) -> bool:
         return self._used == 0
 
+    @property
+    def closed(self) -> bool:
+        """True once the owning connection closed this buffer."""
+        return self._closed
+
     # ------------------------------------------------------------------
     def reserve(self, nbytes: int) -> int:
         """Copy up to ``nbytes`` into the buffer; returns bytes accepted.
@@ -92,9 +98,13 @@ class SendBuffer:
     def add_space_waiter(self, callback: Callable[[], None]) -> None:
         """Register a one-shot callback invoked when free space appears.
 
-        If space is free right now the callback fires immediately.
+        If space is free right now the callback fires immediately.  On a
+        closed buffer the callback also fires immediately: a closed buffer
+        never drains (ACK processing stops at close), so a waiter parked
+        here after close would otherwise sleep forever — the waker must
+        observe the connection's closed state and unwind.
         """
-        if self.free > 0:
+        if self._closed or self.free > 0:
             callback()
         else:
             self._space_waiters.append(callback)
@@ -103,6 +113,15 @@ class SendBuffer:
         waiters, self._space_waiters = self._space_waiters, []
         for callback in waiters:
             callback()
+
+    def close(self) -> None:
+        """Mark the buffer closed and wake every pending space waiter.
+
+        After this, :meth:`add_space_waiter` fires immediately instead of
+        parking callbacks that could never be woken.  Idempotent.
+        """
+        self._closed = True
+        self._notify_space()
 
     def wake_all_waiters(self) -> None:
         """Fire every pending space waiter regardless of free space.

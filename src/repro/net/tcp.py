@@ -112,6 +112,7 @@ class Connection:
         calibration: Calibration = DEFAULT_CALIBRATION,
         send_buffer_size: Optional[int] = None,
         autotune: bool = False,
+        faults=None,
     ):
         Connection._ids += 1
         self.id = Connection._ids
@@ -121,6 +122,15 @@ class Connection:
         self.autotune = autotune
         self.closed = False
         self.stats = TCPStats()
+        #: Optional per-connection fault hooks (duck-typed like
+        #: :class:`repro.faults.ConnectionFaults`).  ``None`` — the default —
+        #: keeps the data path entirely fault-free: no extra branches draw
+        #: randomness or schedule events.
+        self.faults = faults
+        #: Fires (once) when the connection closes; resilient clients wait
+        #: on it alongside the response so a mid-request reset wakes them
+        #: immediately instead of after a full timeout.
+        self.on_close: Event = env.event()
 
         initial_capacity = send_buffer_size or calibration.tcp_send_buffer
         if autotune:
@@ -200,6 +210,11 @@ class Connection:
 
     def _on_request_arrival(self, request: Request) -> None:
         if self.closed:
+            return
+        if self.faults is not None and self.faults.on_request_arrival():
+            # Injected connection reset: the request is lost with the
+            # connection (the client observes the close, not a response).
+            self.close()
             return
         self.inbox.append(request)
         self.stats.requests_received += 1
@@ -357,6 +372,10 @@ class Connection:
             depart = max(now, self._wire_free_at)
             self._wire_free_at = depart + serialization
             delivery_delay = (depart - now) + serialization + self.link.one_way_latency
+            if self.faults is not None:
+                # Injected loss/corruption/latency spike: retransmissions
+                # only matter as extra delivery delay in this model.
+                delivery_delay += self.faults.chunk_delay(chunk)
             delivered = self.env.timeout(delivery_delay)
             delivered.callbacks.append(lambda _ev, n=chunk: self._on_chunk_delivered(n))
 
@@ -365,6 +384,11 @@ class Connection:
             return
         self.stats.bytes_delivered += nbytes
         self._attribute_delivery(nbytes)
+        if self.faults is not None and self.faults.on_bytes_delivered(nbytes):
+            # Injected reset at a byte offset: the delivered bytes counted,
+            # but the connection dies before the ACK makes it back.
+            self.close()
+            return
         ack = self.env.timeout(self.link.one_way_latency)
         ack.callbacks.append(lambda _ev, n=nbytes: self._on_ack(n))
 
@@ -412,7 +436,11 @@ class Connection:
         self.inbox.clear()
         self._transfers.clear()
         self._notify_readable()
-        self.buffer.wake_all_waiters()
+        # Closing the buffer both wakes currently-blocked writers and makes
+        # any *later* space waiter fire immediately — a closed buffer never
+        # drains, so parking on it would deadlock.
+        self.buffer.close()
+        self.on_close.succeed()
 
     def _check_open(self) -> None:
         if self.closed:

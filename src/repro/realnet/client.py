@@ -20,6 +20,7 @@ class LoadResult:
     duration: float
     completed: int
     errors: int
+    timeouts: int = 0
     response_times: List[float] = field(default_factory=list)
 
     @property
@@ -55,9 +56,13 @@ def _read_response(conn: socket.socket, buffer: bytes) -> Tuple[int, bytes]:
 
 
 def _client_loop(address, kind: str, response_size: int, stop_at: float,
-                 result: LoadResult, lock: threading.Lock) -> None:
+                 result: LoadResult, lock: threading.Lock,
+                 connect_timeout: float, io_timeout: float) -> None:
     try:
-        with socket.create_connection(address, timeout=5) as conn:
+        with socket.create_connection(address, timeout=connect_timeout) as conn:
+            # A wedged server must not hang the load run: every recv/send
+            # after connect is bounded by io_timeout.
+            conn.settimeout(io_timeout)
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             buffer = b""
             while time.monotonic() < stop_at:
@@ -68,6 +73,10 @@ def _client_loop(address, kind: str, response_size: int, stop_at: float,
                 with lock:
                     result.completed += 1
                     result.response_times.append(elapsed)
+    except socket.timeout:
+        with lock:
+            result.timeouts += 1
+            result.errors += 1
     except (OSError, ConnectionError, ValueError):
         with lock:
             result.errors += 1
@@ -79,23 +88,33 @@ def run_load(
     response_size: int,
     duration: float,
     kind: str = "bench",
+    connect_timeout: float = 5.0,
+    io_timeout: float = 10.0,
 ) -> LoadResult:
     """Closed-loop load with ``concurrency`` client threads.
 
     Each thread keeps exactly one request in flight (zero think time),
-    mirroring the paper's JMeter configuration.
+    mirroring the paper's JMeter configuration.  ``connect_timeout``
+    bounds connection establishment and ``io_timeout`` bounds every
+    subsequent send/recv, so a wedged server surfaces as a counted
+    timeout instead of hanging the run forever.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency!r}")
     if duration <= 0:
         raise ValueError(f"duration must be > 0, got {duration!r}")
+    if connect_timeout <= 0:
+        raise ValueError(f"connect_timeout must be > 0, got {connect_timeout!r}")
+    if io_timeout <= 0:
+        raise ValueError(f"io_timeout must be > 0, got {io_timeout!r}")
     result = LoadResult(duration=duration, completed=0, errors=0)
     lock = threading.Lock()
     stop_at = time.monotonic() + duration
     threads = [
         threading.Thread(
             target=_client_loop,
-            args=(address, kind, response_size, stop_at, result, lock),
+            args=(address, kind, response_size, stop_at, result, lock,
+                  connect_timeout, io_timeout),
             daemon=True,
         )
         for _ in range(concurrency)

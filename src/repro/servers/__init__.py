@@ -16,6 +16,7 @@ from repro.servers.base import (
     Application,
     BaseServer,
     ComputeApplication,
+    ServerLimits,
     ServerStats,
     naive_spin_write,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "Application",
     "BaseServer",
     "ComputeApplication",
+    "ServerLimits",
     "ServerStats",
     "naive_spin_write",
     "NCopyServer",

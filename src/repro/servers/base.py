@@ -24,7 +24,8 @@ macro-benchmark (Tomcat tier calling a MySQL tier).
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
 
 from repro.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cpu.scheduler import CPU, SimThread
@@ -37,6 +38,7 @@ __all__ = [
     "Application",
     "ComputeApplication",
     "BaseServer",
+    "ServerLimits",
     "ServerStats",
     "naive_spin_write",
 ]
@@ -76,6 +78,36 @@ class ComputeApplication(Application):
         return request.response_size
 
 
+@dataclass(frozen=True)
+class ServerLimits:
+    """Graceful-degradation knobs for a server under overload.
+
+    ``None`` for a knob means unlimited (the historical behaviour).  When
+    ``max_inflight`` is exceeded the server *sheds load*: instead of
+    running the application it immediately writes a tiny
+    ``rejection_size``-byte error response (think HTTP 503), which the
+    client-side retry policy can recognise and back off from.
+    """
+
+    #: Maximum requests allowed in service concurrently; extra requests
+    #: receive a rejection response instead of being processed.
+    max_inflight: Optional[int] = None
+    #: Maximum attached connections; further connects are refused (closed).
+    max_connections: Optional[int] = None
+    #: Size in bytes of the rejection response written to shed requests.
+    rejection_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ServerError(f"max_inflight must be >= 1, got {self.max_inflight!r}")
+        if self.max_connections is not None and self.max_connections < 1:
+            raise ServerError(
+                f"max_connections must be >= 1, got {self.max_connections!r}"
+            )
+        if self.rejection_size < 1:
+            raise ServerError(f"rejection_size must be >= 1, got {self.rejection_size!r}")
+
+
 class ServerStats:
     """Aggregate counters maintained by every server."""
 
@@ -85,6 +117,9 @@ class ServerStats:
         "responses_written",
         "spin_jumpouts",
         "reclassifications",
+        "requests_rejected",
+        "requests_aborted",
+        "connections_refused",
     )
 
     def __init__(self) -> None:
@@ -95,6 +130,12 @@ class ServerStats:
         self.spin_jumpouts = 0
         #: Times the hybrid classifier moved a request type between paths.
         self.reclassifications = 0
+        #: Requests shed with a rejection response (ServerLimits.max_inflight).
+        self.requests_rejected = 0
+        #: Requests abandoned mid-service because their connection closed.
+        self.requests_aborted = 0
+        #: Connections refused at attach (ServerLimits.max_connections).
+        self.connections_refused = 0
 
 
 class BaseServer:
@@ -110,6 +151,7 @@ class BaseServer:
         app: Optional[Application] = None,
         calibration: Optional[Calibration] = None,
         name: str = "",
+        limits: Optional[ServerLimits] = None,
     ):
         self.env = env
         self.cpu = cpu
@@ -121,6 +163,13 @@ class BaseServer:
         #: Optional :class:`~repro.metrics.tracing.RequestTracer`; when
         #: set, the server marks request-lifecycle milestones on it.
         self.tracer = None
+        #: Optional :class:`ServerLimits`; ``None`` disables shedding.
+        self.limits = limits
+        #: Requests currently admitted into application service.
+        self._inflight = 0
+        #: Most recent request being served per connection, for abort
+        #: accounting when a connection dies mid-request.
+        self._active: Dict[Connection, Request] = {}
 
     def _trace(self, request: Request, milestone: str, detail: str = "") -> None:
         if self.tracer is not None:
@@ -130,9 +179,23 @@ class BaseServer:
     # Connection lifecycle
     # ------------------------------------------------------------------
     def attach(self, connection: Connection) -> None:
-        """Accept an established connection and start serving it."""
+        """Accept an established connection and start serving it.
+
+        When :class:`ServerLimits` caps ``max_connections`` and the cap is
+        reached, the connection is *refused*: closed immediately (the
+        client observes the close) and counted, not raised — refusal is an
+        expected overload outcome, not a programming error.
+        """
         if connection in self.connections:
             raise ServerError("connection already attached")
+        if (
+            self.limits is not None
+            and self.limits.max_connections is not None
+            and len(self.connections) >= self.limits.max_connections
+        ):
+            self.stats.connections_refused += 1
+            connection.close()
+            return
         self.connections.append(connection)
         self._on_attach(connection)
 
@@ -156,6 +219,7 @@ class BaseServer:
         )
         request.service_started_at = self.env.now
         self.stats.requests_started += 1
+        self._active[connection] = request
         self._trace(request, "read", thread.name)
         return request
 
@@ -175,8 +239,34 @@ class BaseServer:
             + calib.tx_kernel_cost(written),
         )
 
+    def _admit(self, request: Request) -> Optional[int]:
+        """Load-shedding gate: ``None`` admits, else the rejection size.
+
+        With no limits configured this performs no metadata writes and no
+        counter updates, keeping the default path untouched.
+        """
+        if self.limits is None or self.limits.max_inflight is None:
+            return None
+        if self._inflight >= self.limits.max_inflight:
+            self.stats.requests_rejected += 1
+            request.metadata["rejected"] = True
+            self._trace(request, "rejected")
+            return self.limits.rejection_size
+        self._inflight += 1
+        request.metadata["admitted"] = True
+        return None
+
     def _service(self, thread: SimThread, request: Request):
-        """Run the application logic; returns the response size."""
+        """Run the application logic; returns the response size.
+
+        Under :class:`ServerLimits` the request first passes the admission
+        gate; a shed request skips the application entirely and gets the
+        small rejection response instead.
+        """
+        rejection_size = self._admit(request)
+        if rejection_size is not None:
+            self._trace(request, "computed", thread.name)
+            return rejection_size
         response_size = yield from self.app.service(self, thread, request)
         if response_size is None:
             response_size = request.response_size
@@ -184,8 +274,36 @@ class BaseServer:
         return response_size
 
     def _finish(self, request: Request) -> None:
+        if request.metadata.pop("admitted", None):
+            self._inflight = max(0, self._inflight - 1)
         self.stats.requests_completed += 1
         self._trace(request, "response-written")
+
+    def _abort(self, request: Optional[Request]) -> None:
+        """Account for a request abandoned because its connection died.
+
+        Releases the admission slot (if the request held one) and counts
+        the abort — unless the response actually reached the client before
+        the close, in which case nothing was lost.
+        """
+        if request is None:
+            return
+        if request.metadata.pop("admitted", None):
+            self._inflight = max(0, self._inflight - 1)
+        if request.completed_at is not None:
+            return
+        self.stats.requests_aborted += 1
+        request.metadata["aborted"] = True
+        self._trace(request, "aborted")
+
+    def _abort_connection(self, connection: Connection) -> None:
+        """Per-connection cleanup when a close interrupts service.
+
+        Servers call this from their ``ConnectionClosedError`` handlers so
+        a mid-request disconnect is accounted as an abort instead of
+        silently vanishing (extends the PR-1 accounting fix).
+        """
+        self._abort(self._active.pop(connection, None))
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} conns={len(self.connections)}>"

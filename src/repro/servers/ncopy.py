@@ -56,9 +56,17 @@ class NCopyServer(BaseServer):
         return sum(copy.stats.requests_completed for copy in self.copies)
 
     def aggregate_stats(self) -> dict:
-        """Summed per-copy counters."""
+        """Summed per-copy counters.
+
+        Note: :class:`~repro.servers.base.ServerLimits` set on the wrapper
+        only govern accept-time sharding (``max_connections``); per-copy
+        in-flight shedding requires limits on the copies themselves.
+        """
         return {
             "requests_started": sum(c.stats.requests_started for c in self.copies),
             "requests_completed": sum(c.stats.requests_completed for c in self.copies),
             "responses_written": sum(c.stats.responses_written for c in self.copies),
+            "requests_rejected": sum(c.stats.requests_rejected for c in self.copies),
+            "requests_aborted": sum(c.stats.requests_aborted for c in self.copies),
+            "connections_refused": sum(c.stats.connections_refused for c in self.copies),
         }

@@ -116,8 +116,10 @@ class NettyServer(BaseServer):
                         # re-delivers it).
                         yield from self._handle_readable(worker, connection)
                 except ConnectionClosedError:
-                    # Client disconnected mid-flow: drop any parked write
-                    # context; the selector forgets closed fds lazily.
+                    # Client disconnected mid-flow: account the abort, drop
+                    # any parked write context; the selector forgets closed
+                    # fds lazily.
+                    self._abort_connection(connection)
                     worker.pending.pop(connection, None)
                     worker.selector.unregister(connection)
 

@@ -132,8 +132,11 @@ class ReactorServer(BaseServer):
                 else:
                     yield from self._handle_extra(thread, kind, payload)
             except ConnectionClosedError:
-                # Client disconnected mid-flow: the selector drops closed
-                # connections lazily; nothing to re-register.
+                # Client disconnected mid-flow: account the abort; the
+                # selector drops closed connections lazily, so there is
+                # nothing to re-register.
+                connection = payload if isinstance(payload, Connection) else payload[0]
+                self._abort_connection(connection)
                 continue
 
     def _handle_extra(self, thread, kind, payload):

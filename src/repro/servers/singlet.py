@@ -59,5 +59,7 @@ class SingleThreadedServer(BaseServer):
                         )
                         self._finish(request)
                 except ConnectionClosedError:
-                    # Client disconnected mid-request: drop and move on.
+                    # Client disconnected mid-request: account the abort,
+                    # drop the connection and move on.
+                    self._abort_connection(connection)
                     self.selector.unregister(connection)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.errors import ConnectionClosedError
 from repro.net.selector import EVENT_READ, Selector
 from repro.net.tcp import Connection
 from repro.servers.base import BaseServer, naive_spin_write
@@ -55,7 +56,13 @@ class _Stage:
     def _loop(self, thread, handler):
         while True:
             item = yield self.queue.get()
-            yield from handler(thread, item)
+            try:
+                yield from handler(thread, item)
+            except ConnectionClosedError:
+                # A mid-stage disconnect must not kill the stage worker —
+                # account the abort and keep draining the queue.
+                connection = item if isinstance(item, Connection) else item[0]
+                self.server._abort_connection(connection)
 
 
 class StagedServer(BaseServer):

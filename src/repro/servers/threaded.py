@@ -78,8 +78,8 @@ class ThreadedServer(BaseServer):
                 self.stats.responses_written += 1
                 self._finish(request)
         except ConnectionClosedError:
-            # Client disconnected mid-request: drop it and retire.
-            pass
+            # Client disconnected mid-request: account the abort and retire.
+            self._abort_connection(connection)
         finally:
             thread.close()
             self._release_thread_slot()

@@ -1,10 +1,12 @@
 """Workload generation: closed-loop clients, request mixes, RUBBoS users."""
 
 from repro.workload.client import (
+    ClientStats,
     ClosedLoopClient,
     ExponentialThink,
     FixedThink,
     NoThink,
+    RetryPolicy,
     ThinkTime,
 )
 from repro.workload.mixes import (
@@ -28,10 +30,12 @@ from repro.workload.rubbos import (
 )
 
 __all__ = [
+    "ClientStats",
     "ClosedLoopClient",
     "ExponentialThink",
     "FixedThink",
     "NoThink",
+    "RetryPolicy",
     "ThinkTime",
     "SIZE_LARGE",
     "SIZE_MEDIUM",

@@ -18,7 +18,7 @@ from repro.net.tcp import Connection
 from repro.servers.base import BaseServer
 from repro.sim.core import Environment
 from repro.sim.rng import SeedStreams
-from repro.workload.client import ClosedLoopClient, NoThink, ThinkTime
+from repro.workload.client import ClosedLoopClient, NoThink, RetryPolicy, ThinkTime
 from repro.workload.mixes import RequestMix
 
 __all__ = ["ConnectionOptions", "Population", "build_population"]
@@ -63,27 +63,46 @@ def build_population(
     think: Optional[ThinkTime] = None,
     options: ConnectionOptions = ConnectionOptions(),
     ramp_up: float = 0.0,
+    faults=None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Population:
     """Create ``size`` closed-loop clients against ``server``.
 
     Clients are staggered uniformly over ``ramp_up`` virtual seconds so
     the population does not start in lockstep.
+
+    ``faults`` (a :class:`repro.faults.FaultInjector`, duck-typed) attaches
+    per-connection and per-client fault hooks keyed by population index —
+    never by connection id, so chaos runs stay deterministic across worker
+    processes.  ``retry`` arms every client with the given
+    :class:`~repro.workload.client.RetryPolicy`; either option also gives
+    clients a reconnect factory so a reset connection is replaced (and
+    re-attached) instead of silently ending the client.
     """
     if size < 1:
         raise ValueError(f"population size must be >= 1, got {size!r}")
     think = think or NoThink()
     clients: List[ClosedLoopClient] = []
     connections: List[Connection] = []
-    for index in range(size):
+
+    def _connect(index: int) -> Connection:
         connection = Connection(
             env,
             link,
             calibration,
             send_buffer_size=options.send_buffer_size,
             autotune=options.autotune,
+            faults=faults.for_connection(index) if faults is not None else None,
         )
         server.attach(connection)
+        return connection
+
+    for index in range(size):
+        connection = _connect(index)
         delay = (ramp_up * index / size) if ramp_up > 0 else 0.0
+        reconnect = None
+        if faults is not None or retry is not None:
+            reconnect = lambda i=index: _connect(i)
         client = ClosedLoopClient(
             env,
             connection,
@@ -93,6 +112,9 @@ def build_population(
             think=think,
             initial_delay=delay,
             name=f"client-{index}",
+            retry=retry,
+            reconnect=reconnect,
+            faults=faults.for_client(index) if faults is not None else None,
         )
         clients.append(client)
         connections.append(connection)

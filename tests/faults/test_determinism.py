@@ -1,0 +1,95 @@
+"""End-to-end determinism guarantees of the fault layer.
+
+Two properties are load-bearing for the chaos artifact:
+
+* an *empty* FaultPlan is provably zero-impact — the run is bit-identical
+  to one with no fault machinery attached at all;
+* a faulty run is a pure function of (config, seed) — the same sweep
+  produces the identical results (including the fault event trace) no
+  matter how many worker processes regenerate it.
+"""
+
+import pytest
+
+from repro.experiments.micro import MicroConfig, run_micro
+from repro.experiments.parallel import SweepExecutor
+from repro.faults import FaultPlan, StallWindow
+from repro.servers.base import ServerLimits
+from repro.workload.client import RetryPolicy
+
+#: A short but eventful plan: every fault class fires within ~0.4s.
+_BUSY_PLAN = FaultPlan(
+    segment_loss_prob=0.05,
+    segment_corrupt_prob=0.02,
+    latency_spike_prob=0.10,
+    latency_spike=0.005,
+    reset_request_prob=0.01,
+    client_abort_prob=0.05,
+    client_abort_delay=0.010,
+    server_stalls=(StallWindow(start=0.10, duration=0.03),),
+    rto=0.050,
+)
+
+_RETRY = RetryPolicy(timeout=0.05, max_retries=2, backoff_base=0.005)
+
+
+def _config(server="SingleT-Async", **kwargs):
+    kwargs.setdefault("concurrency", 8)
+    kwargs.setdefault("duration", 0.4)
+    kwargs.setdefault("warmup", 0.05)
+    return MicroConfig(server=server, **kwargs)
+
+
+def test_empty_plan_is_bit_identical_to_no_plan():
+    clean = run_micro(_config(fault_plan=None))
+    empty = run_micro(_config(fault_plan=FaultPlan()))
+    assert clean.report == empty.report
+    assert clean.server_stats == empty.server_stats
+    # A disabled plan instantiates no machinery at all.
+    assert clean.faults is None and empty.faults is None
+
+
+def test_armed_but_silent_plan_is_still_bit_identical():
+    # The strong zero-impact claim: fault hooks ATTACHED to every
+    # connection (counting requests, ready to reset) but never firing
+    # must not shift a single event — no randomness drawn, delays +0.0.
+    clean = run_micro(_config(fault_plan=None))
+    silent = run_micro(_config(fault_plan=FaultPlan(reset_after_requests=10**9)))
+    assert silent.report == clean.report
+    assert silent.server_stats == clean.server_stats
+    assert silent.faults is not None and silent.faults.total_faults == 0
+
+
+def test_faulty_run_is_reproducible():
+    config = _config(fault_plan=_BUSY_PLAN, retry=_RETRY)
+    one = run_micro(config)
+    two = run_micro(config)
+    assert one.faults == two.faults
+    assert one.report == two.report
+    assert one.client_stats == two.client_stats
+    assert one.faults.total_faults > 0  # the plan actually did something
+
+
+def test_faults_actually_perturb_the_run():
+    clean = run_micro(_config())
+    faulty = run_micro(_config(fault_plan=_BUSY_PLAN, retry=_RETRY))
+    assert faulty.report != clean.report
+
+
+@pytest.mark.chaos
+def test_chaos_sweep_identical_for_any_job_count():
+    """Same seed + FaultPlan => identical traces for --jobs 1 and N."""
+    points = {
+        (server, plan_name): _config(
+            server,
+            fault_plan=plan,
+            retry=_RETRY,
+            limits=ServerLimits(max_inflight=12),
+        )
+        for server in ("SingleT-Async", "sTomcat-Sync")
+        for plan_name, plan in (("busy", _BUSY_PLAN), ("clean", FaultPlan()))
+    }
+    serial = SweepExecutor("chaos-det", jobs=1, cache_dir=None).map_micro(points)
+    fanned = SweepExecutor("chaos-det", jobs=2, cache_dir=None).map_micro(points)
+    assert serial == fanned  # full MicroResult: report, stats, fault trace
+    assert any(r.faults.total_faults > 0 for r in serial.values())

@@ -1,0 +1,95 @@
+"""FaultPlan / StallWindow validation and the named presets."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.faults import FAULT_PRESETS, FaultPlan, StallWindow
+
+
+def test_default_plan_is_disabled():
+    plan = FaultPlan()
+    assert not plan.enabled
+    assert not plan.connection_faults_enabled
+    assert plan.describe() == "no faults"
+
+
+def test_plan_is_hashable_and_value_comparable():
+    assert FaultPlan(segment_loss_prob=0.1) == FaultPlan(segment_loss_prob=0.1)
+    assert hash(FaultPlan()) == hash(FaultPlan())
+    assert FaultPlan() != FaultPlan(latency_spike_prob=0.5)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"segment_loss_prob": -0.1},
+        {"segment_loss_prob": 1.5},
+        {"segment_corrupt_prob": 2.0},
+        {"latency_spike_prob": -1.0},
+        {"reset_request_prob": 1.01},
+        {"client_abort_prob": -0.5},
+        {"latency_spike": -0.001},
+        {"client_abort_delay": 0.0},
+        {"rto": 0.0},
+        {"rto": -1.0},
+        {"reset_after_requests": 0},
+        {"reset_after_bytes": 0},
+    ],
+)
+def test_plan_rejects_bad_values(kwargs):
+    with pytest.raises(ExperimentError):
+        FaultPlan(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"segment_loss_prob": 0.01},
+        {"segment_corrupt_prob": 0.01},
+        {"latency_spike_prob": 0.01},
+        {"reset_request_prob": 0.01},
+        {"reset_after_requests": 5},
+        {"reset_after_bytes": 1024},
+    ],
+)
+def test_connection_faults_enable_both_flags(kwargs):
+    plan = FaultPlan(**kwargs)
+    assert plan.enabled
+    assert plan.connection_faults_enabled
+
+
+def test_client_and_server_faults_do_not_touch_the_data_path():
+    aborts = FaultPlan(client_abort_prob=0.5)
+    stalls = FaultPlan(server_stalls=(StallWindow(1.0, 0.1),))
+    assert aborts.enabled and not aborts.connection_faults_enabled
+    assert stalls.enabled and not stalls.connection_faults_enabled
+
+
+def test_stall_window_validation():
+    with pytest.raises(ExperimentError):
+        StallWindow(start=-1.0, duration=0.1)
+    with pytest.raises(ExperimentError):
+        StallWindow(start=0.0, duration=0.0)
+
+
+def test_describe_lists_only_non_default_knobs():
+    plan = FaultPlan(segment_loss_prob=0.03, server_stalls=(StallWindow(1.0, 0.1),))
+    summary = plan.describe()
+    assert "segment_loss_prob" in summary
+    assert "stalls=1" in summary
+    assert "latency_spike_prob" not in summary
+
+
+def test_presets_escalate():
+    assert list(FAULT_PRESETS) == ["none", "mild", "moderate", "severe"]
+    assert not FAULT_PRESETS["none"].enabled
+    for name in ("mild", "moderate", "severe"):
+        assert FAULT_PRESETS[name].enabled, name
+    assert (
+        FAULT_PRESETS["mild"].segment_loss_prob
+        < FAULT_PRESETS["moderate"].segment_loss_prob
+        < FAULT_PRESETS["severe"].segment_loss_prob
+    )
+    assert len(FAULT_PRESETS["severe"].server_stalls) > len(
+        FAULT_PRESETS["moderate"].server_stalls
+    )

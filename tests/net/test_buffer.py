@@ -93,3 +93,32 @@ def test_is_empty():
     assert buffer.is_empty
     buffer.reserve(1)
     assert not buffer.is_empty
+
+
+def test_close_wakes_pending_waiters():
+    buffer = SendBuffer(100)
+    buffer.reserve(100)
+    fired = []
+    buffer.add_space_waiter(lambda: fired.append(1))
+    assert fired == []
+    buffer.close()
+    assert buffer.closed
+    assert fired == [1]
+
+
+def test_waiter_added_after_close_fires_immediately():
+    # Regression: a closed connection's buffer never drains, so a waiter
+    # registered after close would otherwise park forever.
+    buffer = SendBuffer(100)
+    buffer.reserve(100)  # full: the non-closed path would defer
+    buffer.close()
+    fired = []
+    buffer.add_space_waiter(lambda: fired.append(1))
+    assert fired == [1]
+
+
+def test_close_is_idempotent():
+    buffer = SendBuffer(100)
+    buffer.close()
+    buffer.close()
+    assert buffer.closed

@@ -1,0 +1,72 @@
+"""Regression tests: closing a connection wakes every parked writer.
+
+Before the fix, ``Connection.close()`` only woke waiters that were already
+registered; any writer that blocked *after* the close (or re-registered
+while unwinding) parked on a buffer that would never drain again and its
+thread leaked for the rest of the run.
+"""
+
+import pytest
+
+from repro.errors import ConnectionClosedError
+
+
+def test_blocked_writer_wakes_with_connection_closed(env, cpu, make_connection):
+    conn = make_connection(send_buffer_size=1000)
+    thread = cpu.thread("writer")
+    outcome = []
+
+    def writer():
+        try:
+            # Far larger than buffer + cwnd: the writer must block.
+            yield from conn.blocking_write(thread, 10_000_000)
+            outcome.append("completed")
+        except ConnectionClosedError:
+            outcome.append("closed")
+
+    env.process(writer())
+    env.run(until=0.001)
+    assert outcome == []  # parked, mid-write
+    conn.close()
+    env.run(until=0.002)
+    assert outcome == ["closed"]
+
+
+def test_wait_writable_after_close_fires_immediately(env, make_connection):
+    conn = make_connection(send_buffer_size=1000)
+    conn.try_write(1000)  # fill the buffer
+    conn.close()
+    event = conn.wait_writable()
+    env.run(until=0.001)
+    assert event.triggered
+
+
+def test_space_waiter_registered_after_close_fires(env, make_connection):
+    # The selector registers write-watchers through the buffer; one that
+    # arrives after the close must still be called back (it then observes
+    # ``connection.closed`` and drops the connection).
+    conn = make_connection(send_buffer_size=1000)
+    conn.try_write(1000)
+    conn.close()
+    fired = []
+    conn.buffer.add_space_waiter(lambda: fired.append(1))
+    assert fired == [1]
+
+
+def test_on_close_event_fires_exactly_once(env, make_connection):
+    conn = make_connection()
+    assert not conn.on_close.triggered
+    conn.close()
+    conn.close()  # idempotent
+    env.run(until=0.001)
+    assert conn.on_close.triggered
+
+
+def test_write_to_closed_connection_raises(env, cpu, make_connection):
+    conn = make_connection()
+    conn.close()
+    with pytest.raises(ConnectionClosedError):
+        conn.try_write(100)
+    thread = cpu.thread("writer")
+    with pytest.raises(ConnectionClosedError):
+        next(conn.blocking_write(thread, 100))

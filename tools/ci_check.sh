@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI gate: run the test suite in two tiers and report each tier's wall clock.
 #
-#   fast tier     everything except the real-socket tests, with sweeps fanned
-#                 out over all cores (REPRO_JOBS=auto) and the on-disk result
-#                 cache enabled -- a warm .repro-cache/ makes this tier cheap.
+#   fast tier     everything except the real-socket and chaos tests, with
+#                 sweeps fanned out over all cores (REPRO_JOBS=auto) and the
+#                 on-disk result cache enabled -- a warm .repro-cache/ makes
+#                 this tier cheap.
+#   chaos tier    the fault-injection sweeps (-m chaos): slower end-to-end
+#                 determinism checks across worker processes.
 #   realnet tier  the loopback-socket tests (-m realnet) on their own, so
 #                 timing-sensitive socket work is not interleaved with the
 #                 CPU-heavy simulation tier.
@@ -27,9 +30,12 @@ run_tier() {
 }
 
 echo "[ci_check] fast tier (REPRO_JOBS=$REPRO_JOBS, cache: ${REPRO_CACHE:-on})"
-run_tier fast -m "not realnet" "$@"
+run_tier fast -m "not realnet and not chaos" "$@"
+
+echo "[ci_check] chaos tier"
+run_tier chaos -m chaos "$@"
 
 echo "[ci_check] realnet tier"
 run_tier realnet -m realnet "$@"
 
-echo "[ci_check] done: fast ${fast_elapsed}s + realnet ${realnet_elapsed}s"
+echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + realnet ${realnet_elapsed}s"
