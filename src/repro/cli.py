@@ -10,6 +10,10 @@ Commands
     Regenerate everything; optionally write a markdown report.
 ``repro-bench chaos [--scale 0.3] [--jobs 4]``
     Shortcut for ``run chaos``: the fault-injection resilience sweep.
+``repro-bench perf [--scale 0.3] [--out BENCH_core.json] [--check BENCH_core.json]``
+    Run the kernel perf-benchmark suite (events/sec, timeout churn, TCP
+    throughput, micro wall time); optionally write the tracked JSON or
+    gate against a committed baseline.
 ``repro-bench calibration``
     Print the calibration constants in use.
 ``repro-bench cache [--clear]``
@@ -29,9 +33,18 @@ from typing import List, Optional
 
 from repro.calibration import DEFAULT_CALIBRATION
 from repro.errors import ReproError
-from repro.experiments.parallel import cache_root, clear_cache, resolve_jobs
+from repro.experiments.parallel import (
+    cache_root,
+    clear_cache,
+    consume_sweep_totals,
+    resolve_jobs,
+)
 from repro.experiments.registry import EXPERIMENTS, get_experiment
-from repro.experiments.report import render_artifact, render_markdown
+from repro.experiments.report import (
+    render_artifact,
+    render_markdown,
+    render_sweep_summary,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -67,6 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser("chaos", help="run the fault-injection chaos sweep")
     _add_sweep_flags(chaos)
+
+    perf = sub.add_parser("perf", help="run the kernel perf-benchmark suite")
+    perf.add_argument("--scale", type=float, default=1.0,
+                      help="iteration-count scale in (0, 1]; lower = faster")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="rounds per benchmark (best round is kept)")
+    perf.add_argument("--out", default=None, metavar="PATH",
+                      help="write the suite results as JSON (BENCH_core.json)")
+    perf.add_argument("--check", default=None, metavar="BASELINE",
+                      help="fail when a rate metric regresses more than "
+                      "--tolerance below this committed BENCH_core.json")
+    perf.add_argument("--tolerance", type=float, default=0.30,
+                      help="allowed fractional regression for --check "
+                      "(default 0.30)")
 
     all_cmd = sub.add_parser("all", help="regenerate every artifact")
     _add_sweep_flags(all_cmd)
@@ -113,10 +140,11 @@ def _check_scale(scale: float) -> float:
 
 def _cmd_run(artifact: str, scale: float, jobs: Optional[str]) -> int:
     spec = get_experiment(artifact)
+    consume_sweep_totals()  # drop accounting left over from earlier runs
     started = time.time()
     result = spec.runner(_check_scale(scale), jobs=resolve_jobs(jobs))
     print(render_artifact(result))
-    print(f"(regenerated in {time.time() - started:.1f}s at scale {scale})")
+    print(render_sweep_summary(time.time() - started, consume_sweep_totals(), scale))
     return 0 if result.all_passed else 1
 
 
@@ -125,11 +153,13 @@ def _cmd_all(scale: float, jobs: Optional[str], markdown: Optional[str]) -> int:
     resolved_jobs = resolve_jobs(jobs)
     sections: List[str] = []
     failures = 0
+    consume_sweep_totals()  # drop accounting left over from earlier runs
     for artifact, spec in EXPERIMENTS.items():
         started = time.time()
         result = spec.runner(scale, jobs=resolved_jobs)
         print(render_artifact(result))
-        print(f"(regenerated in {time.time() - started:.1f}s)\n")
+        print(render_sweep_summary(time.time() - started, consume_sweep_totals(), scale))
+        print()
         sections.append(render_markdown(result))
         failures += len(result.failed_checks)
     if markdown:
@@ -139,6 +169,31 @@ def _cmd_all(scale: float, jobs: Optional[str], markdown: Optional[str]) -> int:
     if failures:
         print(f"{failures} shape check(s) failed", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_perf(scale: float, repeats: int, out: Optional[str],
+              check: Optional[str], tolerance: float) -> int:
+    from repro.experiments.artifacts_perf import (
+        compare_to_baseline,
+        load_baseline,
+        render_perf_suite,
+        run_perf_suite,
+        write_bench_json,
+    )
+
+    payload = run_perf_suite(scale=scale, repeats=repeats)
+    print(render_perf_suite(payload))
+    if out:
+        path = write_bench_json(payload, out)
+        print(f"perf results written to {path}")
+    if check:
+        failures = compare_to_baseline(payload, load_baseline(check), tolerance)
+        if failures:
+            for failure in failures:
+                print(f"perf regression: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf check passed (within {tolerance:.0%} of {check})")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -155,6 +210,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args.artifact, args.scale, args.jobs)
         if args.command == "chaos":
             return _cmd_run("chaos", args.scale, args.jobs)
+        if args.command == "perf":
+            return _cmd_perf(args.scale, args.repeats, args.out,
+                             args.check, args.tolerance)
         if args.command == "all":
             return _cmd_all(args.scale, args.jobs, args.markdown)
     except ReproError as exc:

@@ -295,7 +295,9 @@ class CPU:
                 core.last_thread = burst.thread
                 core.slice_left = calib.time_slice
                 if cost > 0:
-                    yield env.timeout(cost)
+                    # Pooled: the core loop never retains its sleep timers
+                    # and is never interrupted (see pooled_timeout contract).
+                    yield env.pooled_timeout(cost)
             elif not sticky:
                 # Same thread re-picked from the queue: fresh slice, no
                 # switch cost.
@@ -310,7 +312,7 @@ class CPU:
             self.counters.busy_user += user_part
             self.counters.busy_system += sys_part
             if quantum > 0:
-                yield env.timeout(quantum)
+                yield env.pooled_timeout(quantum)
             core.slice_left -= quantum
 
             if burst.remaining > 1e-15:
@@ -327,7 +329,7 @@ class CPU:
                 # Let the woken process resubmit (same timestamp) before
                 # this core picks its next burst, so a thread that issues
                 # back-to-back bursts keeps the core without a switch.
-                yield env.timeout(0.0)
+                yield env.pooled_timeout(0.0)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,329 @@
+"""Kernel performance benchmark suite (``repro-bench perf``).
+
+Unlike every other artifact in :mod:`repro.experiments` — which reproduces a
+*claim of the paper* — this suite measures the reproduction's **own speed**:
+how many simulated events per wall-clock second the DES kernel sustains, how
+fast abandoned timeouts churn through the heap, how quickly the TCP model
+pushes bytes, and how long a representative micro-benchmark takes end to
+end.  Simulator events/sec is the hard ceiling on how large a workload mix,
+population or latency sweep the reproduction can afford, so the numbers are
+tracked per commit in ``BENCH_core.json`` and gated by the ``perf-smoke``
+tier of ``tools/ci_check.sh``.
+
+The measurements are **host-dependent** wall-clock numbers.  Comparisons
+are therefore only meaningful against a baseline recorded on the same
+machine; the CI gate uses a generous tolerance (default 30%) to separate
+real regressions from scheduler noise.
+
+Every benchmark is a pure function of its scale: the *simulated* work is
+deterministic (fixed seeds, fixed iteration counts), only the wall-clock
+duration varies between hosts.  Each one is run ``repeats`` times and the
+best (fastest) round is reported, which is the standard way to suppress
+interference from other processes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.errors import ExperimentError
+from repro.net.link import Link
+from repro.net.tcp import Connection
+from repro.sim.core import Environment
+
+__all__ = [
+    "BENCH_FILENAME",
+    "bench_kernel_events",
+    "bench_timeout_churn",
+    "bench_tcp_transfer",
+    "bench_micro_wall",
+    "run_perf_suite",
+    "render_perf_suite",
+    "compare_to_baseline",
+    "load_baseline",
+    "write_bench_json",
+]
+
+#: Canonical tracked-results filename (committed at the repository root).
+BENCH_FILENAME = "BENCH_core.json"
+
+#: Metrics where *higher* is better (rates); everything else in
+#: ``results`` is a wall time where lower is better.
+RATE_METRICS = (
+    "kernel_events_per_sec",
+    "timeout_churn_per_sec",
+    "tcp_sim_mbytes_per_sec",
+    "micro_events_per_sec",
+)
+
+
+def _best_of(fn: Callable[[], Dict[str, float]], repeats: int) -> Dict[str, float]:
+    """Run ``fn`` ``repeats`` times, keep the round with the smallest wall."""
+    best: Optional[Dict[str, float]] = None
+    for _ in range(max(1, repeats)):
+        sample = fn()
+        if best is None or sample["wall_s"] < best["wall_s"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+# ----------------------------------------------------------------------
+# 1. Raw kernel event throughput
+# ----------------------------------------------------------------------
+def bench_kernel_events(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]:
+    """Timeout ping-pong: the canonical events/sec microbenchmark.
+
+    ``P`` generator processes each sleep on short timeouts in a tight loop
+    — the dominant event pattern of the real simulations (the CPU scheduler
+    and the TCP model are both timeout-driven).  Every loop iteration costs
+    one Timeout event plus the process resume machinery.
+    """
+    iterations = max(1, int(120_000 * scale))
+    processes = 64
+
+    def round_() -> Dict[str, float]:
+        env = Environment()
+
+        def ticker(env: Environment, n: int):
+            for _ in range(n):
+                yield env.timeout(0.001)
+
+        for _ in range(processes):
+            env.process(ticker(env, iterations // processes))
+        started = time.perf_counter()
+        env.run()
+        wall = time.perf_counter() - started
+        return {
+            "wall_s": wall,
+            "events": float(env.events_processed),
+            "events_per_sec": env.events_processed / wall if wall > 0 else 0.0,
+        }
+
+    return _best_of(round_, repeats)
+
+
+# ----------------------------------------------------------------------
+# 2. Timeout churn (create + abandon)
+# ----------------------------------------------------------------------
+def bench_timeout_churn(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]:
+    """Create-and-abandon timers: the client retry-path pattern.
+
+    Each iteration races a short timeout against a long (1000x) one via
+    ``any_of`` — the long timer always loses and is abandoned, exactly like
+    a per-request retry deadline that a fast response beats.  Without lazy
+    cancellation every loser stays queued until its far-future pop; the
+    benchmark reports both the churn rate and the peak heap size so the
+    memory half of the story is visible in the JSON.
+    """
+    iterations = max(1, int(30_000 * scale))
+
+    def round_() -> Dict[str, float]:
+        env = Environment()
+        peak = 0
+
+        def churner(env: Environment, n: int):
+            nonlocal peak
+            for _ in range(n):
+                winner = env.timeout(0.001)
+                loser = env.timeout(1.0)
+                yield env.any_of([winner, loser])
+                if len(env._queue) > peak:
+                    peak = len(env._queue)
+
+        proc = env.process(churner(env, iterations))
+        started = time.perf_counter()
+        env.run(until=proc)
+        wall = time.perf_counter() - started
+        return {
+            "wall_s": wall,
+            "churn_per_sec": iterations / wall if wall > 0 else 0.0,
+            "peak_heap": float(peak),
+        }
+
+    return _best_of(round_, repeats)
+
+
+# ----------------------------------------------------------------------
+# 3. TCP transfer throughput
+# ----------------------------------------------------------------------
+def bench_tcp_transfer(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]:
+    """Simulated-bytes-per-wall-second through the full TCP model.
+
+    One connection pushes large responses through the send buffer / cwnd /
+    wait-ACK machinery with a non-blocking writer that parks on
+    ``wait_writable`` between drain rounds — the SingleT-Async data path
+    stripped of the CPU scheduler, so the measurement isolates the
+    networking layer's event cost (including blocked-writer re-arms).
+    """
+    responses = max(1, int(60 * scale))
+    response_size = 1_000_000
+
+    def round_() -> Dict[str, float]:
+        env = Environment()
+        link = Link.lan(DEFAULT_CALIBRATION)
+        conn = Connection(env, link)
+
+        def writer(env: Environment):
+            for _ in range(responses):
+                transfer = conn.open_transfer(response_size)
+                remaining = response_size
+                while remaining > 0:
+                    accepted = conn.try_write(remaining)
+                    remaining -= accepted
+                    if remaining > 0:
+                        yield conn.wait_writable()
+                yield transfer.done
+
+        proc = env.process(writer(env))
+        started = time.perf_counter()
+        env.run(until=proc)
+        wall = time.perf_counter() - started
+        total = responses * response_size
+        return {
+            "wall_s": wall,
+            "sim_mbytes_per_sec": total / 1e6 / wall if wall > 0 else 0.0,
+            "events_per_sec": env.events_processed / wall if wall > 0 else 0.0,
+        }
+
+    return _best_of(round_, repeats)
+
+
+# ----------------------------------------------------------------------
+# 4. Full micro-benchmark wall time
+# ----------------------------------------------------------------------
+def bench_micro_wall(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
+    """End-to-end wall time of one representative micro-benchmark run.
+
+    SingleT-Async at concurrency 50 with 100KB responses — the write-spin
+    configuration — exercises every layer at once: kernel, CPU scheduler,
+    TCP model, workload clients and metrics.  This is the number that
+    predicts artifact sweep wall time.
+    """
+    from repro.experiments.micro import MicroConfig, run_micro
+    from repro.workload.mixes import SIZE_LARGE
+
+    duration = 0.3 + 1.2 * scale
+
+    def round_() -> Dict[str, float]:
+        config = MicroConfig(
+            server="SingleT-Async",
+            concurrency=50,
+            response_size=SIZE_LARGE,
+            duration=duration,
+            warmup=0.2,
+        )
+        started = time.perf_counter()
+        result = run_micro(config)
+        wall = time.perf_counter() - started
+        events = float(getattr(result, "kernel_events", 0) or 0)
+        return {
+            "wall_s": wall,
+            "completed": float(result.report.completed),
+            "events_per_sec": events / wall if wall > 0 and events else 0.0,
+        }
+
+    return _best_of(round_, repeats)
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
+    """Run every kernel benchmark; returns the ``BENCH_core.json`` payload."""
+    if not 0.0 < scale <= 1.0:
+        raise ExperimentError(f"perf scale must be in (0, 1], got {scale!r}")
+    kernel = bench_kernel_events(scale, repeats)
+    churn = bench_timeout_churn(scale, repeats)
+    tcp = bench_tcp_transfer(scale, repeats)
+    micro = bench_micro_wall(scale, max(1, repeats - 1))
+    return {
+        "suite": "repro-kernel-perf",
+        "version": 1,
+        "scale": scale,
+        "host": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "results": {
+            "kernel_events_per_sec": round(kernel["events_per_sec"], 1),
+            "kernel_wall_s": round(kernel["wall_s"], 4),
+            "timeout_churn_per_sec": round(churn["churn_per_sec"], 1),
+            "timeout_churn_peak_heap": churn["peak_heap"],
+            "tcp_sim_mbytes_per_sec": round(tcp["sim_mbytes_per_sec"], 2),
+            "tcp_events_per_sec": round(tcp["events_per_sec"], 1),
+            "micro_wall_s": round(micro["wall_s"], 4),
+            "micro_events_per_sec": round(micro["events_per_sec"], 1),
+            "micro_completed": micro["completed"],
+        },
+    }
+
+
+def render_perf_suite(payload: Dict[str, object]) -> str:
+    """Human-readable table of one suite run."""
+    results = payload["results"]  # type: ignore[index]
+    lines = [
+        "=" * 72,
+        "PERF — DES kernel benchmark suite "
+        f"(scale {payload['scale']}, {payload['host']['python']})",  # type: ignore[index]
+        "=" * 72,
+    ]
+    for key in sorted(results):  # type: ignore[arg-type]
+        lines.append(f"{key:32s} {results[key]:>14,.1f}")  # type: ignore[index]
+    return "\n".join(lines)
+
+
+def write_bench_json(payload: Dict[str, object], path: "Path | str") -> Path:
+    """Write the suite payload to ``path`` (pretty-printed, newline-terminated)."""
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def load_baseline(path: "Path | str") -> Dict[str, object]:
+    """Load a previously committed ``BENCH_core.json``."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "results" not in payload:
+        raise ExperimentError(f"{path} is not a perf-suite payload (no 'results')")
+    return payload
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.30,
+) -> List[str]:
+    """Regressions of ``current`` vs ``baseline`` beyond ``tolerance``.
+
+    Only rate metrics (events/sec and friends) gate: wall times scale with
+    the chosen ``--scale`` while rates are scale-free, so a reduced-scale
+    smoke run can be compared against a full-scale committed baseline.
+    Returns a list of human-readable failure strings (empty = pass).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ExperimentError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    cur = current["results"]  # type: ignore[index]
+    base = baseline["results"]  # type: ignore[index]
+    failures = []
+    for metric in RATE_METRICS:
+        have = cur.get(metric)  # type: ignore[union-attr]
+        want = base.get(metric)  # type: ignore[union-attr]
+        if not have or not want or not math.isfinite(want) or want <= 0:
+            continue
+        floor = want * (1.0 - tolerance)
+        if have < floor:
+            failures.append(
+                f"{metric}: {have:,.0f} < {floor:,.0f} "
+                f"(baseline {want:,.0f} - {tolerance:.0%})"
+            )
+    return failures

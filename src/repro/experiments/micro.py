@@ -8,6 +8,7 @@ threads with zero think time, a fixed (or mixed) response size, optional
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
@@ -160,6 +161,21 @@ class MicroResult:
     client_stats: Dict[str, float] = field(default_factory=dict)
     #: Fault-injection report (``None`` for clean runs).
     faults: Optional[FaultReport] = None
+    #: Simulation events processed by the kernel during this run.  A pure
+    #: function of the config, so it participates in equality (serial,
+    #: parallel and cached runs must agree on it).
+    kernel_events: int = 0
+    #: Host wall-clock seconds spent inside ``env.run`` (simulation only —
+    #: excludes model construction and report aggregation).  Wall clock is
+    #: not deterministic, so it is excluded from equality.
+    sim_wall_s: float = field(default=0.0, compare=False)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Kernel events per wall-clock second (0 when unmeasurable)."""
+        if self.sim_wall_s <= 0.0:
+            return 0.0
+        return self.kernel_events / self.sim_wall_s
 
     @property
     def throughput(self) -> float:
@@ -204,8 +220,14 @@ def make_server(name: str, env: Environment, cpu: CPU, config: "MicroConfig") ->
     return factory(env, cpu, config)
 
 
-def run_micro(config: MicroConfig) -> MicroResult:
-    """Run one micro-benchmark and return its measurements."""
+def run_micro(config: MicroConfig, streaming: bool = False) -> MicroResult:
+    """Run one micro-benchmark and return its measurements.
+
+    ``streaming=True`` records measurements with fixed-memory P² samplers
+    (moments exact, percentiles estimated); the default keeps raw samples
+    for exact percentiles.  The simulation itself is bit-identical either
+    way — only the measurement sampler changes.
+    """
     if config.concurrency < 1:
         raise ExperimentError(f"concurrency must be >= 1, got {config.concurrency!r}")
     if config.duration <= config.warmup:
@@ -217,7 +239,7 @@ def run_micro(config: MicroConfig) -> MicroResult:
     if config.limits is not None:
         server.limits = config.limits
     link = Link.lan(calib, added_latency=config.added_latency)
-    recorder = RunRecorder(env, warmup=config.warmup)
+    recorder = RunRecorder(env, warmup=config.warmup, streaming=streaming)
     recorder.watch_cpu(cpu)
     mix = config.mix or FixedMix(config.response_size)
     seeds = SeedStreams(config.seed)
@@ -241,7 +263,9 @@ def run_micro(config: MicroConfig) -> MicroResult:
         faults=injector,
         retry=config.retry,
     )
+    sim_start = time.perf_counter()
     env.run(until=config.duration)
+    sim_wall = time.perf_counter() - sim_start
     stats = {
         "requests_completed": float(server.stats.requests_completed),
         "responses_written": float(server.stats.responses_written),
@@ -267,4 +291,6 @@ def run_micro(config: MicroConfig) -> MicroResult:
         server_stats=stats,
         client_stats=client_stats,
         faults=injector.report() if injector is not None else None,
+        kernel_events=env.events_processed,
+        sim_wall_s=sim_wall,
     )

@@ -55,12 +55,14 @@ __all__ = [
     "CACHE_VERSION",
     "SweepExecutor",
     "SweepStats",
+    "SweepTotals",
     "cache_root",
     "cached_call",
     "cached_micro",
     "cached_ntier",
     "clear_cache",
     "code_digest",
+    "consume_sweep_totals",
     "point_digest",
     "resolve_jobs",
 ]
@@ -197,13 +199,68 @@ class SweepStats:
     computed: int = 0
     #: Times the process pool was abandoned for the serial path.
     serial_fallbacks: int = 0
+    #: Kernel events processed across the points simulated by this
+    #: executor (cache hits excluded — no simulation ran for them).
+    kernel_events: int = 0
+    #: Wall-clock seconds spent inside ``env.run`` across simulated
+    #: points.  Worker processes overlap, so this is aggregate CPU-style
+    #: time and can exceed elapsed time; events / this wall is the
+    #: per-worker simulation rate.
+    kernel_wall_s: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate kernel simulation rate (0 when nothing simulated)."""
+        if self.kernel_wall_s <= 0.0:
+            return 0.0
+        return self.kernel_events / self.kernel_wall_s
 
     def describe(self) -> str:
         """One-line human summary."""
-        return (
+        text = (
             f"{self.points} point(s): {self.cache_hits} cached, "
             f"{self.computed} simulated"
         )
+        if self.kernel_wall_s > 0.0:
+            text += (
+                f", {self.kernel_events:,} kernel events"
+                f" ({self.events_per_sec:,.0f}/s)"
+            )
+        return text
+
+
+@dataclass
+class SweepTotals:
+    """Process-wide sweep accounting since the last :func:`consume_sweep_totals`.
+
+    Artifact runners construct their :class:`SweepExecutor` internally, so
+    the CLI cannot reach the per-executor :class:`SweepStats`; every
+    executor therefore also folds its accounting into one module-level
+    accumulator that the CLI drains after each artifact run to print the
+    per-artifact kernel summary line.
+    """
+
+    points: int = 0
+    cache_hits: int = 0
+    kernel_events: int = 0
+    kernel_wall_s: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate kernel simulation rate (0 when nothing simulated)."""
+        if self.kernel_wall_s <= 0.0:
+            return 0.0
+        return self.kernel_events / self.kernel_wall_s
+
+
+_sweep_totals = SweepTotals()
+
+
+def consume_sweep_totals() -> SweepTotals:
+    """Return and reset the process-wide sweep accounting."""
+    global _sweep_totals
+    taken, _sweep_totals = _sweep_totals, SweepTotals()
+    return taken
 
 
 class SweepExecutor:
@@ -265,12 +322,25 @@ class SweepExecutor:
                 self.stats.cache_hits += 1
             else:
                 pending[key] = config
+        events = 0
+        wall = 0.0
         if pending:
             computed = self._compute(runner, pending)
             self.stats.computed += len(computed)
             for key, result in computed.items():
                 self._cache_store(runner, pending[key], result)
                 results[key] = result
+                # Results carry their own kernel accounting (captured in
+                # the worker that simulated them); fold it up here so the
+                # CLI can print a per-artifact events/sec line.
+                events += getattr(result, "kernel_events", 0)
+                wall += getattr(result, "sim_wall_s", 0.0)
+        self.stats.kernel_events += events
+        self.stats.kernel_wall_s += wall
+        _sweep_totals.points += len(ordered)
+        _sweep_totals.cache_hits += len(ordered) - len(pending)
+        _sweep_totals.kernel_events += events
+        _sweep_totals.kernel_wall_s += wall
         return {key: results[key] for key, _ in ordered}
 
     def _prepare(self, runner: str, key: object, config: object) -> object:

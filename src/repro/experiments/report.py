@@ -7,7 +7,12 @@ from typing import Iterable, List
 
 from repro.experiments.results import ArtifactResult
 
-__all__ = ["render_table", "render_artifact", "render_markdown"]
+__all__ = [
+    "render_table",
+    "render_artifact",
+    "render_markdown",
+    "render_sweep_summary",
+]
 
 
 def _cell(value: object) -> str:
@@ -52,6 +57,26 @@ def render_artifact(result: ArtifactResult) -> str:
     for check in result.checks:
         lines.append(str(check))
     return "\n".join(lines)
+
+
+def render_sweep_summary(elapsed_s: float, totals: object, scale: float = 1.0) -> str:
+    """One-line per-artifact execution summary for the CLI.
+
+    ``totals`` is the :class:`~repro.experiments.parallel.SweepTotals`
+    drained after the artifact ran: wall time always, plus the kernel
+    event count and simulation rate when any point was actually simulated
+    (a fully cached regeneration has no meaningful rate to report).
+    """
+    text = f"(regenerated in {elapsed_s:.1f}s at scale {scale:g}"
+    points = getattr(totals, "points", 0)
+    cache_hits = getattr(totals, "cache_hits", 0)
+    events = getattr(totals, "kernel_events", 0)
+    rate = getattr(totals, "events_per_sec", 0.0)
+    if events and rate:
+        text += f"; {events:,} kernel events at {rate:,.0f} events/s"
+    if points and cache_hits:
+        text += f"; {cache_hits}/{points} point(s) cached"
+    return text + ")"
 
 
 def render_markdown(result: ArtifactResult) -> str:

@@ -13,7 +13,7 @@ from typing import Dict, Optional
 
 from repro.cpu.accounting import CPUSnapshot, CPUUsage
 from repro.cpu.scheduler import CPU
-from repro.metrics.stats import SummaryStats
+from repro.metrics.stats import make_stats
 from repro.net.messages import Request
 from repro.sim.core import Environment
 
@@ -65,15 +65,19 @@ class RunRecorder:
         report = recorder.report()
     """
 
-    def __init__(self, env: Environment, warmup: float = 0.0):
+    def __init__(self, env: Environment, warmup: float = 0.0, streaming: bool = False):
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup!r}")
         self.env = env
         self.warmup = warmup
-        self.response_times = SummaryStats()
-        self.write_calls = SummaryStats()
-        self.zero_writes = SummaryStats()
-        self._per_kind: Dict[str, SummaryStats] = {}
+        #: Opt-in fixed-memory mode for huge runs: moments stay exact,
+        #: percentiles become P² estimates (see repro.metrics.stats).
+        #: The default keeps raw samples for exact percentiles.
+        self.streaming = streaming
+        self.response_times = make_stats(streaming)
+        self.write_calls = make_stats(streaming)
+        self.zero_writes = make_stats(streaming)
+        self._per_kind: Dict[str, object] = {}
         self._cpu: Optional[CPU] = None
         self._cpu_start: Optional[CPUSnapshot] = None
         self._started = False
@@ -125,7 +129,10 @@ class RunRecorder:
         self.response_times.add(rt)
         self.write_calls.add(request.write_calls)
         self.zero_writes.add(request.zero_writes)
-        self._per_kind.setdefault(request.kind, SummaryStats()).add(rt)
+        kind_stats = self._per_kind.get(request.kind)
+        if kind_stats is None:
+            kind_stats = self._per_kind[request.kind] = make_stats(self.streaming)
+        kind_stats.add(rt)
 
     def record_failure(self, request: Request) -> None:
         """Record a logical request that exhausted its retries (no response)."""

@@ -13,11 +13,18 @@ free space appears, which is what drives level-triggered writability in the
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Union
 
 from repro.errors import BufferError_
+from repro.sim.core import Event
 
 __all__ = ["SendBuffer"]
+
+#: A space waiter is either a one-shot callback or an Event to succeed.
+#: Accepting events directly lets a blocked writer park one re-armable
+#: event per blocking write instead of allocating a fresh closure + event
+#: pair for every drain round (see Connection.blocking_write).
+_Waiter = Union[Callable[[], None], Event]
 
 
 class SendBuffer:
@@ -34,7 +41,7 @@ class SendBuffer:
         self._capacity = int(capacity)
         self._used = 0
         self._closed = False
-        self._space_waiters: List[Callable[[], None]] = []
+        self._space_waiters: List[_Waiter] = []
 
     # ------------------------------------------------------------------
     @property
@@ -86,12 +93,16 @@ class SendBuffer:
 
     def release(self, nbytes: int) -> None:
         """Free ``nbytes`` (ACK arrival) and wake space waiters."""
+        used = self._used
         if nbytes < 0:
             raise BufferError_(f"cannot release a negative byte count ({nbytes})")
-        if nbytes > self._used:
-            raise BufferError_(f"releasing {nbytes} bytes but only {self._used} are buffered")
-        self._used -= nbytes
-        if nbytes > 0 and self.free > 0:
+        if nbytes > used:
+            raise BufferError_(f"releasing {nbytes} bytes but only {used} are buffered")
+        used -= nbytes
+        self._used = used
+        # Inlined `free > 0`; skipping the call when nobody waits keeps the
+        # per-ACK cost flat (this runs once per delayed-ACK granularity).
+        if nbytes > 0 and used < self._capacity and self._space_waiters:
             self._notify_space()
 
     # ------------------------------------------------------------------
@@ -109,10 +120,28 @@ class SendBuffer:
         else:
             self._space_waiters.append(callback)
 
+    def add_space_event(self, event: Event) -> None:
+        """Park ``event`` until free space appears (one-shot).
+
+        Same wake-up semantics as :meth:`add_space_waiter` — fires
+        immediately when space is free or the buffer is closed — but
+        succeeds the event directly, saving the per-round closure of the
+        blocked-writer path.  Waiters of both kinds share one FIFO list so
+        wake-up (and therefore event-scheduling) order is registration
+        order regardless of kind.
+        """
+        if self._closed or self.free > 0:
+            event.succeed()
+        else:
+            self._space_waiters.append(event)
+
     def _notify_space(self) -> None:
         waiters, self._space_waiters = self._space_waiters, []
-        for callback in waiters:
-            callback()
+        for waiter in waiters:
+            if isinstance(waiter, Event):
+                waiter.succeed()
+            else:
+                waiter()
 
     def close(self) -> None:
         """Mark the buffer closed and wake every pending space waiter.

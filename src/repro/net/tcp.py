@@ -34,7 +34,7 @@ from repro.errors import ConnectionClosedError
 from repro.net.buffer import SendBuffer
 from repro.net.link import Link
 from repro.net.messages import Request
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, ReusableEvent
 
 __all__ = ["Connection", "ResponseTransfer", "TCPStats"]
 
@@ -143,6 +143,10 @@ class Connection:
         # Congestion control state (server→client direction).
         self._cwnd = self._initial_cwnd_bytes()
         self._cwnd_max = 256 * calibration.mss
+        # Cached constants for the per-chunk hot path (_pump/_on_ack run
+        # once per ack-granularity chunk — ~25 times per 100KB response).
+        self._mss = calibration.mss
+        self._ack_granularity = calibration.mss * calibration.segments_per_ack
         self._unsent = 0
         self._in_flight = 0
         self._wire_free_at = 0.0
@@ -154,8 +158,9 @@ class Connection:
         # Requests that arrived at the server but were not read yet.
         self.inbox: Deque[Request] = deque()
 
-        # One-shot watcher callbacks (used by Selector and blocked readers).
-        self._readable_watchers: List[Callable[[], None]] = []
+        # One-shot readability watchers: callbacks (Selector) or Events to
+        # succeed directly (blocked readers), woken in registration order.
+        self._readable_watchers: List = []
 
     # ------------------------------------------------------------------
     # Congestion window helpers
@@ -171,7 +176,7 @@ class Connection:
     @property
     def ack_granularity(self) -> int:
         """Bytes acknowledged per ACK (delayed-ACK granularity)."""
-        return self.calibration.mss * self.calibration.segments_per_ack
+        return self._ack_granularity
 
     def _record_send_activity(self) -> None:
         now = self.env.now
@@ -205,8 +210,14 @@ class Connection:
         transfer-delay later and becomes readable."""
         self._check_open()
         delay = self.link.transfer_delay(request.request_size)
-        arrival = self.env.timeout(delay)
-        arrival.callbacks.append(lambda _ev: self._on_request_arrival(request))
+        # Pooled timer carrying the request as its value: the bound-method
+        # callback replaces a per-request closure (safe: nothing retains
+        # the timer and the callback reads only the value).
+        arrival = self.env.pooled_timeout(delay, request)
+        arrival.callbacks.append(self._request_arrival_cb)
+
+    def _request_arrival_cb(self, event: Event) -> None:
+        self._on_request_arrival(event._value)
 
     def _on_request_arrival(self, request: Request) -> None:
         if self.closed:
@@ -250,7 +261,7 @@ class Connection:
         if self.inbox:
             event.succeed()
         else:
-            self._readable_watchers.append(lambda: event.succeed())
+            self._readable_watchers.append(event)
         return event
 
     def add_readable_watcher(self, callback: Callable[[], None]) -> None:
@@ -262,8 +273,11 @@ class Connection:
 
     def _notify_readable(self) -> None:
         watchers, self._readable_watchers = self._readable_watchers, []
-        for callback in watchers:
-            callback()
+        for watcher in watchers:
+            if isinstance(watcher, Event):
+                watcher.succeed()
+            else:
+                watcher()
 
     # ------------------------------------------------------------------
     # Server side: write responses
@@ -323,6 +337,10 @@ class Connection:
         self.stats.bytes_written += nbytes
         copy_cost = self.calibration.copy_cost_per_byte
         remaining = nbytes
+        # One re-armable gate for the whole write: a 1 MB response through
+        # a 16 KB buffer parks ~buffer/ack-granularity times, and each park
+        # used to allocate a fresh Event plus a wake-up closure.
+        gate: Optional[ReusableEvent] = None
         while remaining > 0:
             self._record_send_activity()
             accepted = self.buffer.reserve(remaining)
@@ -335,9 +353,10 @@ class Connection:
                     yield thread.run(chunk_cost, "system")
             if remaining > 0:
                 if not self.closed:
-                    space = self.env.event()
-                    self.buffer.add_space_waiter(lambda ev=space: ev.succeed())
-                    yield space
+                    if gate is None:
+                        gate = ReusableEvent(self.env)
+                    self.buffer.add_space_event(gate.rearm())
+                    yield gate
                 if self.closed:
                     # Peer went away mid-write; unwind into the caller.
                     raise ConnectionClosedError(
@@ -355,7 +374,7 @@ class Connection:
         if self.closed:
             event.succeed()
         else:
-            self.buffer.add_space_waiter(lambda: event.succeed())
+            self.buffer.add_space_event(event)
         return event
 
     # ------------------------------------------------------------------
@@ -363,21 +382,42 @@ class Connection:
     # ------------------------------------------------------------------
     def _pump(self) -> None:
         """Transmit buffered data while the congestion window allows."""
-        while self._unsent > 0 and self._in_flight < self._cwnd:
-            chunk = min(self.ack_granularity, self._unsent, self._cwnd - self._in_flight)
-            self._unsent -= chunk
-            self._in_flight += chunk
-            now = self.env.now
-            serialization = self.link.serialization_delay(chunk)
-            depart = max(now, self._wire_free_at)
-            self._wire_free_at = depart + serialization
-            delivery_delay = (depart - now) + serialization + self.link.one_way_latency
-            if self.faults is not None:
+        unsent = self._unsent
+        in_flight = self._in_flight
+        cwnd = self._cwnd
+        if unsent <= 0 or in_flight >= cwnd:
+            return
+        ack_granularity = self._ack_granularity
+        bandwidth = self.link.bandwidth
+        latency = self.link.one_way_latency
+        now = self.env._now
+        faults = self.faults
+        pooled_timeout = self.env.pooled_timeout
+        chunk_delivered_cb = self._chunk_delivered_cb
+        wire_free_at = self._wire_free_at
+        while unsent > 0 and in_flight < cwnd:
+            chunk = min(ack_granularity, unsent, cwnd - in_flight)
+            unsent -= chunk
+            in_flight += chunk
+            serialization = chunk / bandwidth
+            depart = now if now > wire_free_at else wire_free_at
+            wire_free_at = depart + serialization
+            delivery_delay = (depart - now) + serialization + latency
+            if faults is not None:
                 # Injected loss/corruption/latency spike: retransmissions
                 # only matter as extra delivery delay in this model.
-                delivery_delay += self.faults.chunk_delay(chunk)
-            delivered = self.env.timeout(delivery_delay)
-            delivered.callbacks.append(lambda _ev, n=chunk: self._on_chunk_delivered(n))
+                delivery_delay += faults.chunk_delay(chunk)
+            delivered = pooled_timeout(delivery_delay, chunk)
+            delivered.callbacks.append(chunk_delivered_cb)
+        self._unsent = unsent
+        self._in_flight = in_flight
+        self._wire_free_at = wire_free_at
+
+    def _chunk_delivered_cb(self, event: Event) -> None:
+        self._on_chunk_delivered(event._value)
+
+    def _ack_cb(self, event: Event) -> None:
+        self._on_ack(event._value)
 
     def _on_chunk_delivered(self, nbytes: int) -> None:
         if self.closed:
@@ -389,32 +429,34 @@ class Connection:
             # but the connection dies before the ACK makes it back.
             self.close()
             return
-        ack = self.env.timeout(self.link.one_way_latency)
-        ack.callbacks.append(lambda _ev, n=nbytes: self._on_ack(n))
+        ack = self.env.pooled_timeout(self.link.one_way_latency, nbytes)
+        ack.callbacks.append(self._ack_cb)
 
     def _on_ack(self, nbytes: int) -> None:
         if self.closed:
             return
         self.stats.acks_received += 1
         self._in_flight -= nbytes
-        self._last_activity = self.env.now
+        self._last_activity = self.env._now
         # Slow start: grow by one MSS per ACK, up to the cap.
         if self._cwnd < self._cwnd_max:
-            self._cwnd = min(self._cwnd + self.calibration.mss, self._cwnd_max)
+            self._cwnd = min(self._cwnd + self._mss, self._cwnd_max)
             self._retune_buffer()
         self.buffer.release(nbytes)
         self._pump()
 
     def _attribute_delivery(self, nbytes: int) -> None:
         """Assign delivered bytes to response transfers in FIFO order."""
-        while nbytes > 0 and self._transfers:
-            head = self._transfers[0]
-            take = min(nbytes, head.remaining)
+        transfers = self._transfers
+        while nbytes > 0 and transfers:
+            head = transfers[0]
+            remaining = head.total - head.delivered
+            take = nbytes if nbytes < remaining else remaining
             head.delivered += take
             nbytes -= take
-            if head.remaining == 0:
-                self._transfers.popleft()
-                head.completed_at = self.env.now
+            if take == remaining:
+                transfers.popleft()
+                head.completed_at = self.env._now
                 self.stats.responses_completed += 1
                 if head.request is not None:
                     head.request.mark_completed()

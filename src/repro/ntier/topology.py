@@ -10,6 +10,7 @@ whose system-wide effect Figure 1 measures.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -134,6 +135,12 @@ class NTierResult:
     tier_switch_rate: Dict[str, float] = field(default_factory=dict)
     #: Peak concurrent requests observed at the Tomcat tier.
     tomcat_peak_concurrency: int = 0
+    #: Simulation events processed by the kernel during this run (a pure
+    #: function of the config, so it participates in equality).
+    kernel_events: int = 0
+    #: Host wall-clock seconds spent inside ``env.run``.  Wall clock is
+    #: not deterministic, so it is excluded from equality.
+    sim_wall_s: float = field(default=0.0, compare=False)
 
     @property
     def throughput(self) -> float:
@@ -180,7 +187,9 @@ def run_ntier(config: NTierConfig) -> NTierResult:
             starts[name] = cpu.snapshot()
 
     env.process(_mark_warmup(), name="warmup-marker")
+    sim_start = time.perf_counter()
     env.run(until=config.duration)
+    sim_wall = time.perf_counter() - sim_start
 
     utilization: Dict[str, float] = {}
     switch_rate: Dict[str, float] = {}
@@ -195,4 +204,6 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         tier_utilization=utilization,
         tier_switch_rate=switch_rate,
         tomcat_peak_concurrency=system.apache_tomcat_pool.peak_in_use,
+        kernel_events=env.events_processed,
+        sim_wall_s=sim_wall,
     )

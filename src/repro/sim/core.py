@@ -23,11 +23,35 @@ Events scheduled for the same virtual time are processed in a stable order:
 first by ``priority`` (lower runs first), then by insertion sequence. Given
 the same seed streams (see :mod:`repro.sim.rng`) a simulation is perfectly
 reproducible, which the test suite relies on heavily.
+
+Fast path
+---------
+Simulator events/sec is the hard ceiling on every experiment in this repo,
+so the kernel trades a little generality for speed — without moving a
+single result (the golden-digest tests pin bit-identical behaviour):
+
+* every kernel class declares ``__slots__`` and the hot paths read
+  ``_value``/``_ok``/``callbacks`` directly instead of going through
+  properties;
+* :class:`Timeout` objects (and their callback lists) are recycled through
+  a per-environment free list — see :meth:`Environment.pooled_timeout` for
+  the safety contract;
+* abandoned timeouts are cancelled *lazily*: cancellation marks the event
+  and the scheduler drops it when it pops (or in a periodic heap
+  compaction), so cancelling is O(1) instead of O(n) — see
+  :meth:`Environment._cancel`;
+* ``any_of``/``all_of`` prune their losing :class:`Timeout` children once
+  the condition triggers, which keeps far-future retry deadlines from
+  piling up in the heap (the client retry pattern).
+
+The insertion-sequence counter is consumed at exactly the same points as
+before any of this machinery existed, which is what makes the fast path
+observationally equivalent.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -44,6 +68,7 @@ __all__ = [
     "PRIORITY_NORMAL",
     "Environment",
     "Event",
+    "ReusableEvent",
     "Timeout",
     "Process",
     "Condition",
@@ -59,6 +84,17 @@ PRIORITY_NORMAL = 1
 # Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
 _PENDING = object()
 
+#: Upper bound on the per-environment Timeout free list.  Big enough to
+#: absorb the steady-state churn of a large simulation (the pool only grows
+#: to the peak number of *simultaneously pending* pooled timeouts), small
+#: enough that a pathological burst cannot pin memory forever.
+_POOL_MAX = 1024
+
+#: Lazy cancellation compacts the heap once at least this many cancelled
+#: entries have accumulated *and* they outnumber the live ones, bounding
+#: the queue to ~2x its live size at O(n) amortised cost.
+_COMPACT_MIN = 64
+
 
 class Event:
     """A one-shot occurrence inside a simulation.
@@ -73,6 +109,12 @@ class Event:
     time) with the event's value.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "_cancelled")
+
+    #: Class flag: instances are recycled through the environment's free
+    #: list after processing (see :meth:`Environment.pooled_timeout`).
+    _poolable = False
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -81,6 +123,9 @@ class Event:
         #: Set by Process when it fails-over an exception into a waiter, so
         #: unhandled event failures can be reported exactly once.
         self.defused: bool = False
+        #: Lazily cancelled: the heap entry is dead and will be dropped at
+        #: pop (or compaction) time instead of being searched for now.
+        self._cancelled: bool = False
 
     # ------------------------------------------------------------------
     # State inspection
@@ -116,7 +161,8 @@ class Event:
             raise EventLifecycleError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, priority=priority)
+        env = self.env
+        heappush(env._queue, (env._now, priority, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -131,7 +177,8 @@ class Event:
             raise EventLifecycleError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, priority=priority)
+        env = self.env
+        heappush(env._queue, (env._now, priority, next(env._eid), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -151,39 +198,99 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+class ReusableEvent(Event):
+    """An event that a *single owner* re-arms instead of re-allocating.
+
+    The blocked-writer path parks on buffer space once per drain round; a
+    blocking 1 MB write through a 16 KB buffer used to allocate ~64 events
+    plus as many wake-up closures.  A ``ReusableEvent`` lets the writer
+    re-arm one object for the whole write (see
+    :meth:`repro.net.tcp.Connection.blocking_write`).
+
+    Contract: only the owner may hold a reference across :meth:`rearm`;
+    anyone else must treat it as an ordinary one-shot event.
+    """
+
+    __slots__ = ()
+
+    def rearm(self) -> "ReusableEvent":
+        """Reset to the untriggered state; returns ``self``.
+
+        A no-op while the event is still armed and unfired.  Raises
+        :class:`EventLifecycleError` if called between trigger and
+        processing — the scheduler still holds the old incarnation.
+        """
+        if self._value is _PENDING:
+            return self
+        if self.callbacks is not None:
+            raise EventLifecycleError(f"{self!r} is scheduled; cannot rearm")
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self.defused = False
+        return self
+
+
 class Timeout(Event):
     """An event that triggers automatically ``delay`` time units from now."""
+
+    __slots__ = ("_delay", "_fire_at")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self._delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Environment._schedule: timeouts are the
+        # single most-allocated object in a simulation (~70% of all events).
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay=delay)
+        self._ok = True
+        self.defused = False
+        self._cancelled = False
+        self._delay = delay
+        fire_at = env._now + delay
+        self._fire_at = fire_at
+        heappush(env._queue, (fire_at, PRIORITY_NORMAL, next(env._eid), self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay!r}>"
 
 
+class _PooledTimeout(Timeout):
+    """A :class:`Timeout` that returns to the environment's free list.
+
+    Never instantiate directly — use :meth:`Environment.pooled_timeout`,
+    and read its safety contract first.
+    """
+
+    __slots__ = ()
+
+    _poolable = True
+
+
 class Initialize(Event):
     """Internal event that kicks off a newly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume_cb]
         self._value = None
-        self.callbacks.append(process._resume)
-        env._schedule(self, priority=PRIORITY_URGENT)
+        self._ok = True
+        self.defused = False
+        self._cancelled = False
+        heappush(env._queue, (env._now, PRIORITY_URGENT, next(env._eid), self))
 
 
 class Interruption(Event):
     """Internal urgent event that delivers an interrupt to a process."""
 
+    __slots__ = ("process",)
+
     def __init__(self, process: "Process", cause: Any):
         super().__init__(process.env)
-        if process.triggered:
+        if process._value is not _PENDING:
             raise SimulationError("cannot interrupt a terminated process")
         if process is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
@@ -195,16 +302,22 @@ class Interruption(Event):
         self.env._schedule(self, priority=PRIORITY_URGENT)
 
     def _interrupt(self, event: Event) -> None:
-        if self.process.triggered:
+        process = self.process
+        if process._value is not _PENDING:
             return  # Terminated between scheduling and delivery.
         # Detach the process from whatever event it currently waits on.
-        target = self.process._target
+        target = process._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self.process._resume)
+                target.callbacks.remove(process._resume_cb)
             except ValueError:
                 pass
-        self.process._resume(self)
+            if not target.callbacks and isinstance(target, Timeout):
+                # Nobody is left waiting on the timer: let it die in place
+                # instead of popping as a no-op at its far-future deadline.
+                # (A re-yield revives it — see Process._resume.)
+                process.env._cancel(target)
+        process._resume(self)
 
 
 class Process(Event):
@@ -215,6 +328,8 @@ class Process(Event):
     exception if one escapes.
     """
 
+    __slots__ = ("_generator", "_target", "name", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any], name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -222,6 +337,11 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        # `self._resume` builds a fresh bound-method object on every read;
+        # the kernel registers it once per suspension, so cache one copy.
+        # (Bound methods compare by (func, instance), so detach-by-remove
+        # works on either copy — the cache is purely an allocation saving.)
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     @property
@@ -239,22 +359,24 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.env._active_process = self
+        env = self.env
+        generator = self._generator
+        env._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(getattr(exc, "value", None))
                 return
             except BaseException as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
                 self.fail(exc)
@@ -262,7 +384,7 @@ class Process(Event):
 
             if not isinstance(next_event, Event):
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(
                     ProcessError(f"process {self.name!r} yielded a non-event: {next_event!r}")
                 )
@@ -270,12 +392,28 @@ class Process(Event):
 
             if next_event.callbacks is not None:
                 # Event not yet processed: register and suspend.
-                next_event.callbacks.append(self._resume)
+                next_event.callbacks.append(self._resume_cb)
+                if next_event._cancelled:
+                    # Re-yielded after an interrupt detached us: the heap
+                    # entry is still live, so reviving is just unmarking.
+                    next_event._cancelled = False
+                    env._cancelled_entries -= 1
+                self._target = next_event
+                break
+            if next_event._cancelled:
+                # Re-yielded after compaction dropped the heap entry:
+                # reschedule at the original fire time (Timeouts record it).
+                next_event._cancelled = False
+                next_event.callbacks = [self._resume_cb]
+                heappush(
+                    env._queue,
+                    (next_event._fire_at, PRIORITY_NORMAL, next(env._eid), next_event),
+                )
                 self._target = next_event
                 break
             # Event already processed: continue immediately with its value.
             event = next_event
-        self.env._active_process = None
+        env._active_process = None
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
@@ -288,6 +426,8 @@ class Condition(Event):
     Succeeds with a dict mapping each *triggered* child event to its value
     (insertion-ordered).  Fails as soon as any child fails.
     """
+
+    __slots__ = ("_events", "_evaluate", "_done")
 
     def __init__(
         self,
@@ -305,29 +445,61 @@ class Condition(Event):
         if not self._events:
             self.succeed({})
             return
+        check = self._check  # one bound method for all children
         for event in self._events:
             if event.callbacks is None:
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                if event._cancelled:
+                    # A cancelled-but-queued timer gains a waiter again.
+                    event._cancelled = False
+                    env._cancelled_entries -= 1
+                event.callbacks.append(check)
 
     def _collect(self) -> dict:
         # Only *processed* children count: a Timeout carries its value from
         # construction, so `triggered` alone would leak future events in.
-        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+        return {ev: ev._value for ev in self._events if ev.callbacks is None and ev._ok}
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             if not event._ok:
                 event.defused = True
             return
         if not event._ok:
             event.defused = True
             self.fail(event._value)
+            self._prune_pending_timeouts()
             return
         self._done += 1
         if self._evaluate(len(self._events), self._done):
             self.succeed(self._collect())
+            self._prune_pending_timeouts()
+
+    def _prune_pending_timeouts(self) -> None:
+        """Lazily cancel losing :class:`Timeout` children.
+
+        Once the condition has triggered, our ``_check`` on a still-pending
+        child only defuses failures — and a pending ``Timeout`` can never
+        fail (its outcome is fixed at construction).  Dropping the callback
+        is therefore unobservable, and when it leaves the timer with no
+        waiters at all the timer is cancelled so abandoned retry deadlines
+        stop accumulating in the heap until their far-future pop.
+
+        Non-Timeout children keep their ``_check`` registration: they may
+        still fail later and rely on it for defusing.
+        """
+        cancel = self.env._cancel
+        check = self._check
+        for ev in self._events:
+            callbacks = ev.callbacks
+            if callbacks is not None and isinstance(ev, Timeout):
+                try:
+                    callbacks.remove(check)
+                except ValueError:
+                    pass
+                if not callbacks:
+                    cancel(ev)
 
     @staticmethod
     def all_events(total: int, done: int) -> bool:
@@ -361,6 +533,13 @@ class Environment:
         self._queue: List[tuple] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Events popped and processed so far (perf-suite instrumentation;
+        #: lazily-cancelled entries that are skipped do not count).
+        self.events_processed = 0
+        #: Free list of recycled :class:`_PooledTimeout` objects.
+        self._timeout_pool: List[_PooledTimeout] = []
+        #: Number of heap entries whose event is lazily cancelled.
+        self._cancelled_entries = 0
 
     # ------------------------------------------------------------------
     @property
@@ -382,7 +561,71 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        # Body of Timeout.__init__, inlined to skip one Python call on the
+        # most-allocated object of every simulation — keep them in sync.
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        t = Timeout.__new__(Timeout)
+        t.env = self
+        t.callbacks = []
+        t._value = value
+        t._ok = True
+        t.defused = False
+        t._cancelled = False
+        t._delay = delay
+        fire_at = self._now + delay
+        t._fire_at = fire_at
+        heappush(self._queue, (fire_at, PRIORITY_NORMAL, next(self._eid), t))
+        return t
+
+    def pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A :class:`Timeout` recycled through a free list after it fires.
+
+        Observationally identical to :meth:`timeout` (same scheduling, same
+        insertion-sequence draw) but the object and its callback list are
+        reused, which eliminates the dominant allocation of a simulation.
+
+        Safety contract — callers must guarantee both:
+
+        1. **no reference outlives processing**: once the timeout fires the
+           object may be handed to someone else, so never store it, never
+           put it in a :class:`Condition`, and never inspect it after a
+           ``yield`` on it returns;
+        2. **the waiting process is never interrupted** while suspended on
+           it (an interrupt may legitimately re-yield, which for a pooled
+           object would observe a recycled incarnation).
+
+        Internal machinery with fire-and-forget timers (the CPU scheduler's
+        quantum sleeps, the TCP delivery/ACK timers) satisfies this; user
+        code should keep calling :meth:`timeout`.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        pool = self._timeout_pool
+        if not pool:
+            t = _PooledTimeout.__new__(_PooledTimeout)
+            t.env = self
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t.defused = False
+            t._cancelled = False
+            t._delay = delay
+            fire_at = self._now + delay
+            t._fire_at = fire_at
+            heappush(self._queue, (fire_at, PRIORITY_NORMAL, next(self._eid), t))
+            return t
+        t = pool.pop()
+        t._value = value
+        t._ok = True
+        t.defused = False
+        t._delay = delay
+        if t.callbacks is None:
+            t.callbacks = []
+        fire_at = self._now + delay
+        t._fire_at = fire_at
+        heappush(self._queue, (fire_at, PRIORITY_NORMAL, next(self._eid), t))
+        return t
 
     def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
         """Start a new process from ``generator`` and return it."""
@@ -400,7 +643,51 @@ class Environment:
     # Scheduling and execution
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def _cancel(self, event: Event) -> None:
+        """Lazily cancel a queued event nobody waits on (Timeouts only).
+
+        O(1): the event is only marked; its heap entry dies when it pops or
+        when enough dead entries accumulate to warrant a compaction.  A
+        skipped pop is observationally identical to processing a timeout
+        with no callbacks — the clock still advances to its time unless
+        compaction removed it first, which no one can observe because, by
+        definition, nothing was scheduled to happen *at* that time.
+        """
+        if event._cancelled or event.callbacks is None:
+            return
+        event._cancelled = True
+        self._cancelled_entries += 1
+        if self._cancelled_entries > _COMPACT_MIN and self._cancelled_entries * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled heap entries and re-heapify (in place).
+
+        Cancelled non-poolable timeouts become *tombstones* — processed-
+        looking (``callbacks is None``) but still ``_cancelled`` — so a
+        later re-yield can detect the state and reschedule at ``_fire_at``
+        (see :meth:`Process._resume`).  Pooled ones go back to the free
+        list.  Mutates ``_queue`` in place because ``run`` holds a local
+        reference to the list across steps.
+        """
+        queue = self._queue
+        pool = self._timeout_pool
+        keep = []
+        for entry in queue:
+            event = entry[3]
+            if event._cancelled:
+                event.callbacks = None
+                if event._poolable:
+                    event._cancelled = False
+                    if len(pool) < _POOL_MAX:
+                        pool.append(event)
+            else:
+                keep.append(entry)
+        queue[:] = keep
+        heapify(queue)
+        self._cancelled_entries = 0
 
     def peek(self) -> float:
         """Virtual time of the next scheduled event (``inf`` if none)."""
@@ -411,14 +698,33 @@ class Environment:
 
         Raises :class:`SimulationError` if the queue is empty, and re-raises
         any *undefused* event failure (an exception nobody waited for).
+
+        NOTE: :meth:`run` inlines this body for speed — keep them in sync.
         """
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
+        self._now, _, _, event = heappop(queue)
+        if event._cancelled:
+            # Lazily-cancelled entry: drop it, nobody is watching.
+            event._cancelled = False
+            event.callbacks = None
+            self._cancelled_entries -= 1
+            if event._poolable and len(self._timeout_pool) < _POOL_MAX:
+                self._timeout_pool.append(event)
+            return
+        self.events_processed += 1
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not event.defused:
+        if event._poolable:
+            # Pooled timeouts always succeed; recycle object + list.
+            callbacks.clear()
+            event.callbacks = callbacks
+            if len(self._timeout_pool) < _POOL_MAX:
+                self._timeout_pool.append(event)
+        elif not event._ok and not event.defused:
             exc = event._value
             if isinstance(exc, BaseException):
                 raise exc
@@ -439,7 +745,7 @@ class Environment:
         if until is None:
             stop_time = float("inf")
         elif isinstance(until, Event):
-            if until.processed:
+            if until.callbacks is None:
                 return until.value if until._ok else self._raise(until._value)
 
             def _stop(event: Event) -> None:
@@ -447,6 +753,9 @@ class Environment:
                 stop_value = event
                 raise StopSimulation()
 
+            if until._cancelled:
+                until._cancelled = False
+                self._cancelled_entries -= 1
             until.callbacks.append(_stop)
             stop_time = float("inf")
         else:
@@ -454,11 +763,42 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError(f"until={stop_time!r} is in the past (now={self._now!r})")
 
+        # Inlined step() loop (see note there): the per-event overhead of a
+        # method call plus attribute lookups is measurable at millions of
+        # events per run.  `queue` stays valid because _compact mutates the
+        # list in place.
+        queue = self._queue
+        pool = self._timeout_pool
+        events_processed = 0
         try:
-            while self._queue and self._queue[0][0] <= stop_time:
-                self.step()
+            while queue and queue[0][0] <= stop_time:
+                self._now, _, _, event = heappop(queue)
+                if event._cancelled:
+                    event._cancelled = False
+                    event.callbacks = None
+                    self._cancelled_entries -= 1
+                    if event._poolable and len(pool) < _POOL_MAX:
+                        pool.append(event)
+                    continue
+                events_processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._poolable:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    if len(pool) < _POOL_MAX:
+                        pool.append(event)
+                elif not event._ok and not event.defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise ProcessError(f"event failed with non-exception {exc!r}")
         except StopSimulation:
             pass
+        finally:
+            self.events_processed += events_processed
 
         if stop_value is not _PENDING:
             event = stop_value

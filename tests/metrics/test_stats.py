@@ -78,3 +78,129 @@ def test_percentile_bounds_and_monotonicity(values):
 def test_mean_within_min_max(values):
     stats = SummaryStats(values)
     assert stats.minimum - 1e-9 <= stats.mean <= stats.maximum + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Incremental sorted-cache (interleaved add/percentile)
+# ----------------------------------------------------------------------
+def test_interleaved_add_and_percentile_stays_exact():
+    """The sorted-prefix cache must merge new tails, not drop them."""
+    import random
+
+    rng = random.Random(42)
+    stats = SummaryStats()
+    reference = []
+    for i in range(500):
+        v = rng.uniform(0, 100)
+        stats.add(v)
+        reference.append(v)
+        if i % 7 == 0:
+            expected = percentile(sorted(reference), 95)
+            assert stats.percentile(95) == pytest.approx(expected)
+    expected = percentile(sorted(reference), 50)
+    assert stats.percentile(50) == pytest.approx(expected)
+
+
+def test_large_batch_after_query_resorts():
+    stats = SummaryStats([5.0, 1.0])
+    assert stats.p50 == 3.0
+    for v in range(1000, 0, -1):  # big descending tail forces the sort path
+        stats.add(float(v))
+    assert stats.minimum == 1.0
+    assert stats.percentile(100) == 1000.0
+    assert stats.percentile(0) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Streaming (P2) mode
+# ----------------------------------------------------------------------
+def test_p2_exact_below_five_samples():
+    from repro.metrics.stats import P2Quantile
+
+    est = P2Quantile(0.5)
+    with pytest.raises(ValueError):
+        est.value()
+    for v in [9.0, 1.0, 5.0]:
+        est.add(v)
+    assert est.value() == 5.0
+
+
+def test_p2_tracks_uniform_quantiles():
+    import random
+
+    from repro.metrics.stats import P2Quantile
+
+    rng = random.Random(1234)
+    values = [rng.uniform(0, 1) for _ in range(20_000)]
+    for p in (0.5, 0.95, 0.99):
+        est = P2Quantile(p)
+        for v in values:
+            est.add(v)
+        exact = percentile(sorted(values), p * 100)
+        # P2 on 20k uniform samples lands well within a percent or two.
+        assert est.value() == pytest.approx(exact, abs=0.02)
+
+
+def test_streaming_stats_moments_are_exact():
+    import random
+
+    from repro.metrics.stats import StreamingStats
+
+    rng = random.Random(7)
+    values = [rng.gauss(10, 3) for _ in range(5000)]
+    exact = SummaryStats(values)
+    streaming = StreamingStats(values)
+    assert streaming.count == exact.count
+    assert streaming.total == pytest.approx(exact.total)
+    assert streaming.mean == pytest.approx(exact.mean)
+    assert streaming.minimum == exact.minimum
+    assert streaming.maximum == exact.maximum
+    assert streaming.stddev == pytest.approx(exact.stddev, rel=1e-9)
+    # Percentiles are estimates: close, not exact.
+    assert streaming.p50 == pytest.approx(exact.p50, rel=0.05)
+    assert streaming.p99 == pytest.approx(exact.p99, rel=0.10)
+
+
+def test_streaming_stats_fixed_memory():
+    from repro.metrics.stats import StreamingStats
+
+    streaming = StreamingStats()
+    for i in range(10_000):
+        streaming.add(float(i % 97))
+    # No raw-sample storage anywhere on the instance.
+    assert not any(
+        isinstance(v, list) and len(v) > 5 for v in vars(streaming).values()
+    )
+    assert len(streaming) == 10_000
+
+
+def test_streaming_stats_untracked_quantile_raises():
+    from repro.metrics.stats import StreamingStats
+
+    streaming = StreamingStats([1.0, 2.0])
+    with pytest.raises(ValueError, match="not tracked"):
+        streaming.percentile(42.0)
+    custom = StreamingStats([1.0, 2.0, 3.0], quantiles=(42.0,))
+    assert custom.percentile(42.0) >= 1.0
+
+
+def test_make_stats_factory():
+    from repro.metrics.stats import StreamingStats, make_stats
+
+    assert isinstance(make_stats(False), SummaryStats)
+    assert isinstance(make_stats(True), StreamingStats)
+
+
+def test_streaming_recorder_end_to_end():
+    """RunRecorder(streaming=True) produces a close-to-exact report."""
+    from repro.experiments.micro import MicroConfig, run_micro
+
+    config = MicroConfig("SingleT-Async", 8, duration=0.3, warmup=0.1)
+    exact = run_micro(config).report
+    streaming = run_micro(config, streaming=True).report
+    assert streaming.completed == exact.completed
+    assert streaming.throughput == pytest.approx(exact.throughput)
+    assert streaming.response_time_mean == pytest.approx(exact.response_time_mean)
+    assert streaming.response_time_p50 == pytest.approx(
+        exact.response_time_p50, rel=0.15
+    )

@@ -1,0 +1,206 @@
+"""Lazy timeout cancellation and pooling: the memory contract.
+
+Cancelling a timeout is an O(1) mark — the heap entry is dropped at pop
+time or swept by compaction.  These tests pin the properties that make
+that safe to rely on:
+
+* dead entries never accumulate without bound (interrupt storms, any_of
+  losers, fault-injected retry churn all stay heap-bounded);
+* pooled timeouts really are recycled, and the pool itself is capped;
+* a cancelled timeout that a process re-yields still fires at its
+  original absolute time, even after compaction dropped its heap entry.
+"""
+
+from repro.errors import InterruptError
+from repro.sim import core as core_module
+from repro.sim.core import Environment
+
+
+def _heap_len(env):
+    return len(env._queue)
+
+
+def test_heap_bounded_across_10k_interrupts(env):
+    """An interrupt storm must not leave one dead heap entry per interrupt."""
+    interrupts = 10_000
+    peak = [0]
+
+    def waiter(env):
+        while True:
+            try:
+                yield env.timeout(1e9)  # never fires; always interrupted
+            except InterruptError:
+                continue
+
+    def driver(env, target):
+        for _ in range(interrupts):
+            yield env.timeout(0.001)
+            target.interrupt()
+            peak[0] = max(peak[0], _heap_len(env))
+
+    target = env.process(waiter(env))
+    done = env.process(driver(env, target))
+    env.run(done)
+    # Compaction keeps cancelled entries at O(live + _COMPACT_MIN), not
+    # O(interrupts): the heap never grows anywhere near 10k entries.
+    assert peak[0] < 4 * core_module._COMPACT_MIN
+    assert env._cancelled_entries <= _heap_len(env)
+
+
+def test_any_of_losers_are_pruned(env):
+    """Losing any_of timers are cancelled and swept, not left to expire."""
+    rounds, losers_per_round = 200, 20
+    peak = [0]
+
+    def racer(env):
+        for _ in range(rounds):
+            winner = env.timeout(0.001)
+            losers = [env.timeout(1e6) for _ in range(losers_per_round)]
+            yield env.any_of([winner, *losers])
+            peak[0] = max(peak[0], _heap_len(env))
+
+    env.run(env.process(racer(env)))
+    # 4000 losers raced; without pruning + compaction they would all sit
+    # in the heap until t=1e6.
+    assert peak[0] < 4 * core_module._COMPACT_MIN
+
+
+def test_pooled_timeout_objects_are_recycled(env):
+    """Sequential pooled waits reuse objects instead of allocating."""
+    seen = []
+    values = []
+
+    def worker(env):
+        for i in range(6):
+            timer = env.pooled_timeout(0.5, i)
+            seen.append(timer)
+            values.append((yield timer))
+
+    env.run(env.process(worker(env)))
+    assert values == list(range(6))
+    # The next wait is armed *inside* the resume callback, before the
+    # just-fired timer is returned to the pool, so steady state ping-pongs
+    # between exactly two objects rather than allocating six.
+    assert len({id(t) for t in seen}) == 2
+    assert seen[0] is seen[2] and seen[1] is seen[3]
+
+
+def test_pooled_timeout_reset_state_on_reuse(env):
+    """A recycled timer carries no state over from its previous life."""
+    first = env.pooled_timeout(0.1, "first")
+    env.run(until=0.2)
+    second = env.pooled_timeout(0.3, "second")
+    assert second is first  # recycled
+    assert second._value == "second"
+    assert not second._cancelled
+    fired = []
+    second.callbacks.append(lambda ev: fired.append(ev._value))
+    env.run(until=1.0)
+    assert fired == ["second"]
+
+
+def test_timeout_pool_is_capped(env):
+    """The free-list never grows past _POOL_MAX objects."""
+    for _ in range(core_module._POOL_MAX + 200):
+        env.pooled_timeout(0.001)
+    env.run(until=1.0)
+    assert len(env._timeout_pool) <= core_module._POOL_MAX
+
+
+def test_cancelled_timeout_revives_at_original_time_after_compaction(env):
+    """Re-yielding a compacted-away timeout reschedules it at _fire_at.
+
+    The documented interrupt contract says a process may re-yield the
+    event it was waiting on.  Lazy cancellation must honour that even in
+    the worst case: the timeout was cancelled *and* compaction already
+    dropped its heap entry (leaving a tombstone).
+    """
+    fired_at = []
+
+    def target(env):
+        timer = env.timeout(5.0)
+        try:
+            yield timer
+        except InterruptError:
+            pass
+        # Force a compaction sweep while `timer` sits cancelled in the
+        # heap: flood it with cancelled junk entries past the threshold.
+        junk = [env.timeout(1e6) for _ in range(4 * core_module._COMPACT_MIN)]
+        for j in junk:
+            env._cancel(j)
+        assert all(entry[3] is not timer for entry in env._queue)  # tombstoned
+        yield timer  # must still fire at its original absolute time
+        fired_at.append(env.now)
+
+    proc = env.process(target(env))
+
+    def driver(env):
+        yield env.timeout(1.0)
+        proc.interrupt()
+
+    env.process(driver(env))
+    env.run(until=10.0)
+    assert fired_at == [5.0]
+
+
+def test_fault_injected_retry_churn_does_not_leak():
+    """A spiky fault plan with aggressive retries keeps the heap bounded.
+
+    Latency spikes make client retry timers lose their races constantly;
+    every loser is lazily cancelled.  The heap must stay proportional to
+    the live population, not to the number of spikes injected.
+    """
+    from repro.cpu.scheduler import CPU
+    from repro.experiments.micro import MicroConfig, make_server
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.metrics.collector import RunRecorder
+    from repro.net.link import Link
+    from repro.sim.rng import SeedStreams
+    from repro.workload.client import RetryPolicy
+    from repro.workload.mixes import FixedMix
+    from repro.workload.population import ConnectionOptions, build_population
+
+    plan = FaultPlan(
+        segment_loss_prob=0.05,
+        latency_spike_prob=0.30,
+        latency_spike=0.010,
+        rto=0.020,
+    )
+    config = MicroConfig(
+        "SingleT-Async",
+        8,
+        duration=0.6,
+        warmup=0.05,
+        fault_plan=plan,
+        retry=RetryPolicy(timeout=0.02, max_retries=3, backoff_base=0.002),
+    )
+    env = Environment()
+    cpu = CPU(env, config.calibration, name="cpu")
+    server = make_server(config.server, env, cpu, config)
+    link = Link.lan(config.calibration)
+    recorder = RunRecorder(env, warmup=config.warmup)
+    seeds = SeedStreams(config.seed)
+    injector = FaultInjector(env, plan, seeds.fork("faults"))
+    injector.start_stalls(cpu)
+    build_population(
+        env,
+        server,
+        size=config.concurrency,
+        mix=FixedMix(config.response_size),
+        link=link,
+        calibration=config.calibration,
+        seeds=seeds,
+        recorder=recorder,
+        options=ConnectionOptions(
+            send_buffer_size=config.send_buffer_size, autotune=config.autotune
+        ),
+        ramp_up=config.warmup * 0.8,
+        faults=injector,
+        retry=config.retry,
+    )
+    env.run(until=config.duration)
+    assert injector.latency_spikes > 10  # the plan actually fired
+    # Live entries scale with the 8-client population; cancelled entries
+    # are bounded by the compaction rule, not by the spike count.
+    assert _heap_len(env) < 4 * core_module._COMPACT_MIN
+    assert env._cancelled_entries <= _heap_len(env)

@@ -1,0 +1,126 @@
+"""Golden-digest determinism gate for the DES kernel fast path.
+
+The kernel optimisations (``__slots__``, pooled timeouts, lazy timeout
+cancellation, the coalesced blocked-writer path) are required to keep
+simulation results **bit-identical**: same event ordering, same RNG draws,
+same report floats.  This test pins that guarantee to golden digests
+computed *before* the fast path landed: one short configuration per server
+architecture (plus a chaos-plan configuration exercising faults and
+retries), each hashed over the full :class:`RunReport` and the server
+counters.
+
+The digests must match at ``jobs=1`` and ``jobs=4`` — the parallel sweep
+executor fans points across worker processes and must still reproduce the
+serial rows exactly.
+
+If a *deliberate* behaviour change ever invalidates these digests,
+regenerate them with::
+
+    PYTHONPATH=src python tests/test_kernel_determinism_golden.py
+
+and paste the printed dict over ``GOLDEN`` — in a commit that explains why
+results were allowed to move.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.experiments.micro import MicroConfig
+from repro.experiments.parallel import SweepExecutor
+from repro.faults import FaultPlan, StallWindow
+from repro.workload.client import RetryPolicy
+
+#: One short-but-representative config per architecture.  100KB responses
+#: for the single-threaded server so the write-spin path is in the hash.
+_CONFIGS = {
+    "sTomcat-Sync": MicroConfig("sTomcat-Sync", 8, duration=0.4, warmup=0.1),
+    "sTomcat-Async": MicroConfig("sTomcat-Async", 8, duration=0.4, warmup=0.1),
+    "sTomcat-Async-Fix": MicroConfig("sTomcat-Async-Fix", 8, duration=0.4, warmup=0.1),
+    "SingleT-Async": MicroConfig(
+        "SingleT-Async", 8, response_size=102_400, duration=0.4, warmup=0.1
+    ),
+    "NettyServer": MicroConfig(
+        "NettyServer", 8, response_size=102_400, duration=0.4, warmup=0.1
+    ),
+    "HybridNetty": MicroConfig("HybridNetty", 8, duration=0.4, warmup=0.1),
+    "TomcatSync": MicroConfig("TomcatSync", 8, duration=0.4, warmup=0.1),
+    "TomcatAsync": MicroConfig("TomcatAsync", 8, duration=0.4, warmup=0.1),
+    "Staged-SEDA": MicroConfig("Staged-SEDA", 8, duration=0.4, warmup=0.1),
+    "N-copy": MicroConfig("N-copy", 8, duration=0.4, warmup=0.1),
+    # Chaos: fault injection + client retries + a CPU stall, so the lazy
+    # cancellation of abandoned retry deadlines is covered by the digest.
+    "chaos": MicroConfig(
+        "SingleT-Async",
+        8,
+        duration=0.4,
+        warmup=0.1,
+        fault_plan=FaultPlan(
+            segment_loss_prob=0.05,
+            latency_spike_prob=0.10,
+            latency_spike=0.005,
+            reset_request_prob=0.01,
+            client_abort_prob=0.05,
+            client_abort_delay=0.010,
+            server_stalls=(StallWindow(start=0.10, duration=0.03),),
+            rto=0.050,
+        ),
+        retry=RetryPolicy(timeout=0.05, max_retries=2, backoff_base=0.005),
+    ),
+}
+
+#: Golden digests recorded against the pre-fast-path kernel (PR 3).
+GOLDEN = {
+    "sTomcat-Sync": "7f58acae3b2c0c20",
+    "sTomcat-Async": "f54759bc1b0ed4e7",
+    "sTomcat-Async-Fix": "580e967d52026e7f",
+    "SingleT-Async": "b841cdf370cd8b68",
+    "NettyServer": "9797625cd3577d59",
+    "HybridNetty": "1f9527037cd0e4ca",
+    "TomcatSync": "071dabc866460982",
+    "TomcatAsync": "efc96f3efe5fd3fe",
+    "Staged-SEDA": "fb4c096321641aa3",
+    "N-copy": "7d80b417c5f575a8",
+    "chaos": "023a9b66ebebebac",
+}
+
+
+def _digest_result(result) -> str:
+    """Stable hash of everything a run reports."""
+    payload = (
+        dataclasses.asdict(result.report),
+        sorted(result.server_stats.items()),
+        sorted(result.client_stats.items()),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
+
+
+def _run_all(jobs: int) -> dict:
+    executor = SweepExecutor("golden", scale=1.0, jobs=jobs, cache_dir=None)
+    results = executor.map_micro(dict(_CONFIGS))
+    return {name: _digest_result(result) for name, result in results.items()}
+
+
+@pytest.fixture(scope="module")
+def serial_digests() -> dict:
+    return _run_all(jobs=1)
+
+
+def test_golden_digests_serial(serial_digests):
+    assert serial_digests == GOLDEN
+
+
+def test_golden_digests_parallel_fanout(serial_digests):
+    """jobs=4 must reproduce the serial (and therefore golden) rows."""
+    assert _run_all(jobs=4) == GOLDEN == serial_digests
+
+
+if __name__ == "__main__":  # pragma: no cover - digest regeneration helper
+    digests = _run_all(jobs=1)
+    print("GOLDEN = {")
+    for name, digest in digests.items():
+        print(f"    {name!r}: {digest!r},")
+    print("}")

@@ -10,6 +10,12 @@
 #   realnet tier  the loopback-socket tests (-m realnet) on their own, so
 #                 timing-sensitive socket work is not interleaved with the
 #                 CPU-heavy simulation tier.
+#   perf-smoke    a reduced-scale run of the kernel perf suite gated
+#                 against the committed BENCH_core.json: fails when any
+#                 rate metric (events/sec and friends) regresses more than
+#                 30% below the tracked baseline.  Wall times are not
+#                 gated (they scale with --scale); rates are scale-free.
+#                 Skipped when BENCH_core.json is absent.
 #
 # Usage: tools/ci_check.sh [extra pytest args for both tiers]
 
@@ -38,4 +44,16 @@ run_tier chaos -m chaos "$@"
 echo "[ci_check] realnet tier"
 run_tier realnet -m realnet "$@"
 
-echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + realnet ${realnet_elapsed}s"
+perf_elapsed=0
+if [[ -f BENCH_core.json ]]; then
+    echo "[ci_check] perf-smoke tier (vs BENCH_core.json, tolerance 30%)"
+    started=$SECONDS
+    python -m repro perf --scale 0.2 --repeats 2 \
+        --check BENCH_core.json --tolerance 0.30
+    perf_elapsed=$((SECONDS - started))
+    echo "[ci_check] perf-smoke tier: ${perf_elapsed}s"
+else
+    echo "[ci_check] perf-smoke tier skipped (no BENCH_core.json)"
+fi
+
+echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + realnet ${realnet_elapsed}s + perf ${perf_elapsed}s"
