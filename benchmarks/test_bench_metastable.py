@@ -1,0 +1,15 @@
+"""Metastable-failure extension: naive retries vs the resilience stack.
+
+Regenerates artifact ``metastable`` from the experiment registry and
+asserts its shape checks (zero-impact of a disabled policy, sustained
+naive collapse, >=90% resilient recovery, budget-bounded retry
+amplification, breaker engagement).
+"""
+
+import pytest
+
+
+@pytest.mark.chaos
+@pytest.mark.resilience
+def test_bench_metastable(regenerate):
+    regenerate("metastable")

@@ -48,6 +48,11 @@ def main() -> None:
             f"  {result.completed} responses, {result.throughput:,.0f} req/s, "
             f"mean RT {result.mean_response_time * 1e3:.1f} ms"
         )
+        if result.errors or result.timeouts:
+            print(
+                f"  errors: {result.errors} ({result.timeouts} of them "
+                "I/O timeouts)"
+            )
         print(
             f"  send() calls/request: {wpr:.1f}   "
             f"(zero-byte returns: {stats['zero_writes']})\n"

@@ -10,6 +10,9 @@ Commands
     Regenerate everything; optionally write a markdown report.
 ``repro-bench chaos [--scale 0.3] [--jobs 4]``
     Shortcut for ``run chaos``: the fault-injection resilience sweep.
+``repro-bench metastable [--scale 0.3] [--jobs 4]``
+    Shortcut for ``run metastable``: the metastable-failure study
+    (naive retries vs the cross-tier resilience stack).
 ``repro-bench perf [--scale 0.3] [--out BENCH_core.json] [--check BENCH_core.json]``
     Run the kernel perf-benchmark suite (events/sec, timeout churn, TCP
     throughput, micro wall time); optionally write the tracked JSON or
@@ -80,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser("chaos", help="run the fault-injection chaos sweep")
     _add_sweep_flags(chaos)
+
+    metastable = sub.add_parser(
+        "metastable", help="run the metastable-failure resilience study"
+    )
+    _add_sweep_flags(metastable)
 
     perf = sub.add_parser("perf", help="run the kernel perf-benchmark suite")
     perf.add_argument("--scale", type=float, default=1.0,
@@ -210,6 +218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args.artifact, args.scale, args.jobs)
         if args.command == "chaos":
             return _cmd_run("chaos", args.scale, args.jobs)
+        if args.command == "metastable":
+            return _cmd_run("metastable", args.scale, args.jobs)
         if args.command == "perf":
             return _cmd_perf(args.scale, args.repeats, args.out,
                              args.check, args.tolerance)

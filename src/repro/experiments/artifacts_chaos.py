@@ -119,6 +119,12 @@ def chaos_resilience(scale: float = 1.0, jobs: Optional[int] = None) -> Artifact
                 run.server_stats.get("requests_aborted", 0.0),
                 run.report.response_time_p99 * 1e3,
             )
+            result.add_counter("timeouts", run.client_stats.get("timeouts", 0.0))
+            result.add_counter("rejected", run.report.rejected)
+            result.add_counter("failed", run.report.failed)
+            result.add_counter(
+                "aborted", run.server_stats.get("requests_aborted", 0.0)
+            )
 
     zero_plain = runs[("zero", "plain")]
     zero_empty = runs[("zero", "empty")]

@@ -19,6 +19,7 @@ from repro.errors import ExperimentError
 from repro.faults import FaultInjector, FaultPlan, FaultReport
 from repro.metrics.collector import RunRecorder, RunReport
 from repro.net.link import Link
+from repro.resilience import ResiliencePolicy, RetryBudget
 from repro.servers.base import BaseServer, ServerLimits
 from repro.servers.netty import NettyServer
 from repro.servers.reactor import ReactorFixServer, ReactorServer
@@ -124,6 +125,11 @@ class MicroConfig:
     retry: Optional[RetryPolicy] = None
     #: Server-side load-shedding limits (``None`` → unlimited).
     limits: Optional[ServerLimits] = None
+    #: Cross-tier resilience policy (``None`` or all-``None`` → nothing is
+    #: instantiated; bit-identical to the default).  In the single-server
+    #: micro setup the ``breaker`` knob is inert (no inter-tier pools);
+    #: deadline, retry budget and adaptive admission all apply.
+    resilience: Optional[ResiliencePolicy] = None
 
     @property
     def workers(self) -> int:
@@ -161,6 +167,10 @@ class MicroResult:
     client_stats: Dict[str, float] = field(default_factory=dict)
     #: Fault-injection report (``None`` for clean runs).
     faults: Optional[FaultReport] = None
+    #: Resilience-machinery counters (budget/limiter/expiry); only
+    #: populated when the run used a :class:`ResiliencePolicy`, so the
+    #: default result shape — and every golden digest — is unchanged.
+    resilience: Dict[str, float] = field(default_factory=dict)
     #: Simulation events processed by the kernel during this run.  A pure
     #: function of the config, so it participates in equality (serial,
     #: parallel and cached runs must agree on it).
@@ -236,8 +246,20 @@ def run_micro(config: MicroConfig, streaming: bool = False) -> MicroResult:
     env = Environment()
     cpu = CPU(env, calib, name=f"{config.server}-cpu")
     server = make_server(config.server, env, cpu, config)
-    if config.limits is not None:
-        server.limits = config.limits
+    policy = config.resilience if (
+        config.resilience is not None and config.resilience.enabled
+    ) else None
+    limits = config.limits
+    if policy is not None and policy.admission is not None:
+        limits = replace(limits or ServerLimits(), adaptive=policy.admission)
+    if limits is not None:
+        server.limits = limits
+    budget: Optional[RetryBudget] = None
+    deadline: Optional[float] = None
+    if policy is not None:
+        deadline = policy.deadline
+        if policy.retry_budget is not None:
+            budget = RetryBudget(policy.retry_budget)
     link = Link.lan(calib, added_latency=config.added_latency)
     recorder = RunRecorder(env, warmup=config.warmup, streaming=streaming)
     recorder.watch_cpu(cpu)
@@ -262,6 +284,8 @@ def run_micro(config: MicroConfig, streaming: bool = False) -> MicroResult:
         ramp_up=config.warmup * 0.8,
         faults=injector,
         retry=config.retry,
+        budget=budget,
+        deadline=deadline,
     )
     sim_start = time.perf_counter()
     env.run(until=config.duration)
@@ -280,17 +304,25 @@ def run_micro(config: MicroConfig, streaming: bool = False) -> MicroResult:
         stats["heavy_path_requests"] = float(server.heavy_path_requests)
         stats["light_path_fallbacks"] = float(server.light_path_fallbacks)
     client_stats: Dict[str, float] = {}
-    if injector is not None or config.retry is not None:
+    if injector is not None or config.retry is not None or policy is not None:
         for counter in ClientStats.__slots__:
             client_stats[counter] = float(
                 sum(getattr(c.stats, counter) for c in population.clients)
             )
+    resilience: Dict[str, float] = {}
+    if policy is not None:
+        if budget is not None:
+            resilience.update(budget.counters())
+        if server.limiter is not None:
+            resilience.update(server.limiter.counters())
+        resilience["requests_expired"] = float(server.stats.requests_expired)
     return MicroResult(
         config=config,
         report=recorder.report(),
         server_stats=stats,
         client_stats=client_stats,
         faults=injector.report() if injector is not None else None,
+        resilience=resilience,
         kernel_events=env.events_processed,
         sim_wall_s=sim_wall,
     )

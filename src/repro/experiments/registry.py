@@ -31,6 +31,7 @@ from repro.experiments.artifacts_micro import (
     tab4_write_spin,
 )
 from repro.experiments.artifacts_chaos import chaos_resilience
+from repro.experiments.artifacts_metastable import metastable_failure
 from repro.experiments.artifacts_extensions import (
     ablation_flow_granularity,
     ablation_ncopy_scaling,
@@ -81,6 +82,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("ablD", "Ablation: event-flow granularity (SEDA)", ablation_flow_granularity),
         ExperimentSpec("ablE", "Ablation: N-copy multi-core scaling", ablation_ncopy_scaling),
         ExperimentSpec("chaos", "Chaos resilience under fault injection", chaos_resilience, "minutes"),
+        ExperimentSpec("metastable", "Metastable failure: naive retries vs resilience stack", metastable_failure, "minutes"),
     ]
 }
 

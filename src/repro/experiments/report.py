@@ -42,6 +42,13 @@ def render_table(headers: List[str], rows: Iterable[Iterable[object]]) -> str:
     return "\n".join(lines)
 
 
+def _render_counters(result: ArtifactResult) -> str:
+    """``name=value`` pairs of the aggregate robustness counters."""
+    return ", ".join(
+        f"{name}={_cell(value)}" for name, value in result.counters.items()
+    )
+
+
 def render_artifact(result: ArtifactResult) -> str:
     """Full ASCII report of one regenerated artifact."""
     lines = [
@@ -52,6 +59,8 @@ def render_artifact(result: ArtifactResult) -> str:
     ]
     if result.rows:
         lines.append(render_table(result.headers, result.rows))
+    if result.counters:
+        lines.append("counters: " + _render_counters(result))
     for note in result.notes:
         lines.append(f"note: {note}")
     for check in result.checks:
@@ -89,6 +98,9 @@ def render_markdown(result: ArtifactResult) -> str:
         lines.append("|" + "|".join("---" for _ in result.headers) + "|")
         for row in result.rows:
             lines.append("| " + " | ".join(_cell(c) for c in row) + " |")
+        lines.append("")
+    if result.counters:
+        lines.append(f"*Counters:* {_render_counters(result)}")
         lines.append("")
     if result.notes:
         for note in result.notes:

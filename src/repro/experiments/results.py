@@ -11,7 +11,7 @@ from both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 __all__ = ["ShapeCheck", "ArtifactResult"]
 
@@ -48,6 +48,10 @@ class ArtifactResult:
     checks: List[ShapeCheck] = field(default_factory=list)
     #: Free-form notes (calibration used, deviations, caveats).
     notes: List[str] = field(default_factory=list)
+    #: Aggregate robustness counters (timeouts, rejected, aborted, …)
+    #: summed across the artifact's sweep points; rendered as a standard
+    #: line under every report table (insertion-ordered).
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def add_row(self, *cells: object) -> None:
         """Append one data row (width-checked against the headers)."""
@@ -66,6 +70,10 @@ class ArtifactResult:
     def note(self, text: str) -> None:
         """Attach a free-form caveat/context note."""
         self.notes.append(text)
+
+    def add_counter(self, name: str, value: float) -> None:
+        """Accumulate one aggregate counter (rendered under the table)."""
+        self.counters[name] = self.counters.get(name, 0) + value
 
     @property
     def all_passed(self) -> bool:

@@ -65,9 +65,19 @@ class RunRecorder:
         report = recorder.report()
     """
 
-    def __init__(self, env: Environment, warmup: float = 0.0, streaming: bool = False):
+    def __init__(
+        self,
+        env: Environment,
+        warmup: float = 0.0,
+        streaming: bool = False,
+        timeline_bucket: float = 0.0,
+    ):
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup!r}")
+        if timeline_bucket < 0:
+            raise ValueError(
+                f"timeline_bucket must be >= 0, got {timeline_bucket!r}"
+            )
         self.env = env
         self.warmup = warmup
         #: Opt-in fixed-memory mode for huge runs: moments stay exact,
@@ -86,6 +96,11 @@ class RunRecorder:
         self.rejected = 0
         #: Failed (retry-exhausted) logical requests inside the window.
         self.failed = 0
+        #: Goodput timeline: successful completions bucketed by absolute
+        #: simulation time (warm-up included — metastable-failure analysis
+        #: needs the pre-stall baseline).  ``None`` when disabled.
+        self._timeline_bucket = timeline_bucket
+        self._timeline: Optional[list] = [] if timeline_bucket > 0 else None
 
     # ------------------------------------------------------------------
     def watch_cpu(self, cpu: CPU) -> None:
@@ -117,6 +132,15 @@ class RunRecorder:
         503-style response must not masquerade as a fast success.
         """
         self.total_seen += 1
+        if (
+            self._timeline is not None
+            and request.completed_at is not None
+            and not request.metadata.get("rejected")
+        ):
+            bucket = int(request.completed_at / self._timeline_bucket)
+            while len(self._timeline) <= bucket:
+                self._timeline.append(0)
+            self._timeline[bucket] += 1
         self._maybe_start()
         if not self._started or request.completed_at is None:
             return
@@ -133,6 +157,13 @@ class RunRecorder:
         if kind_stats is None:
             kind_stats = self._per_kind[request.kind] = make_stats(self.streaming)
         kind_stats.add(rt)
+
+    def timeline(self) -> "tuple":
+        """Per-bucket successful completions since t=0 (empty when the
+        recorder was built without ``timeline_bucket``)."""
+        if self._timeline is None:
+            return ()
+        return tuple(self._timeline)
 
     def record_failure(self, request: Request) -> None:
         """Record a logical request that exhausted its retries (no response)."""

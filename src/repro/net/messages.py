@@ -41,6 +41,10 @@ class Request:
     zero_writes: int = 0
     #: Free-form per-request annotations (e.g. hybrid path taken).
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: Absolute simulation-time deadline carried in the request header.
+    #: ``None`` (the default) means no deadline; tiers that receive a
+    #: deadline refuse expired work immediately (see repro.resilience).
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.response_size < 0:
@@ -57,6 +61,12 @@ class Request:
         if self.completed_at is None:
             return None
         return self.completed_at - self.created_at
+
+    def remaining_budget(self, now: float) -> Optional[float]:
+        """Seconds left before the deadline (``None`` when undeadlined)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - now
 
     def mark_completed(self) -> None:
         """Record completion time and trigger the completion event."""

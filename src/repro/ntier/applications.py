@@ -14,18 +14,113 @@ All downstream calls are synchronous (the thread blocks until the full
 downstream response arrives), matching JDBC and Apache's proxy workers;
 this is true for *both* Tomcat variants — the paper's upgrade changes only
 the client-facing connector.
+
+Cross-tier resilience (PR 4) hangs off the request header and the pool:
+a request carrying a deadline is refused when expired (before consuming a
+pooled connection), downstream calls wait at most the remaining budget,
+and a pool-mounted circuit breaker is consulted before — and informed
+after — every downstream call.  Requests without a deadline on a pool
+without a breaker take exactly the historical event sequence.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
+from repro.errors import ConnectionClosedError
 from repro.net.messages import Request
 from repro.ntier.pool import ConnectionPool
 from repro.servers.base import Application, BaseServer
 from repro.workload.rubbos import Interaction
 
 __all__ = ["ProxyApplication", "ServletApplication", "QueryApplication"]
+
+#: Size of the tiny error response relayed for expired / fast-failed work.
+_REJECTION_SIZE = 128
+
+#: Request-lifecycle annotations that must not leak to downstream copies
+#: (they describe *this* tier's admission state, not the payload).
+_LIFECYCLE_KEYS = frozenset({"admitted", "rejected", "expired", "aborted"})
+
+
+def _forwardable(metadata: dict) -> dict:
+    """Payload metadata safe to copy onto a downstream request."""
+    return {k: v for k, v in metadata.items() if k not in _LIFECYCLE_KEYS}
+
+
+def _reject(request: Request, expired: bool = False) -> int:
+    """Mark ``request`` shed at this tier; returns the rejection size."""
+    request.metadata["rejected"] = True
+    if expired:
+        request.metadata["expired"] = True
+    return _REJECTION_SIZE
+
+
+def _pooled_exchange(
+    pool: ConnectionPool,
+    server: BaseServer,
+    thread,
+    make_downstream: Callable[[], Request],
+    deadline: Optional[float],
+) -> "Tuple[str, Optional[Request]]":
+    """One synchronous call over a pooled connection, resilience-aware.
+
+    Generator (``yield from``); returns ``(status, downstream)`` where
+    status is ``"ok"`` (full response arrived), ``"busy"`` (no pooled
+    connection within the deadline budget), ``"timeout"`` (deadline hit
+    or connection died mid-call; the connection is closed so the pool
+    evicts it), or ``"rejected"`` (the downstream tier shed the call).
+    Breaker accounting is the caller's responsibility.
+    """
+    calib = server.calibration
+    env = server.env
+    if deadline is None:
+        connection = yield pool.acquire()
+    else:
+        connection = yield from pool.acquire_within(deadline - env.now)
+        if connection is None:
+            return "busy", None
+    downstream: Optional[Request] = None
+    try:
+        downstream = make_downstream()
+        # Forward the request (one write syscall on the pooled conn).
+        yield thread.syscall(
+            bytes_copied=downstream.request_size,
+            extra_kernel=calib.tx_kernel_cost(downstream.request_size),
+        )
+        try:
+            connection.send_request(downstream)
+        except ConnectionClosedError:
+            return "timeout", downstream
+        if deadline is None:
+            yield downstream.completed
+        else:
+            remaining = deadline - env.now
+            if remaining <= 0 or connection.closed:
+                # Too late to wait; the response (if any) would land on a
+                # connection we are abandoning — close so the pool evicts.
+                connection.close()
+                return "timeout", downstream
+            timer = env.timeout(remaining)
+            yield env.any_of([downstream.completed, connection.on_close, timer])
+            if not downstream.completed.triggered:
+                connection.close()
+                return "timeout", downstream
+        # Read the downstream response back into user space.
+        delivered = (
+            _REJECTION_SIZE
+            if downstream.metadata.get("rejected")
+            else downstream.response_size
+        )
+        yield thread.syscall(
+            bytes_copied=delivered,
+            extra_kernel=calib.tx_kernel_cost(delivered),
+        )
+        if downstream.metadata.get("rejected"):
+            return "rejected", downstream
+        return "ok", downstream
+    finally:
+        pool.release(connection)
 
 
 class ProxyApplication(Application):
@@ -38,33 +133,42 @@ class ProxyApplication(Application):
         self.per_request_cpu = per_request_cpu
 
     def service(self, server: BaseServer, thread, request: Request):
-        calib = server.calibration
+        env = server.env
         # Parse + route the client request.
         yield thread.run(self.per_request_cpu)
-        connection = yield self.pool.acquire()
-        try:
+        deadline = request.deadline
+        if deadline is not None and env.now >= deadline:
+            return _reject(request, expired=True)
+        breaker = self.pool.breaker
+        if breaker is not None and not breaker.allow():
+            # Downstream tier is sick: fast-fail instead of pinning this
+            # worker on the pool queue.
+            return _reject(request)
+
+        def make_downstream() -> Request:
             downstream = Request(
-                server.env,
+                env,
                 kind=request.kind,
                 response_size=request.response_size,
                 request_size=request.request_size,
+                deadline=deadline,
             )
-            downstream.metadata.update(request.metadata)
-            # Forward the request (one write syscall on the pooled conn).
-            yield thread.syscall(
-                bytes_copied=downstream.request_size,
-                extra_kernel=calib.tx_kernel_cost(downstream.request_size),
-            )
-            connection.send_request(downstream)
-            yield downstream.completed
-            # Read the downstream response back into user space.
-            yield thread.syscall(
-                bytes_copied=downstream.response_size,
-                extra_kernel=calib.tx_kernel_cost(downstream.response_size),
-            )
-        finally:
-            self.pool.release(connection)
-        return request.response_size
+            downstream.metadata.update(_forwardable(request.metadata))
+            return downstream
+
+        status, downstream = yield from _pooled_exchange(
+            self.pool, server, thread, make_downstream, deadline
+        )
+        if status == "ok":
+            if breaker is not None:
+                breaker.record_success()
+            return request.response_size
+        if breaker is not None:
+            breaker.record_failure()
+        expired = status in ("busy", "timeout") or (
+            downstream is not None and bool(downstream.metadata.get("expired"))
+        )
+        return _reject(request, expired=expired)
 
 
 class ServletApplication(Application):
@@ -78,6 +182,7 @@ class ServletApplication(Application):
 
     def service(self, server: BaseServer, thread, request: Request):
         calib = server.calibration
+        env = server.env
         interaction: Optional[Interaction] = request.metadata.get("interaction")
         if interaction is None:
             # Fall back to size-derived cost for non-RUBBoS requests.
@@ -86,28 +191,39 @@ class ServletApplication(Application):
 
         yield thread.run(interaction.app_cpu)
         if self.pool is not None:
+            deadline = request.deadline
+            breaker = self.pool.breaker
             for result_size, db_cpu in interaction.queries:
-                connection = yield self.pool.acquire()
-                try:
+                if deadline is not None and env.now >= deadline:
+                    return _reject(request, expired=True)
+                if breaker is not None and not breaker.allow():
+                    return _reject(request)
+
+                def make_query(
+                    result_size: int = result_size, db_cpu: float = db_cpu
+                ) -> Request:
                     query = Request(
-                        server.env,
+                        env,
                         kind=f"{interaction.name}.sql",
                         response_size=result_size,
                         request_size=256,
+                        deadline=deadline,
                     )
                     query.metadata["db_cpu"] = db_cpu
-                    yield thread.syscall(
-                        bytes_copied=query.request_size,
-                        extra_kernel=calib.tx_kernel_cost(query.request_size),
+                    return query
+
+                status, query = yield from _pooled_exchange(
+                    self.pool, server, thread, make_query, deadline
+                )
+                if status != "ok":
+                    if breaker is not None:
+                        breaker.record_failure()
+                    expired = status in ("busy", "timeout") or (
+                        query is not None and bool(query.metadata.get("expired"))
                     )
-                    connection.send_request(query)
-                    yield query.completed
-                    yield thread.syscall(
-                        bytes_copied=result_size,
-                        extra_kernel=calib.tx_kernel_cost(result_size),
-                    )
-                finally:
-                    self.pool.release(connection)
+                    return _reject(request, expired=expired)
+                if breaker is not None:
+                    breaker.record_success()
                 # Result-set processing (row mapping, templating).
                 yield thread.run(self.per_row_cpu)
         return interaction.response_size

@@ -7,13 +7,22 @@ lever that bounds the downstream tier's workload concurrency — the paper
 measures ~35 concurrent requests at Tomcat when the 3-tier system
 saturates, which the Figure 1 reproduction inherits from the default
 Apache→Tomcat pool of 40.
+
+Resilience hooks (PR 4): :meth:`ConnectionPool.release` evicts dead
+connections and lazily replaces them (a fault-injected reset used to
+leave a closed connection in the pool, poisoning the next borrower);
+:meth:`ConnectionPool.acquire_within` bounds the wait by a deadline
+budget; and an optional :class:`~repro.resilience.breaker.CircuitBreaker`
+rides on the pool so callers can fast-fail while the downstream tier is
+sick.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Generator, List, Optional
 
 from repro.net.tcp import Connection
+from repro.resilience.breaker import CircuitBreaker
 from repro.servers.base import BaseServer
 from repro.sim.core import Environment, Event
 from repro.sim.resources import Store
@@ -31,22 +40,35 @@ class ConnectionPool:
         size: int,
         link,
         calibration,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size!r}")
         self.env = env
         self.downstream = downstream
         self.size = size
+        self._link = link
+        self._calibration = calibration
         self._idle: Store = Store(env)
         self.connections: List[Connection] = []
         for _ in range(size):
-            connection = Connection(env, link, calibration)
-            downstream.attach(connection)
+            connection = self._fresh()
             self.connections.append(connection)
             self._idle.items.append(connection)
         #: Peak number of simultaneously checked-out connections.
         self.peak_in_use = 0
         self._in_use = 0
+        #: Dead connections evicted at release (each one replaced).
+        self.evictions = 0
+        #: Optional circuit breaker guarding this upstream→downstream
+        #: edge; callers consult it before acquiring and report outcomes.
+        self.breaker = breaker
+
+    def _fresh(self) -> Connection:
+        """Open a new connection to the downstream tier."""
+        connection = Connection(self.env, self._link, self._calibration)
+        self.downstream.attach(connection)
+        return connection
 
     @property
     def in_use(self) -> int:
@@ -64,14 +86,54 @@ class ConnectionPool:
         event.callbacks.append(self._on_acquired)
         return event
 
+    def acquire_within(
+        self, budget: float
+    ) -> Generator[object, object, Optional[Connection]]:
+        """Acquire a connection, waiting at most ``budget`` seconds.
+
+        Generator (use ``yield from``); returns the connection, or
+        ``None`` when the budget ran out first — the pending claim is
+        withdrawn so a later free connection is not leaked to a caller
+        that already gave up.
+        """
+        get = self.acquire()
+        timer = self.env.timeout(max(0.0, budget))
+        yield self.env.any_of([get, timer])
+        if get.triggered:
+            # Granted (possibly in the same tick the timer fired): take it.
+            return get.value
+        self._idle.cancel(get)
+        return None
+
     def _on_acquired(self, _event) -> None:
         self._in_use += 1
         self.peak_in_use = max(self.peak_in_use, self._in_use)
 
     def release(self, connection: Connection) -> None:
-        """Return a connection to the pool."""
+        """Return a connection to the pool.
+
+        A connection that died while checked out (fault-injected reset,
+        deadline-triggered close) is evicted and replaced with a fresh
+        one instead of being handed to the next borrower.
+        """
         self._in_use -= 1
+        if connection.closed:
+            self.evictions += 1
+            try:
+                slot = self.connections.index(connection)
+            except ValueError:
+                slot = -1
+            replacement = self._fresh()
+            if slot >= 0:
+                self.connections[slot] = replacement
+            else:
+                self.connections.append(replacement)
+            self._idle.put(replacement)
+            return
         self._idle.put(connection)
 
     def __repr__(self) -> str:
-        return f"<ConnectionPool size={self.size} in_use={self._in_use}>"
+        return (
+            f"<ConnectionPool size={self.size} in_use={self._in_use} "
+            f"evictions={self.evictions}>"
+        )

@@ -17,16 +17,18 @@ from typing import Dict, Optional
 from repro.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cpu.scheduler import CPU
 from repro.errors import ExperimentError
+from repro.faults import FaultInjector, FaultPlan, FaultReport
 from repro.metrics.collector import RunRecorder, RunReport
 from repro.net.link import Link
 from repro.ntier.applications import ProxyApplication, QueryApplication, ServletApplication
 from repro.ntier.pool import ConnectionPool
-from repro.servers.base import BaseServer
+from repro.resilience import CircuitBreaker, ResiliencePolicy, RetryBudget
+from repro.servers.base import BaseServer, ServerLimits
 from repro.servers.threaded import ThreadedServer
 from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
 from repro.sim.core import Environment
 from repro.sim.rng import SeedStreams
-from repro.workload.client import ExponentialThink
+from repro.workload.client import ClientStats, ExponentialThink, RetryPolicy
 from repro.workload.population import build_population
 from repro.workload.rubbos import RubbosMix
 
@@ -50,6 +52,18 @@ class NTierConfig:
     inter_tier_latency: float = 100.0e-6
     calibration: Calibration = DEFAULT_CALIBRATION
     seed: int = 1
+    #: Chaos plan: stall windows hit the *Tomcat* tier's CPU (the
+    #: mid-tier slowdown of the metastable-failure scenario); connection
+    #: and abandonment faults apply to the client population as in micro.
+    fault_plan: Optional[FaultPlan] = None
+    #: Client-side retry policy (``None`` → historical wait-forever loop).
+    retry: Optional[RetryPolicy] = None
+    #: Cross-tier resilience: deadlines on every request, a shared retry
+    #: budget, circuit breakers on both inter-tier pools, and adaptive
+    #: admission control on the Tomcat tier.  ``None`` → nothing built.
+    resilience: Optional[ResiliencePolicy] = None
+    #: Goodput-timeline bucket width in seconds (0 disables the timeline).
+    timeline_bucket: float = 0.0
 
     def validate(self) -> "NTierConfig":
         """Raise :class:`ExperimentError` on nonsensical settings."""
@@ -59,6 +73,10 @@ class NTierConfig:
             raise ExperimentError(f"users must be >= 1, got {self.users!r}")
         if self.duration <= self.warmup:
             raise ExperimentError("duration must exceed warmup")
+        if self.timeline_bucket < 0:
+            raise ExperimentError(
+                f"timeline_bucket must be >= 0, got {self.timeline_bucket!r}"
+            )
         return self
 
 
@@ -77,6 +95,8 @@ class ThreeTierSystem:
         self.web_cpu = CPU(env, calib, name="apache-cpu")
 
         tier_link = Link.lan(calib, added_latency=config.inter_tier_latency)
+        policy = config.resilience
+        breaker_cfg = policy.breaker if policy is not None else None
 
         # MySQL tier: thread-based (one thread per pooled connection).
         self.db_server = ThreadedServer(
@@ -86,7 +106,14 @@ class ThreeTierSystem:
         # Tomcat tier: the upgrade under study.
         self.tomcat_db_pool = None  # created after db server exists
         self.tomcat_db_pool = ConnectionPool(
-            env, self.db_server, config.tomcat_db_pool, tier_link, calib
+            env,
+            self.db_server,
+            config.tomcat_db_pool,
+            tier_link,
+            calib,
+            breaker=CircuitBreaker(env, breaker_cfg, name="tomcat-mysql")
+            if breaker_cfg is not None
+            else None,
         )
         servlet_app = ServletApplication(self.tomcat_db_pool)
         if config.tomcat_variant == "sync":
@@ -101,10 +128,22 @@ class ThreeTierSystem:
                 name="tomcat-v8",
                 workers=config.tomcat_workers,
             )
+        if policy is not None and policy.admission is not None:
+            # The Tomcat tier is the chain's bottleneck; the AIMD limiter
+            # discovers how much concurrency it can serve within target
+            # latency and sheds the excess cheaply.
+            self.app_server.limits = ServerLimits(adaptive=policy.admission)
 
         # Apache tier: thread-based reverse proxy.
         self.apache_tomcat_pool = ConnectionPool(
-            env, self.app_server, config.apache_tomcat_pool, tier_link, calib
+            env,
+            self.app_server,
+            config.apache_tomcat_pool,
+            tier_link,
+            calib,
+            breaker=CircuitBreaker(env, breaker_cfg, name="apache-tomcat")
+            if breaker_cfg is not None
+            else None,
         )
         self.web_server = ThreadedServer(
             env,
@@ -138,6 +177,19 @@ class NTierResult:
     #: Simulation events processed by the kernel during this run (a pure
     #: function of the config, so it participates in equality).
     kernel_events: int = 0
+    #: Aggregated client resilience counters (populated for chaos/retry/
+    #: resilience runs; empty for clean runs so old results compare equal).
+    client_stats: Dict[str, float] = field(default_factory=dict)
+    #: Per-tier shed/expired/aborted counters (same population rule).
+    server_stats: Dict[str, float] = field(default_factory=dict)
+    #: Resilience-machinery counters: retry budget, breakers, admission
+    #: limiter, pool evictions (empty unless a policy was configured).
+    resilience: Dict[str, float] = field(default_factory=dict)
+    #: Fault-injection report (``None`` for clean runs).
+    faults: Optional[FaultReport] = None
+    #: Successful completions per ``timeline_bucket`` of absolute sim
+    #: time (empty when the config leaves the timeline off).
+    goodput_timeline: "tuple" = ()
     #: Host wall-clock seconds spent inside ``env.run``.  Wall clock is
     #: not deterministic, so it is excluded from equality.
     sim_wall_s: float = field(default=0.0, compare=False)
@@ -162,21 +214,44 @@ def run_ntier(config: NTierConfig) -> NTierResult:
     env = Environment()
     system = ThreeTierSystem(env, config)
     calib = config.calibration
-    recorder = RunRecorder(env, warmup=config.warmup)
+    recorder = RunRecorder(
+        env, warmup=config.warmup, timeline_bucket=config.timeline_bucket
+    )
     recorder.watch_cpu(system.app_cpu)
 
+    seeds = SeedStreams(config.seed)
+    injector: Optional[FaultInjector] = None
+    if config.fault_plan is not None and config.fault_plan.enabled:
+        injector = FaultInjector(env, config.fault_plan, seeds.fork("faults"))
+        # Stall windows seize the Tomcat tier's cores: the mid-tier
+        # slowdown that triggers the metastable-failure scenario.
+        injector.start_stalls(system.app_cpu)
+    policy = config.resilience if (
+        config.resilience is not None and config.resilience.enabled
+    ) else None
+    budget: Optional[RetryBudget] = None
+    deadline: Optional[float] = None
+    if policy is not None:
+        deadline = policy.deadline
+        if policy.retry_budget is not None:
+            budget = RetryBudget(policy.retry_budget)
+
     client_link = Link.lan(calib)
-    build_population(
+    population = build_population(
         env,
         system.front_server,
         size=config.users,
         mix=RubbosMix(),
         link=client_link,
         calibration=calib,
-        seeds=SeedStreams(config.seed),
+        seeds=seeds,
         recorder=recorder,
         think=ExponentialThink(config.think_mean),
         ramp_up=config.warmup * 0.8,
+        faults=injector,
+        retry=config.retry,
+        budget=budget,
+        deadline=deadline,
     )
 
     starts = {name: cpu.snapshot() for name, cpu in system.cpu_by_tier().items()}
@@ -198,6 +273,36 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         utilization[name] = usage.utilization
         switch_rate[name] = usage.context_switch_rate
 
+    client_stats: Dict[str, float] = {}
+    server_stats: Dict[str, float] = {}
+    if injector is not None or config.retry is not None or policy is not None:
+        for counter in ClientStats.__slots__:
+            client_stats[counter] = float(
+                sum(getattr(c.stats, counter) for c in population.clients)
+            )
+        tiers = (
+            ("apache", system.web_server),
+            ("tomcat", system.app_server),
+            ("mysql", system.db_server),
+        )
+        for tier_name, tier_server in tiers:
+            stats = tier_server.stats
+            server_stats[f"{tier_name}_rejected"] = float(stats.requests_rejected)
+            server_stats[f"{tier_name}_expired"] = float(stats.requests_expired)
+            server_stats[f"{tier_name}_aborted"] = float(stats.requests_aborted)
+    resilience: Dict[str, float] = {}
+    if policy is not None:
+        if budget is not None:
+            resilience.update(budget.counters())
+        for pool in (system.apache_tomcat_pool, system.tomcat_db_pool):
+            if pool.breaker is not None:
+                resilience.update(pool.breaker.counters())
+        if system.app_server.limiter is not None:
+            resilience.update(system.app_server.limiter.counters())
+        resilience["pool_evictions"] = float(
+            system.apache_tomcat_pool.evictions + system.tomcat_db_pool.evictions
+        )
+
     return NTierResult(
         config=config,
         report=recorder.report(),
@@ -205,5 +310,10 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         tier_switch_rate=switch_rate,
         tomcat_peak_concurrency=system.apache_tomcat_pool.peak_in_use,
         kernel_events=env.events_processed,
+        client_stats=client_stats,
+        server_stats=server_stats,
+        resilience=resilience,
+        faults=injector.report() if injector is not None else None,
+        goodput_timeline=recorder.timeline(),
         sim_wall_s=sim_wall,
     )

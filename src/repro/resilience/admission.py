@@ -1,0 +1,75 @@
+"""Adaptive admission control: an AIMD concurrency limiter.
+
+Extends the static :class:`~repro.servers.base.ServerLimits.max_inflight`
+with a limit *discovered* from observed service latency, in the spirit of
+gradient/AIMD concurrency limiters (Netflix concurrency-limits, and the
+admission control that keeps a server on the good side of the collapse
+knee in arXiv:2104.13774).  Fast completions grow the limit additively;
+a latency breach or an abort shrinks it multiplicatively, rate-limited by
+a cooldown so one burst of queued latecomers cannot crater the limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.resilience.policy import AdmissionConfig
+from repro.sim.core import Environment
+
+__all__ = ["AdaptiveLimiter"]
+
+
+class AdaptiveLimiter:
+    """AIMD estimator of a server's sustainable in-flight concurrency."""
+
+    __slots__ = ("env", "config", "_limit", "_last_decrease", "increases", "decreases")
+
+    def __init__(self, env: Environment, config: AdmissionConfig):
+        self.env = env
+        self.config = config
+        self._limit = float(config.effective_initial)
+        self._last_decrease = float("-inf")
+        #: Additive limit increases applied.
+        self.increases = 0
+        #: Multiplicative limit decreases applied.
+        self.decreases = 0
+
+    @property
+    def limit(self) -> int:
+        """Current admission limit (whole requests)."""
+        return int(self._limit)
+
+    def on_complete(self, latency: float) -> None:
+        """Feed one completed request's service latency."""
+        if latency <= self.config.target_latency:
+            if self._limit < self.config.max_limit:
+                self._limit = min(
+                    float(self.config.max_limit),
+                    self._limit + self.config.increase / max(1.0, self._limit),
+                )
+                self.increases += 1
+        else:
+            self._maybe_decrease()
+
+    def on_failure(self) -> None:
+        """Feed one aborted/failed request (treated as a latency breach)."""
+        self._maybe_decrease()
+
+    def _maybe_decrease(self) -> None:
+        now = self.env.now
+        if now - self._last_decrease < self.config.effective_cooldown:
+            return
+        self._limit = max(float(self.config.min_limit), self._limit * self.config.decrease)
+        self._last_decrease = now
+        self.decreases += 1
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of the limiter state for result reports."""
+        return {
+            "admission_limit": float(self.limit),
+            "admission_increases": float(self.increases),
+            "admission_decreases": float(self.decreases),
+        }
+
+    def __repr__(self) -> str:
+        return f"<AdaptiveLimiter limit={self.limit} decreases={self.decreases}>"

@@ -1,0 +1,67 @@
+"""Population-wide retry budget (deterministic token bucket).
+
+One :class:`RetryBudget` instance is shared by every client of a
+population.  Initial attempts deposit fractional tokens; each retry
+spends a whole token, so sustained retry volume cannot exceed
+``ratio`` × initial-request volume no matter how aggressive individual
+clients are.  The bucket is pure bookkeeping — no RNG, no events, no
+time — so it cannot perturb determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.resilience.policy import RetryBudgetConfig
+
+__all__ = ["RetryBudget"]
+
+
+class RetryBudget:
+    """Token bucket capping retries across a client population."""
+
+    __slots__ = ("config", "_tokens", "deposited", "granted", "denied")
+
+    def __init__(self, config: RetryBudgetConfig):
+        self.config = config
+        self._tokens = float(config.initial)
+        #: Tokens deposited by initial attempts (before capping).
+        self.deposited = 0.0
+        #: Retries the budget allowed.
+        self.granted = 0
+        #: Retries the budget refused (the client gives up instead).
+        self.denied = 0
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available."""
+        return self._tokens
+
+    def on_request(self) -> None:
+        """Deposit for one initial (non-retry) attempt."""
+        self.deposited += self.config.ratio
+        self._tokens = min(self.config.cap, self._tokens + self.config.ratio)
+
+    def try_spend(self) -> bool:
+        """Withdraw one token for a retry; False when the budget is dry."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of the budget counters for result reports."""
+        return {
+            "budget_deposited": self.deposited,
+            "budget_granted": float(self.granted),
+            "budget_denied": float(self.denied),
+            "budget_tokens": self._tokens,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<RetryBudget tokens={self._tokens:.2f} granted={self.granted} "
+            f"denied={self.denied}>"
+        )

@@ -1,0 +1,183 @@
+"""Frozen configuration dataclasses for the resilience layer.
+
+These are plain value objects so they participate in experiment cache
+keys (:func:`repro.experiments.parallel.point_digest` walks dataclasses)
+and in golden-digest configs, exactly like
+:class:`~repro.faults.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "RetryBudgetConfig",
+    "BreakerConfig",
+    "AdmissionConfig",
+    "ResiliencePolicy",
+]
+
+
+@dataclass(frozen=True)
+class RetryBudgetConfig:
+    """Token-bucket retry budget shared by a client population.
+
+    Every *initial* attempt deposits ``ratio`` tokens (capped at
+    ``cap``); each retry withdraws one full token.  Long-run retry volume
+    is therefore bounded by ``ratio`` times the initial-request volume —
+    the Finagle-style storm guard that replaces unbounded per-request
+    retry counts.
+    """
+
+    #: Tokens deposited per initial request (so retries <= ratio * load).
+    ratio: float = 0.1
+    #: Maximum tokens the bucket can hold (bounds post-idle bursts).
+    cap: float = 20.0
+    #: Tokens available at start (lets early retries through while the
+    #: deposit stream is still ramping).
+    initial: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise WorkloadError(f"ratio must be in [0, 1], got {self.ratio!r}")
+        if self.cap <= 0:
+            raise WorkloadError(f"cap must be > 0, got {self.cap!r}")
+        if not 0.0 <= self.initial <= self.cap:
+            raise WorkloadError(
+                f"initial must be in [0, cap], got {self.initial!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit-breaker thresholds for one upstream→downstream edge."""
+
+    #: Rolling window of most recent call outcomes examined.
+    window: int = 20
+    #: Minimum outcomes in the window before the breaker may trip.
+    min_samples: int = 10
+    #: Failure fraction within the window that opens the breaker.
+    failure_threshold: float = 0.5
+    #: Seconds the breaker stays open before probing (half-open).
+    open_duration: float = 1.0
+    #: Consecutive probe successes required to close from half-open.
+    half_open_probes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise WorkloadError(f"window must be >= 1, got {self.window!r}")
+        if not 1 <= self.min_samples <= self.window:
+            raise WorkloadError(
+                f"min_samples must be in [1, window], got {self.min_samples!r}"
+            )
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise WorkloadError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold!r}"
+            )
+        if self.open_duration <= 0:
+            raise WorkloadError(
+                f"open_duration must be > 0, got {self.open_duration!r}"
+            )
+        if self.half_open_probes < 1:
+            raise WorkloadError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes!r}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """AIMD concurrency limiter for a server's admission gate.
+
+    The limiter replaces a static ``max_inflight`` with a discovered one:
+    completions faster than ``target_latency`` grow the limit additively
+    (``increase / limit`` per completion, i.e. +``increase`` per
+    limit-sized batch), while a breach or an abort shrinks it
+    multiplicatively (at most once per ``cooldown`` seconds, so one burst
+    of queued latecomers cannot collapse the limit to the floor).
+    """
+
+    #: Latency above which the current concurrency is deemed excessive.
+    target_latency: float = 0.050
+    #: Floor of the discovered limit.
+    min_limit: int = 4
+    #: Ceiling of the discovered limit.
+    max_limit: int = 1024
+    #: Starting limit (``None`` → ``min_limit``).
+    initial: Optional[int] = None
+    #: Additive growth per limit-sized batch of fast completions.
+    increase: float = 1.0
+    #: Multiplicative factor applied on a latency breach.
+    decrease: float = 0.7
+    #: Seconds between multiplicative decreases (``None`` → target_latency).
+    cooldown: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.target_latency <= 0:
+            raise WorkloadError(
+                f"target_latency must be > 0, got {self.target_latency!r}"
+            )
+        if self.min_limit < 1:
+            raise WorkloadError(f"min_limit must be >= 1, got {self.min_limit!r}")
+        if self.max_limit < self.min_limit:
+            raise WorkloadError(
+                f"max_limit must be >= min_limit, got {self.max_limit!r}"
+            )
+        if self.initial is not None and not (
+            self.min_limit <= self.initial <= self.max_limit
+        ):
+            raise WorkloadError(
+                f"initial must be in [min_limit, max_limit], got {self.initial!r}"
+            )
+        if self.increase <= 0:
+            raise WorkloadError(f"increase must be > 0, got {self.increase!r}")
+        if not 0.0 < self.decrease < 1.0:
+            raise WorkloadError(f"decrease must be in (0, 1), got {self.decrease!r}")
+        if self.cooldown is not None and self.cooldown <= 0:
+            raise WorkloadError(f"cooldown must be > 0, got {self.cooldown!r}")
+
+    @property
+    def effective_cooldown(self) -> float:
+        """Decrease cooldown in seconds (defaults to ``target_latency``)."""
+        return self.cooldown if self.cooldown is not None else self.target_latency
+
+    @property
+    def effective_initial(self) -> int:
+        """Starting limit (defaults to ``min_limit``)."""
+        return self.initial if self.initial is not None else self.min_limit
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The full cross-tier resilience stance of one experiment run.
+
+    Each knob is independently optional; a knob left ``None`` leaves the
+    corresponding mechanism entirely uninstantiated (zero-impact).  An
+    all-``None`` policy is equivalent to no policy at all.
+    """
+
+    #: Per-logical-request deadline in seconds, stamped by clients and
+    #: propagated downstream (``None`` disables deadline checking).
+    deadline: Optional[float] = None
+    #: Population-wide retry budget (``None`` → per-request retry caps only).
+    retry_budget: Optional[RetryBudgetConfig] = None
+    #: Circuit breaker applied to every inter-tier connection pool.
+    breaker: Optional[BreakerConfig] = None
+    #: Adaptive admission control applied to the bottleneck-tier server.
+    admission: Optional[AdmissionConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise WorkloadError(f"deadline must be > 0, got {self.deadline!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one mechanism is configured."""
+        return (
+            self.deadline is not None
+            or self.retry_budget is not None
+            or self.breaker is not None
+            or self.admission is not None
+        )

@@ -32,6 +32,8 @@ from repro.cpu.scheduler import CPU, SimThread
 from repro.errors import ServerError
 from repro.net.messages import Request
 from repro.net.tcp import Connection
+from repro.resilience.admission import AdaptiveLimiter
+from repro.resilience.policy import AdmissionConfig
 from repro.sim.core import Environment
 
 __all__ = [
@@ -96,6 +98,10 @@ class ServerLimits:
     max_connections: Optional[int] = None
     #: Size in bytes of the rejection response written to shed requests.
     rejection_size: int = 128
+    #: Adaptive (AIMD) admission control: when set, the admission gate
+    #: uses a latency-discovered concurrency limit instead of the static
+    #: ``max_inflight`` (see :mod:`repro.resilience.admission`).
+    adaptive: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_inflight is not None and self.max_inflight < 1:
@@ -119,6 +125,7 @@ class ServerStats:
         "reclassifications",
         "requests_rejected",
         "requests_aborted",
+        "requests_expired",
         "connections_refused",
     )
 
@@ -134,6 +141,9 @@ class ServerStats:
         self.requests_rejected = 0
         #: Requests abandoned mid-service because their connection closed.
         self.requests_aborted = 0
+        #: Requests refused because their propagated deadline had already
+        #: passed on arrival (cheap rejection instead of doomed service).
+        self.requests_expired = 0
         #: Connections refused at attach (ServerLimits.max_connections).
         self.connections_refused = 0
 
@@ -163,6 +173,10 @@ class BaseServer:
         #: Optional :class:`~repro.metrics.tracing.RequestTracer`; when
         #: set, the server marks request-lifecycle milestones on it.
         self.tracer = None
+        #: AIMD limiter backing ``ServerLimits.adaptive`` (None otherwise);
+        #: created by the ``limits`` setter so post-construction assignment
+        #: (run_micro's pattern) arms it too.
+        self._limiter: Optional[AdaptiveLimiter] = None
         #: Optional :class:`ServerLimits`; ``None`` disables shedding.
         self.limits = limits
         #: Requests currently admitted into application service.
@@ -170,6 +184,24 @@ class BaseServer:
         #: Most recent request being served per connection, for abort
         #: accounting when a connection dies mid-request.
         self._active: Dict[Connection, Request] = {}
+
+    @property
+    def limits(self) -> Optional[ServerLimits]:
+        """Active :class:`ServerLimits` (``None`` disables shedding)."""
+        return self._limits
+
+    @limits.setter
+    def limits(self, value: Optional[ServerLimits]) -> None:
+        self._limits = value
+        if value is not None and value.adaptive is not None:
+            self._limiter = AdaptiveLimiter(self.env, value.adaptive)
+        else:
+            self._limiter = None
+
+    @property
+    def limiter(self) -> Optional[AdaptiveLimiter]:
+        """The adaptive admission limiter, when one is configured."""
+        return self._limiter
 
     def _trace(self, request: Request, milestone: str, detail: str = "") -> None:
         if self.tracer is not None:
@@ -242,16 +274,34 @@ class BaseServer:
     def _admit(self, request: Request) -> Optional[int]:
         """Load-shedding gate: ``None`` admits, else the rejection size.
 
-        With no limits configured this performs no metadata writes and no
-        counter updates, keeping the default path untouched.
+        Order matters: an *expired* deadline is refused first (even on an
+        otherwise unlimited server — the cheap-rejection contract of
+        deadline propagation), then the concurrency cap is enforced
+        (static ``max_inflight`` or the adaptive limiter's current
+        estimate).  With neither a deadline nor limits configured this
+        performs no metadata writes and no counter updates, keeping the
+        default path untouched.
         """
-        if self.limits is None or self.limits.max_inflight is None:
+        limits = self._limits
+        if request.deadline is not None and self.env.now >= request.deadline:
+            self.stats.requests_expired += 1
+            request.metadata["rejected"] = True
+            request.metadata["expired"] = True
+            self._trace(request, "expired")
+            return limits.rejection_size if limits is not None else 128
+        if limits is None:
             return None
-        if self._inflight >= self.limits.max_inflight:
+        if self._limiter is not None:
+            cap: Optional[int] = self._limiter.limit
+        else:
+            cap = limits.max_inflight
+        if cap is None:
+            return None
+        if self._inflight >= cap:
             self.stats.requests_rejected += 1
             request.metadata["rejected"] = True
             self._trace(request, "rejected")
-            return self.limits.rejection_size
+            return limits.rejection_size
         self._inflight += 1
         request.metadata["admitted"] = True
         return None
@@ -276,6 +326,8 @@ class BaseServer:
     def _finish(self, request: Request) -> None:
         if request.metadata.pop("admitted", None):
             self._inflight = max(0, self._inflight - 1)
+            if self._limiter is not None and request.service_started_at is not None:
+                self._limiter.on_complete(self.env.now - request.service_started_at)
         self.stats.requests_completed += 1
         self._trace(request, "response-written")
 
@@ -288,10 +340,13 @@ class BaseServer:
         """
         if request is None:
             return
-        if request.metadata.pop("admitted", None):
+        admitted = request.metadata.pop("admitted", None)
+        if admitted:
             self._inflight = max(0, self._inflight - 1)
         if request.completed_at is not None:
             return
+        if admitted and self._limiter is not None:
+            self._limiter.on_failure()
         self.stats.requests_aborted += 1
         request.metadata["aborted"] = True
         self._trace(request, "aborted")

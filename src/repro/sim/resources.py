@@ -187,6 +187,20 @@ class Store:
         """Remove the oldest item; the event succeeds with that item."""
         return StoreGet(self)
 
+    def cancel(self, event: StoreGet) -> bool:
+        """Withdraw a still-pending ``get`` claim.
+
+        Returns True when the claim was removed from the wait queue.  A
+        claim that already succeeded (the item is assigned to the event)
+        cannot be cancelled — the caller owns the item and must decide
+        what to do with it.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        return True
+
     # ------------------------------------------------------------------
     def _submit_put(self, event: StorePut) -> None:
         self._putters.append(event)

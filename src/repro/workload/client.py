@@ -174,6 +174,8 @@ class ClosedLoopClient:
         retry: Optional[RetryPolicy] = None,
         reconnect: Optional[Callable[[], Connection]] = None,
         faults=None,
+        budget=None,
+        deadline: Optional[float] = None,
     ):
         self.env = env
         self.connection = connection
@@ -187,6 +189,14 @@ class ClosedLoopClient:
         self.retry = retry
         self.reconnect = reconnect
         self.faults = faults
+        #: Shared :class:`repro.resilience.RetryBudget` (duck-typed): every
+        #: initial attempt deposits, every retry must win a token first.
+        self.budget = budget
+        #: Per-logical-request deadline in seconds; stamped on requests as
+        #: an absolute time and propagated by the tiers.
+        self.deadline = deadline
+        if deadline is not None and deadline <= 0:
+            raise WorkloadError(f"deadline must be > 0, got {deadline!r}")
         self.stats = ClientStats()
         self.process = env.process(self._run(), name=self.name)
 
@@ -195,7 +205,12 @@ class ClosedLoopClient:
             # Stagger client start-up so closed-loop populations do not
             # fire in lockstep (JMeter's ramp-up).
             yield self.env.timeout(self.initial_delay)
-        if self.retry is None and self.faults is None:
+        if (
+            self.retry is None
+            and self.faults is None
+            and self.budget is None
+            and self.deadline is None
+        ):
             yield from self._run_simple()
         else:
             yield from self._run_resilient()
@@ -243,13 +258,30 @@ class ClosedLoopClient:
         return not self.connection.closed
 
     def _clone_request(self, template: Request) -> Request:
-        """A fresh request identical in shape to ``template`` (per attempt)."""
+        """A fresh request identical in shape to ``template`` (per attempt).
+
+        Retries inherit the template's *absolute* deadline: the logical
+        request's time budget is shared across attempts, not reset.
+        """
         return Request(
             self.env,
             kind=template.kind,
             response_size=template.response_size,
             request_size=template.request_size,
+            deadline=template.deadline,
         )
+
+    def _may_retry(self, deadline_at: Optional[float]) -> bool:
+        """Budget/deadline gate consulted before every retry.
+
+        A passed deadline refuses for free; otherwise the shared retry
+        budget (when present) must grant a token.
+        """
+        if deadline_at is not None and self.env.now >= deadline_at:
+            return False
+        if self.budget is not None and not self.budget.try_spend():
+            return False
+        return True
 
     def _one_logical_request(self, template: Request, policy: RetryPolicy):
         """Drive one user-visible request through attempts and retries.
@@ -261,6 +293,12 @@ class ClosedLoopClient:
         abort_after: Optional[float] = None
         if self.faults is not None and self.faults.should_abort():
             abort_after = self.faults.abort_delay
+        deadline_at: Optional[float] = None
+        if self.deadline is not None:
+            deadline_at = self.env.now + self.deadline
+            template.deadline = deadline_at
+        if self.budget is not None:
+            self.budget.on_request()
         attempt = 0
         request = template
         while True:
@@ -275,6 +313,8 @@ class ClosedLoopClient:
                 deadline = policy.timeout
                 if abort_after is not None:
                     deadline = min(deadline, abort_after)
+                if deadline_at is not None:
+                    deadline = min(deadline, max(deadline_at - self.env.now, 0.0))
                 timer = self.env.timeout(deadline)
                 yield self.env.any_of([request.completed, self.connection.on_close, timer])
                 if request.completed.triggered:
@@ -291,7 +331,11 @@ class ClosedLoopClient:
                     self.stats.rejected += 1
                     if self.recorder is not None:
                         self.recorder.record(request)
-                    if not policy.retry_rejections or attempt > policy.max_retries:
+                    if (
+                        not policy.retry_rejections
+                        or attempt > policy.max_retries
+                        or not self._may_retry(deadline_at)
+                    ):
                         return True
                     self.stats.retries += 1
                     backoff = policy.backoff(attempt, self.rng)
@@ -311,7 +355,7 @@ class ClosedLoopClient:
                     if timer.triggered and not self.connection.closed:
                         self.stats.timeouts += 1
                     self.connection.close()
-            if attempt > policy.max_retries:
+            if attempt > policy.max_retries or not self._may_retry(deadline_at):
                 self.stats.failures += 1
                 if self.recorder is not None:
                     self.recorder.record_failure(request)

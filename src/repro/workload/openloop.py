@@ -49,6 +49,8 @@ class OpenLoopGenerator:
         name: str = "openloop",
         retry: Optional[RetryPolicy] = None,
         connect: Optional[Callable[[], Connection]] = None,
+        budget=None,
+        deadline: Optional[float] = None,
     ):
         if rate <= 0:
             raise WorkloadError(f"arrival rate must be > 0, got {rate!r}")
@@ -63,6 +65,14 @@ class OpenLoopGenerator:
         self.name = name
         self.retry = retry
         self.connect = connect
+        #: Shared :class:`repro.resilience.RetryBudget` (duck-typed); when
+        #: set, each retry must win a token or the request is abandoned.
+        self.budget = budget
+        if deadline is not None and deadline <= 0:
+            raise WorkloadError(f"deadline must be > 0, got {deadline!r}")
+        #: Per-request deadline in seconds, stamped as an absolute time on
+        #: every issued request (shared across its retries).
+        self.deadline = deadline
         #: Arrivals that found every connection busy.
         self.shed = 0
         #: Requests issued.
@@ -94,6 +104,10 @@ class OpenLoopGenerator:
                 self.shed += 1
                 continue
             request = self.mix.sample(self.env, self.rng)
+            if self.deadline is not None:
+                request.deadline = self.env.now + self.deadline
+            if self.budget is not None:
+                self.budget.on_request()
             self._busy.add(connection)
             self.issued += 1
             if self.retry is None:
@@ -129,7 +143,10 @@ class OpenLoopGenerator:
     def _supervise(self, connection: Connection, request: Request, attempt: int):
         """Watch one attempt; on timeout, replace the connection and retry."""
         policy = self.retry
-        timer = self.env.timeout(policy.timeout)
+        wait = policy.timeout
+        if request.deadline is not None:
+            wait = min(wait, max(request.deadline - self.env.now, 0.0))
+        timer = self.env.timeout(wait)
         yield self.env.any_of([request.completed, connection.on_close, timer])
         if request.completed.triggered:
             self._on_complete(connection, request)
@@ -139,7 +156,12 @@ class OpenLoopGenerator:
         connection.close()
         self._busy.discard(connection)
         self._replace(connection)
-        if attempt > policy.max_retries:
+        expired = request.deadline is not None and self.env.now >= request.deadline
+        if (
+            attempt > policy.max_retries
+            or expired
+            or (self.budget is not None and not self.budget.try_spend())
+        ):
             self.failed += 1
             if self.recorder is not None:
                 self.recorder.record_failure(request)
@@ -160,6 +182,7 @@ class OpenLoopGenerator:
             kind=request.kind,
             response_size=request.response_size,
             request_size=request.request_size,
+            deadline=request.deadline,
         )
         self._busy.add(fresh_conn)
         fresh_conn.send_request(fresh)

@@ -65,6 +65,8 @@ def build_population(
     ramp_up: float = 0.0,
     faults=None,
     retry: Optional[RetryPolicy] = None,
+    budget=None,
+    deadline: Optional[float] = None,
 ) -> Population:
     """Create ``size`` closed-loop clients against ``server``.
 
@@ -78,6 +80,11 @@ def build_population(
     :class:`~repro.workload.client.RetryPolicy`; either option also gives
     clients a reconnect factory so a reset connection is replaced (and
     re-attached) instead of silently ending the client.
+
+    ``budget`` (a shared :class:`repro.resilience.RetryBudget`) and
+    ``deadline`` (seconds per logical request) arm the cross-tier
+    resilience loop: retries must win a budget token, and every request
+    carries an absolute deadline that downstream tiers honour.
     """
     if size < 1:
         raise ValueError(f"population size must be >= 1, got {size!r}")
@@ -101,7 +108,12 @@ def build_population(
         connection = _connect(index)
         delay = (ramp_up * index / size) if ramp_up > 0 else 0.0
         reconnect = None
-        if faults is not None or retry is not None:
+        if (
+            faults is not None
+            or retry is not None
+            or budget is not None
+            or deadline is not None
+        ):
             reconnect = lambda i=index: _connect(i)
         client = ClosedLoopClient(
             env,
@@ -115,6 +127,8 @@ def build_population(
             retry=retry,
             reconnect=reconnect,
             faults=faults.for_client(index) if faults is not None else None,
+            budget=budget,
+            deadline=deadline,
         )
         clients.append(client)
         connections.append(connection)

@@ -45,6 +45,12 @@ def test_parser_all_markdown_flag():
     assert args.scale == 0.2
 
 
+def test_parser_metastable_sweep_flags():
+    args = build_parser().parse_args(["metastable", "--scale", "0.5", "--jobs", "4"])
+    assert args.scale == 0.5
+    assert args.jobs == "4"
+
+
 def test_parser_accepts_jobs():
     assert build_parser().parse_args(["run", "fig7", "--jobs", "4"]).jobs == "4"
     assert build_parser().parse_args(["all", "--jobs", "auto"]).jobs == "auto"

@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.faults import FaultInjector, FaultPlan
+from repro.net.messages import Request
 from repro.ntier.pool import ConnectionPool
 from repro.servers.threaded import ThreadedServer
+from repro.sim.rng import SeedStreams
 
 
 def make_pool(env, cpu, lan, calib, size=2):
@@ -88,3 +91,115 @@ def test_released_connections_recycle_fifo(env, cpu, lan, calib):
         env.process(worker(env, pool))
     env.run()
     assert seen[0] is seen[1] is seen[2]
+
+
+# ----------------------------------------------------------------------
+# Liveness on release (PR 4 bugfix): dead connections must not poison
+# the next borrower.
+# ----------------------------------------------------------------------
+def test_dead_connection_evicted_on_release(env, cpu, lan, calib):
+    pool = make_pool(env, cpu, lan, calib, size=1)
+    seen = []
+
+    def worker(env, pool):
+        conn = yield pool.acquire()
+        seen.append(conn)
+        conn.close()  # dies while checked out (reset, deadline abandon)
+        pool.release(conn)
+
+    def next_borrower(env, pool):
+        conn = yield pool.acquire()
+        seen.append(conn)
+        pool.release(conn)
+
+    env.process(worker(env, pool))
+    env.process(next_borrower(env, pool))
+    env.run()
+    assert pool.evictions == 1
+    assert seen[1] is not seen[0]  # replacement, not the corpse
+    assert not seen[1].closed
+    assert pool.idle == 1  # pool capacity preserved
+
+
+def test_fault_injected_reset_triggers_eviction(env, cpu, lan, calib):
+    """Regression: a FaultPlan reset used to leave a closed connection in
+    the pool; the next borrower then died on send_request."""
+    server = ThreadedServer(env, cpu)
+    pool = ConnectionPool(env, server, 1, lan, calib)
+    injector = FaultInjector(
+        env, FaultPlan(reset_after_requests=1), SeedStreams(1).fork("faults")
+    )
+    # Arm the pooled connection with the reset plan, as a chaos run would.
+    pool.connections[0].faults = injector.for_connection(0)
+    outcomes = []
+
+    def borrower(env, pool):
+        conn = yield pool.acquire()
+        request = Request(env, "q", 100)
+        conn.send_request(request)  # the arrival itself injects the reset
+        yield env.any_of([request.completed, conn.on_close])
+        outcomes.append("dead" if conn.closed else "ok")
+        pool.release(conn)
+
+    def second_borrower(env, pool):
+        conn = yield pool.acquire()
+        request = Request(env, "q", 100)
+        conn.send_request(request)  # must NOT raise ConnectionClosedError
+        yield request.completed
+        outcomes.append("served")
+        pool.release(conn)
+
+    env.process(borrower(env, pool))
+    env.process(second_borrower(env, pool))
+    env.run()
+    assert outcomes == ["dead", "served"]
+    assert pool.evictions == 1
+    assert injector.connection_resets == 1
+    # The replacement is attached to the downstream server.
+    assert pool.connections[0] in server.connections
+
+
+def test_acquire_within_grants_when_idle(env, cpu, lan, calib):
+    pool = make_pool(env, cpu, lan, calib, size=1)
+    got = []
+
+    def worker(env, pool):
+        conn = yield from pool.acquire_within(0.5)
+        got.append(conn)
+        pool.release(conn)
+
+    env.process(worker(env, pool))
+    env.run()
+    assert got[0] is not None
+    assert pool.idle == 1
+
+
+def test_acquire_within_times_out_and_withdraws_claim(env, cpu, lan, calib):
+    pool = make_pool(env, cpu, lan, calib, size=1)
+    results = []
+
+    def holder(env, pool):
+        conn = yield pool.acquire()
+        yield env.timeout(1.0)
+        pool.release(conn)
+
+    def impatient(env, pool):
+        conn = yield from pool.acquire_within(0.1)
+        results.append(("impatient", conn, env.now))
+
+    def patient(env, pool):
+        conn = yield pool.acquire()
+        results.append(("patient", conn, env.now))
+        pool.release(conn)
+
+    env.process(holder(env, pool))
+    env.process(impatient(env, pool))
+    env.process(patient(env, pool))
+    env.run()
+    # The impatient caller gave up; its withdrawn claim must NOT swallow
+    # the connection freed at t=1.0 — the patient caller gets it.
+    assert results[0] == ("impatient", None, 0.1)
+    assert results[1][0] == "patient"
+    assert results[1][1] is not None
+    assert results[1][2] == pytest.approx(1.0)
+    assert pool.idle == 1

@@ -1,0 +1,147 @@
+"""The AIMD admission limiter, standalone and wired into a server."""
+
+import pytest
+
+from repro.net.messages import Request
+from repro.resilience import AdaptiveLimiter, AdmissionConfig
+from repro.servers.base import ServerLimits
+from repro.servers.threaded import ThreadedServer
+
+CONFIG = AdmissionConfig(
+    target_latency=0.05, min_limit=4, max_limit=16,
+    increase=1.0, decrease=0.5, cooldown=0.1,
+)
+
+
+def advance(env, seconds):
+    """Move the simulation clock forward by ``seconds``."""
+    env.timeout(seconds)
+    env.run()
+
+
+def test_fast_completions_grow_the_limit(env):
+    limiter = AdaptiveLimiter(env, CONFIG)
+    assert limiter.limit == CONFIG.min_limit
+    for _ in range(200):
+        limiter.on_complete(0.01)
+    assert limiter.limit == CONFIG.max_limit  # clamped at the ceiling
+    assert limiter.increases > 0
+
+
+def test_growth_is_sublinear_in_the_limit(env):
+    # +increase/limit per completion: roughly one limit-sized batch of
+    # fast completions buys +1 of concurrency.
+    limiter = AdaptiveLimiter(env, CONFIG)
+    for _ in range(CONFIG.min_limit + 1):
+        limiter.on_complete(0.01)
+    assert limiter.limit == CONFIG.min_limit + 1
+    assert limiter.increases == CONFIG.min_limit + 1
+
+
+def test_latency_breach_shrinks_multiplicatively(env):
+    limiter = AdaptiveLimiter(env, AdmissionConfig(
+        target_latency=0.05, min_limit=2, max_limit=16, initial=16,
+        decrease=0.5, cooldown=0.1,
+    ))
+    limiter.on_complete(1.0)
+    assert limiter.limit == 8
+    assert limiter.decreases == 1
+
+
+def test_cooldown_rate_limits_decreases(env):
+    limiter = AdaptiveLimiter(env, AdmissionConfig(
+        target_latency=0.05, min_limit=2, max_limit=16, initial=16,
+        decrease=0.5, cooldown=0.1,
+    ))
+    limiter.on_complete(1.0)
+    limiter.on_complete(1.0)  # burst of queued latecomers, same instant
+    limiter.on_failure()
+    assert limiter.limit == 8  # only the first breach bit
+    advance(env, 0.2)
+    limiter.on_failure()
+    assert limiter.limit == 4  # cooldown elapsed: next decrease lands
+    assert limiter.decreases == 2
+
+
+def test_decrease_floors_at_min_limit(env):
+    limiter = AdaptiveLimiter(env, AdmissionConfig(
+        target_latency=0.05, min_limit=4, max_limit=16, initial=4,
+        decrease=0.5, cooldown=0.001,
+    ))
+    for _ in range(5):
+        advance(env, 0.01)
+        limiter.on_failure()
+    assert limiter.limit == 4
+
+
+def test_counters_snapshot_keys(env):
+    limiter = AdaptiveLimiter(env, CONFIG)
+    limiter.on_complete(0.01)
+    counters = limiter.counters()
+    assert set(counters) == {
+        "admission_limit", "admission_increases", "admission_decreases",
+    }
+
+
+# ----------------------------------------------------------------------
+# Wiring into BaseServer
+# ----------------------------------------------------------------------
+def test_server_limits_adaptive_builds_a_limiter(env, cpu):
+    server = ThreadedServer(env, cpu, limits=ServerLimits(adaptive=CONFIG))
+    assert server.limiter is not None
+    assert server.limiter.limit == CONFIG.min_limit
+    server.limits = None
+    assert server.limiter is None
+
+
+def test_static_limits_build_no_limiter(env, cpu):
+    server = ThreadedServer(env, cpu, limits=ServerLimits(max_inflight=8))
+    assert server.limiter is None
+
+
+def test_server_sheds_above_the_adaptive_limit(env, cpu, make_connection):
+    from tests.servers.test_shedding import SlowApplication
+
+    server = ThreadedServer(
+        env, cpu, app=SlowApplication(0.1),
+        limits=ServerLimits(adaptive=AdmissionConfig(
+            target_latency=0.01, min_limit=1, max_limit=1,
+        )),
+    )
+    conns = []
+    for _ in range(3):
+        conn = make_connection()
+        server.attach(conn)
+        conns.append(conn)
+        conn.send_request(Request(env, "x", 1000))
+    env.run(until=0.05)
+    assert server.stats.requests_rejected == 2  # only 1 slot discovered
+
+
+def test_expired_deadline_is_rejected_cheaply(env, cpu, make_connection):
+    from tests.servers.test_shedding import SlowApplication
+
+    # Full service would take 10s; the expired request must come back
+    # almost immediately, proving the application never ran.
+    server = ThreadedServer(env, cpu, app=SlowApplication(10.0))
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", 100_000, deadline=1e-9)
+    conn.send_request(request)
+    env.run(until=0.05)
+    assert server.stats.requests_expired == 1
+    assert request.completed.triggered
+    assert request.metadata.get("rejected")
+    assert request.metadata.get("expired")
+
+
+def test_deadline_in_the_future_is_served_normally(env, cpu, make_connection):
+    server = ThreadedServer(env, cpu)
+    conn = make_connection()
+    server.attach(conn)
+    request = Request(env, "x", 1000, deadline=10.0)
+    conn.send_request(request)
+    env.run(until=0.05)
+    assert request.completed.triggered
+    assert not request.metadata.get("rejected")
+    assert server.stats.requests_expired == 0

@@ -1,0 +1,106 @@
+"""The circuit breaker's closed → open → half-open state machine."""
+
+from repro.resilience import BreakerConfig, CircuitBreaker
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+CONFIG = BreakerConfig(
+    window=10, min_samples=4, failure_threshold=0.5,
+    open_duration=1.0, half_open_probes=2,
+)
+
+
+def advance(env, seconds):
+    """Move the simulation clock forward by ``seconds``."""
+    env.timeout(seconds)
+    env.run()
+
+
+def test_starts_closed_and_allows(env):
+    breaker = CircuitBreaker(env, CONFIG)
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+    assert breaker.fast_failures == 0
+
+
+def test_stays_closed_below_min_samples(env):
+    breaker = CircuitBreaker(env, CONFIG)
+    for _ in range(CONFIG.min_samples - 1):
+        breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_trips_at_failure_threshold(env):
+    breaker = CircuitBreaker(env, CONFIG)
+    for _ in range(CONFIG.min_samples):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.opens == 1
+    assert not breaker.allow()
+    assert breaker.fast_failures == 1
+
+
+def test_successes_dilute_failures_below_threshold(env):
+    breaker = CircuitBreaker(env, CONFIG)
+    for _ in range(6):
+        breaker.record_success()
+    for _ in range(4):
+        breaker.record_failure()
+    # 4 failures / 10 outcomes = 40% < 50% threshold.
+    assert breaker.state == CLOSED
+
+
+def _trip(env, breaker):
+    for _ in range(CONFIG.min_samples):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+
+
+def test_half_open_admits_bounded_probes(env):
+    breaker = CircuitBreaker(env, CONFIG)
+    _trip(env, breaker)
+    advance(env, CONFIG.open_duration)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()
+    assert breaker.allow()
+    assert not breaker.allow()  # probe quota (2) exhausted
+    assert breaker.fast_failures == 1
+
+
+def test_probe_successes_close_the_breaker(env):
+    breaker = CircuitBreaker(env, CONFIG)
+    _trip(env, breaker)
+    advance(env, CONFIG.open_duration)
+    for _ in range(CONFIG.half_open_probes):
+        assert breaker.allow()
+        breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.closes == 1
+    assert breaker.allow()
+
+
+def test_failed_probe_reopens_immediately(env):
+    breaker = CircuitBreaker(env, CONFIG)
+    _trip(env, breaker)
+    advance(env, CONFIG.open_duration)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.opens == 2
+    assert not breaker.allow()
+
+
+def test_failures_while_open_are_ignored(env):
+    breaker = CircuitBreaker(env, CONFIG)
+    _trip(env, breaker)
+    breaker.record_failure()  # the in-flight stragglers keep failing
+    assert breaker.opens == 1  # no double trip
+
+
+def test_counters_are_namespaced(env):
+    breaker = CircuitBreaker(env, CONFIG, name="apache-tomcat")
+    _trip(env, breaker)
+    assert not breaker.allow()
+    counters = breaker.counters()
+    assert counters["apache-tomcat_opens"] == 1.0
+    assert counters["apache-tomcat_fast_failures"] == 1.0
+    assert counters["apache-tomcat_closes"] == 0.0

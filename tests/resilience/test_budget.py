@@ -1,0 +1,54 @@
+"""The population-wide retry budget (token bucket)."""
+
+from repro.resilience import RetryBudget, RetryBudgetConfig
+
+
+def test_initial_tokens_allow_early_retries():
+    budget = RetryBudget(RetryBudgetConfig(ratio=0.1, cap=20.0, initial=2.0))
+    assert budget.try_spend()
+    assert budget.try_spend()
+    assert not budget.try_spend()  # bucket dry, nothing deposited yet
+    assert budget.granted == 2
+    assert budget.denied == 1
+
+
+def test_deposits_are_capped():
+    budget = RetryBudget(RetryBudgetConfig(ratio=0.5, cap=3.0, initial=3.0))
+    for _ in range(100):
+        budget.on_request()
+    assert budget.tokens == 3.0  # never exceeds the cap
+    assert budget.deposited == 50.0  # pre-cap accounting still exact
+
+
+def test_long_run_retry_volume_bounded_by_ratio():
+    config = RetryBudgetConfig(ratio=0.1, cap=20.0, initial=10.0)
+    budget = RetryBudget(config)
+    requests = 1000
+    for _ in range(requests):
+        budget.on_request()
+        budget.try_spend()  # a greedy client retries every single request
+    assert budget.granted <= config.ratio * requests + config.initial
+    assert budget.denied == requests - budget.granted
+
+
+def test_zero_ratio_grants_only_the_initial_tokens():
+    budget = RetryBudget(RetryBudgetConfig(ratio=0.0, cap=5.0, initial=2.0))
+    for _ in range(10):
+        budget.on_request()
+        budget.try_spend()
+    assert budget.granted == 2
+    assert budget.denied == 8
+
+
+def test_counters_snapshot_keys():
+    budget = RetryBudget(RetryBudgetConfig())
+    budget.on_request()
+    budget.try_spend()
+    counters = budget.counters()
+    assert set(counters) == {
+        "budget_deposited",
+        "budget_granted",
+        "budget_denied",
+        "budget_tokens",
+    }
+    assert counters["budget_granted"] == 1.0

@@ -1,0 +1,86 @@
+"""Validation and semantics of the resilience config dataclasses."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.resilience import (
+    AdmissionConfig,
+    BreakerConfig,
+    ResiliencePolicy,
+    RetryBudgetConfig,
+)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"ratio": -0.1},
+        {"ratio": 1.5},
+        {"cap": 0.0},
+        {"initial": -1.0},
+        {"initial": 30.0, "cap": 20.0},
+    ],
+)
+def test_budget_config_validation(kwargs):
+    with pytest.raises(WorkloadError):
+        RetryBudgetConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"window": 0},
+        {"min_samples": 0},
+        {"min_samples": 30, "window": 20},
+        {"failure_threshold": 0.0},
+        {"failure_threshold": 1.5},
+        {"open_duration": 0.0},
+        {"half_open_probes": 0},
+    ],
+)
+def test_breaker_config_validation(kwargs):
+    with pytest.raises(WorkloadError):
+        BreakerConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"target_latency": 0.0},
+        {"min_limit": 0},
+        {"max_limit": 2, "min_limit": 4},
+        {"initial": 2, "min_limit": 4},
+        {"initial": 2048, "max_limit": 1024},
+        {"increase": 0.0},
+        {"decrease": 0.0},
+        {"decrease": 1.0},
+        {"cooldown": 0.0},
+    ],
+)
+def test_admission_config_validation(kwargs):
+    with pytest.raises(WorkloadError):
+        AdmissionConfig(**kwargs)
+
+
+def test_admission_config_effective_defaults():
+    config = AdmissionConfig(target_latency=0.2, min_limit=8)
+    assert config.effective_cooldown == pytest.approx(0.2)
+    assert config.effective_initial == 8
+    tuned = AdmissionConfig(min_limit=4, initial=16, cooldown=1.5)
+    assert tuned.effective_cooldown == pytest.approx(1.5)
+    assert tuned.effective_initial == 16
+
+
+def test_policy_deadline_validation():
+    with pytest.raises(WorkloadError):
+        ResiliencePolicy(deadline=0.0)
+    with pytest.raises(WorkloadError):
+        ResiliencePolicy(deadline=-1.0)
+
+
+def test_policy_enabled_property():
+    assert not ResiliencePolicy().enabled
+    assert ResiliencePolicy(deadline=1.0).enabled
+    assert ResiliencePolicy(retry_budget=RetryBudgetConfig()).enabled
+    assert ResiliencePolicy(breaker=BreakerConfig()).enabled
+    assert ResiliencePolicy(admission=AdmissionConfig()).enabled

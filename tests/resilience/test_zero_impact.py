@@ -1,0 +1,97 @@
+"""Zero-impact-when-disabled and jobs-determinism guarantees.
+
+The resilience layer must be provably inert when no knob is set (every
+measurement bit-identical to a run that never imported it) and fully
+deterministic when enabled (bit-identical across ``--jobs`` fan-outs).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.micro import MicroConfig, run_micro
+from repro.experiments.parallel import SweepExecutor
+from repro.faults import FaultPlan, StallWindow
+from repro.ntier.topology import NTierConfig
+from repro.resilience import (
+    AdmissionConfig,
+    BreakerConfig,
+    ResiliencePolicy,
+    RetryBudgetConfig,
+)
+from repro.workload.client import RetryPolicy
+
+pytestmark = pytest.mark.resilience
+
+_MICRO = MicroConfig(
+    server="SingleT-Async",
+    concurrency=8,
+    response_size=10 * 1024,
+    duration=0.6,
+    warmup=0.2,
+)
+
+_POLICY = ResiliencePolicy(
+    deadline=0.5,
+    retry_budget=RetryBudgetConfig(ratio=0.1),
+    breaker=BreakerConfig(),
+    admission=AdmissionConfig(target_latency=0.05, min_limit=4, max_limit=64),
+)
+
+
+def test_disabled_policy_is_bit_identical_to_no_policy():
+    plain = run_micro(_MICRO)
+    disabled = run_micro(replace(_MICRO, resilience=ResiliencePolicy()))
+    assert plain.report == disabled.report
+    assert plain.server_stats == disabled.server_stats
+    assert plain.client_stats == disabled.client_stats
+    assert plain.kernel_events == disabled.kernel_events
+    assert disabled.resilience == {}
+
+
+def test_enabled_policy_populates_resilience_counters():
+    result = run_micro(replace(_MICRO, resilience=_POLICY))
+    assert result.report.completed > 0
+    assert "budget_granted" in result.resilience
+    assert "admission_limit" in result.resilience
+    assert result.resilience["admission_limit"] >= 4.0
+
+
+def test_enabled_policy_is_reproducible():
+    config = replace(_MICRO, resilience=_POLICY)
+    one = run_micro(config)
+    two = run_micro(config)
+    assert one.report == two.report
+    assert one.resilience == two.resilience
+    assert one.client_stats == two.client_stats
+
+
+def _ntier_config(seed: int) -> NTierConfig:
+    return NTierConfig(
+        tomcat_variant="async",
+        users=60,
+        think_mean=0.2,
+        duration=3.0,
+        warmup=1.0,
+        fault_plan=FaultPlan(server_stalls=(StallWindow(start=1.5, duration=0.3),)),
+        retry=RetryPolicy(timeout=0.2, max_retries=3, backoff_base=0.02),
+        resilience=ResiliencePolicy(
+            deadline=0.4,
+            retry_budget=RetryBudgetConfig(ratio=0.1),
+            breaker=BreakerConfig(min_samples=5, open_duration=0.2),
+            admission=AdmissionConfig(target_latency=0.1, min_limit=4),
+        ),
+        timeline_bucket=0.5,
+        seed=seed,
+    )
+
+
+def test_resilient_ntier_sweep_identical_for_any_job_count():
+    """Full resilience stack on: --jobs 1 and --jobs 4 must agree bit-for-bit
+    on every measurement, counter and fault trace."""
+    points = {seed: _ntier_config(seed) for seed in (1, 2, 3, 4)}
+    serial = SweepExecutor("resil-det", jobs=1, cache_dir=None).map_ntier(points)
+    fanned = SweepExecutor("resil-det", jobs=4, cache_dir=None).map_ntier(points)
+    assert serial == fanned  # frozen NTierResult: reports, stats, traces
+    assert any(r.client_stats["retries"] > 0 for r in serial.values())
+    assert any(r.resilience["budget_deposited"] > 0 for r in serial.values())

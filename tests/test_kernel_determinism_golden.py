@@ -32,6 +32,11 @@ import pytest
 from repro.experiments.micro import MicroConfig
 from repro.experiments.parallel import SweepExecutor
 from repro.faults import FaultPlan, StallWindow
+from repro.resilience import (
+    AdmissionConfig,
+    ResiliencePolicy,
+    RetryBudgetConfig,
+)
 from repro.workload.client import RetryPolicy
 
 #: One short-but-representative config per architecture.  100KB responses
@@ -70,6 +75,31 @@ _CONFIGS = {
         ),
         retry=RetryPolicy(timeout=0.05, max_retries=2, backoff_base=0.005),
     ),
+    # Resilience: the same chaos plan with the cross-tier stack switched on
+    # (deadline + retry budget + adaptive admission), pinning the budget
+    # gate, deadline truncation and AIMD limiter into the digest matrix.
+    "resilience": MicroConfig(
+        "SingleT-Async",
+        8,
+        duration=0.4,
+        warmup=0.1,
+        fault_plan=FaultPlan(
+            segment_loss_prob=0.05,
+            latency_spike_prob=0.10,
+            latency_spike=0.005,
+            reset_request_prob=0.01,
+            client_abort_prob=0.05,
+            client_abort_delay=0.010,
+            server_stalls=(StallWindow(start=0.10, duration=0.03),),
+            rto=0.050,
+        ),
+        retry=RetryPolicy(timeout=0.05, max_retries=2, backoff_base=0.005),
+        resilience=ResiliencePolicy(
+            deadline=0.2,
+            retry_budget=RetryBudgetConfig(ratio=0.2),
+            admission=AdmissionConfig(target_latency=0.05, min_limit=4),
+        ),
+    ),
 }
 
 #: Golden digests recorded against the pre-fast-path kernel (PR 3).
@@ -85,6 +115,7 @@ GOLDEN = {
     "Staged-SEDA": "fb4c096321641aa3",
     "N-copy": "7d80b417c5f575a8",
     "chaos": "023a9b66ebebebac",
+    "resilience": "426ba4a474da6b7d",
 }
 
 
@@ -95,6 +126,10 @@ def _digest_result(result) -> str:
         sorted(result.server_stats.items()),
         sorted(result.client_stats.items()),
     )
+    if result.resilience:
+        # Appended only when the resilience stack ran, so the digests of
+        # the pre-resilience configs stay byte-for-byte stable.
+        payload = payload + (sorted(result.resilience.items()),)
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
 
 

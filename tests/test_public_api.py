@@ -20,7 +20,7 @@ def test_subpackage_all_exports_resolve():
     for module_name in [
         "repro.sim", "repro.cpu", "repro.net", "repro.servers", "repro.core",
         "repro.workload", "repro.ntier", "repro.metrics", "repro.experiments",
-        "repro.realnet", "repro.faults",
+        "repro.realnet", "repro.faults", "repro.resilience",
     ]:
         module = importlib.import_module(module_name)
         assert module.__all__, module_name

@@ -5,8 +5,12 @@ import random
 import pytest
 
 from repro.errors import WorkloadError
+from repro.experiments.micro import MicroConfig
+from repro.experiments.parallel import SweepExecutor
+from repro.faults import FaultPlan
 from repro.metrics.collector import RunRecorder
 from repro.net.messages import Request
+from repro.resilience import RetryBudget, RetryBudgetConfig
 from repro.servers.base import ServerLimits
 from repro.servers.threaded import ThreadedServer
 from repro.workload.client import ClosedLoopClient, RetryPolicy
@@ -210,6 +214,87 @@ def test_fault_injected_aborts_close_and_reconnect(env, make_connection):
     assert client.stats.aborts >= 2
     assert client.stats.aborts == faults.aborts
     assert client.stats.reconnects >= 2
+
+
+def test_give_up_counted_exactly_once_per_abandoned_request(env, make_connection):
+    """Every abandoned logical request contributes exactly one failure —
+    whether it dies at the retry gate or on a failed reconnect — and the
+    attempt count brackets it: each failure burned at most 1+max_retries
+    attempts, plus at most one logical request still in flight at cutoff."""
+    recorder = RunRecorder(env, warmup=0.0)
+    client = ClosedLoopClient(
+        env, make_connection(), FixedMix(100), random.Random(0),
+        recorder=recorder, retry=FAST_RETRY, reconnect=lambda: make_connection(),
+    )
+    env.run(until=0.2)
+    stats = client.stats
+    assert stats.failures >= 3  # several logical requests fully abandoned
+    assert recorder.failed == stats.failures
+    per_request = 1 + FAST_RETRY.max_retries
+    assert stats.failures * per_request <= stats.attempts
+    assert stats.attempts <= (stats.failures + 1) * per_request
+    assert stats.failures * FAST_RETRY.max_retries <= stats.retries
+    assert stats.retries <= (stats.failures + 1) * FAST_RETRY.max_retries
+
+
+def test_jittered_backoff_identical_across_jobs():
+    """The jittered retry schedule is part of the deterministic contract:
+    a fault-injected micro sweep must be bit-identical under --jobs 1 and
+    --jobs 4."""
+    retry = RetryPolicy(timeout=0.05, max_retries=3, backoff_base=0.01,
+                        backoff_factor=2.0, jitter=0.5)
+    points = {
+        seed: MicroConfig(
+            server="SingleT-Async", concurrency=4, response_size=10 * 1024,
+            duration=0.6, warmup=0.2, seed=seed,
+            fault_plan=FaultPlan(reset_after_requests=3), retry=retry,
+        )
+        for seed in (1, 2, 3, 4)
+    }
+    serial = SweepExecutor("retry-det", jobs=1, cache_dir=None).map_micro(points)
+    fanned = SweepExecutor("retry-det", jobs=4, cache_dir=None).map_micro(points)
+    assert serial == fanned
+    assert any(r.client_stats["retries"] > 0 for r in serial.values())
+
+
+# ----------------------------------------------------------------------
+# Retry budget and deadline at the client
+# ----------------------------------------------------------------------
+def test_retry_budget_gates_client_retries(env, make_connection):
+    # ratio=0 with a single starting token: the population may retry
+    # exactly once, ever; every later timeout must give up immediately.
+    budget = RetryBudget(RetryBudgetConfig(ratio=0.0, cap=1.0, initial=1.0))
+    client = ClosedLoopClient(
+        env, make_connection(), FixedMix(100), random.Random(0),
+        retry=FAST_RETRY, reconnect=lambda: make_connection(), budget=budget,
+    )
+    env.run(until=0.2)
+    assert client.stats.retries == 1
+    assert budget.granted == 1
+    assert budget.denied >= 1
+    assert client.stats.failures >= 2  # the budget-starved requests give up
+
+
+def test_deadline_shorter_than_timeout_fails_without_spending_budget(
+    env, make_connection
+):
+    # The logical deadline (2 ms) undercuts the per-attempt timeout (10 ms):
+    # each request gets one truncated attempt, then the deadline gate
+    # refuses the retry for free — no budget token is ever consumed.
+    budget = RetryBudget(RetryBudgetConfig(ratio=0.5, cap=10.0, initial=5.0))
+    client = ClosedLoopClient(
+        env, make_connection(), FixedMix(100), random.Random(0),
+        retry=FAST_RETRY, reconnect=lambda: make_connection(),
+        budget=budget, deadline=0.002,
+    )
+    env.run(until=0.1)
+    assert client.stats.failures >= 3
+    # One attempt per logical request (+ at most one still in flight).
+    assert client.stats.failures <= client.stats.attempts
+    assert client.stats.attempts <= client.stats.failures + 1
+    assert client.stats.retries == 0
+    assert budget.granted == 0
+    assert budget.denied == 0  # refused by the deadline, not the bucket
 
 
 # ----------------------------------------------------------------------

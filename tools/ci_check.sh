@@ -5,8 +5,10 @@
 #                 sweeps fanned out over all cores (REPRO_JOBS=auto) and the
 #                 on-disk result cache enabled -- a warm .repro-cache/ makes
 #                 this tier cheap.
-#   chaos tier    the fault-injection sweeps (-m chaos): slower end-to-end
-#                 determinism checks across worker processes.
+#   chaos tier    the fault-injection sweeps plus the resilience-marked
+#                 tests (-m "chaos or resilience") and the metastable-
+#                 failure benchmark: slower end-to-end determinism and
+#                 recovery checks across worker processes.
 #   realnet tier  the loopback-socket tests (-m realnet) on their own, so
 #                 timing-sensitive socket work is not interleaved with the
 #                 CPU-heavy simulation tier.
@@ -39,7 +41,7 @@ echo "[ci_check] fast tier (REPRO_JOBS=$REPRO_JOBS, cache: ${REPRO_CACHE:-on})"
 run_tier fast -m "not realnet and not chaos" "$@"
 
 echo "[ci_check] chaos tier"
-run_tier chaos -m chaos "$@"
+run_tier chaos -m "chaos or resilience" tests benchmarks/test_bench_metastable.py "$@"
 
 echo "[ci_check] realnet tier"
 run_tier realnet -m realnet "$@"
