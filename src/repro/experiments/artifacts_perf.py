@@ -32,7 +32,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from repro.calibration import DEFAULT_CALIBRATION
+from repro.calibration import DEFAULT_CALIBRATION, default_calibration
 from repro.errors import ExperimentError
 from repro.net.link import Link
 from repro.net.tcp import Connection
@@ -43,6 +43,7 @@ __all__ = [
     "bench_kernel_events",
     "bench_timeout_churn",
     "bench_tcp_transfer",
+    "bench_tcp_spin",
     "bench_micro_wall",
     "run_perf_suite",
     "render_perf_suite",
@@ -61,6 +62,10 @@ RATE_METRICS = (
     "timeout_churn_per_sec",
     "tcp_sim_mbytes_per_sec",
     "micro_events_per_sec",
+    "tcp_spin_mbytes_per_sec",
+    "tcp_spin_rtt5_mbytes_per_sec",
+    "tcp_drain_mbytes_per_sec",
+    "tcp_drain_segment_events_per_sec",
 )
 
 
@@ -197,7 +202,112 @@ def bench_tcp_transfer(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]
 
 
 # ----------------------------------------------------------------------
-# 4. Full micro-benchmark wall time
+# 4. Table IV worst case: write-spin and flow-level drain
+# ----------------------------------------------------------------------
+def bench_tcp_spin(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]:
+    """The paper's Table IV worst case: 100 KB responses over a 16 KB buffer.
+
+    Two sub-patterns, both pure TCP-model workloads:
+
+    * **spin** — a non-blocking writer pushes 100 KB responses and parks on
+      ``wait_writable`` between drain rounds, at baseline LAN latency and
+      with 5 ms of injected one-way latency (the paper's ``tc`` worst
+      case).  Every per-ACK writer wake-up here is a counted ``write()``
+      call — the write-spin itself, Table IV's ~102-calls row — so the
+      flow-level fast path cannot legally batch the wake-ups; it cuts the
+      kernel *event count* ~3x but wall time stays near the segment-level
+      path.  ``write_calls`` per response is reported as a determinism
+      sanity (it is digest-pinned and identical on both paths).
+    * **drain** — buffer-sized responses written in one call and drained
+      to completion before the next: the shape where the fast path
+      collapses whole ACK trains into closed-form boundary events.  This
+      pattern runs with a 64 KB send buffer (a realistic Linux default;
+      the paper's 16 KB calibration stays on the spin pattern) so every
+      response drains a full multi-round ACK-clocked window — 45 chunks
+      per response instead of 12, which is the regime the flow-level
+      collapse targets rather than per-response fixed costs.
+      ``segment_events_per_sec`` is the flow-level speedup measure:
+      equivalent *segment-level* events (one delivery + one ACK event per
+      chunk plus two per response — exactly what the per-segment path
+      processes for this workload, derived from the digest-pinned ACK
+      counter) per wall-clock second, so the number is comparable
+      regardless of which path executed the run.
+    """
+    response_size = 100_000
+    spin_responses = max(1, int(150 * scale))
+
+    def spin_round(added_latency: float, responses: int) -> Callable[[], Dict[str, float]]:
+        def round_() -> Dict[str, float]:
+            env = Environment()
+            link = Link.lan(DEFAULT_CALIBRATION, added_latency=added_latency)
+            conn = Connection(env, link)
+
+            def writer(env: Environment):
+                for _ in range(responses):
+                    transfer = conn.open_transfer(response_size)
+                    remaining = response_size
+                    while remaining > 0:
+                        accepted = conn.try_write(remaining)
+                        remaining -= accepted
+                        if remaining > 0:
+                            yield conn.wait_writable()
+                    yield transfer.done
+
+            proc = env.process(writer(env))
+            started = time.perf_counter()
+            env.run(until=proc)
+            wall = time.perf_counter() - started
+            total = responses * response_size
+            return {
+                "wall_s": wall,
+                "mbytes_per_sec": total / 1e6 / wall if wall > 0 else 0.0,
+                "write_calls_per_response": conn.stats.write_calls / responses,
+            }
+
+        return round_
+
+    def drain_round() -> Dict[str, float]:
+        calibration = default_calibration(tcp_send_buffer=64 * 1024)
+        responses = max(1, int(1500 * scale))
+        size = calibration.tcp_send_buffer  # fits the buffer in one write
+        gap = 4.0 * (calibration.lan_one_way_latency
+                     + size / calibration.link_bandwidth)
+        env = Environment()
+        conn = Connection(env, Link.lan(calibration), calibration=calibration)
+
+        def writer(env: Environment):
+            for _ in range(responses):
+                transfer = conn.open_transfer(size)
+                conn.try_write(size)
+                yield transfer.done
+                yield env.timeout(gap)
+
+        proc = env.process(writer(env))
+        started = time.perf_counter()
+        env.run(until=proc)
+        wall = time.perf_counter() - started
+        equivalent = 2.0 * conn.stats.acks_received + 2.0 * responses
+        return {
+            "wall_s": wall,
+            "mbytes_per_sec": responses * size / 1e6 / wall if wall > 0 else 0.0,
+            "segment_events_per_sec": equivalent / wall if wall > 0 else 0.0,
+        }
+
+    spin0 = _best_of(spin_round(0.0, spin_responses), repeats)
+    spin5 = _best_of(spin_round(0.005, max(1, spin_responses // 3)), repeats)
+    drain = _best_of(drain_round, repeats)
+    return {
+        "wall_s": spin0["wall_s"] + spin5["wall_s"] + drain["wall_s"],
+        "spin_mbytes_per_sec": spin0["mbytes_per_sec"],
+        "spin_rtt5_mbytes_per_sec": spin5["mbytes_per_sec"],
+        "write_calls_per_response": spin0["write_calls_per_response"],
+        "drain_mbytes_per_sec": drain["mbytes_per_sec"],
+        "drain_segment_events_per_sec": drain["segment_events_per_sec"],
+    }
+
+
+# ----------------------------------------------------------------------
+# 5. Full micro-benchmark wall time
 # ----------------------------------------------------------------------
 def bench_micro_wall(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
     """End-to-end wall time of one representative micro-benchmark run.
@@ -243,10 +353,11 @@ def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
     kernel = bench_kernel_events(scale, repeats)
     churn = bench_timeout_churn(scale, repeats)
     tcp = bench_tcp_transfer(scale, repeats)
+    spin = bench_tcp_spin(scale, repeats)
     micro = bench_micro_wall(scale, max(1, repeats - 1))
     return {
         "suite": "repro-kernel-perf",
-        "version": 1,
+        "version": 2,
         "scale": scale,
         "host": {
             "python": sys.version.split()[0],
@@ -260,6 +371,11 @@ def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
             "timeout_churn_peak_heap": churn["peak_heap"],
             "tcp_sim_mbytes_per_sec": round(tcp["sim_mbytes_per_sec"], 2),
             "tcp_events_per_sec": round(tcp["events_per_sec"], 1),
+            "tcp_spin_mbytes_per_sec": round(spin["spin_mbytes_per_sec"], 2),
+            "tcp_spin_rtt5_mbytes_per_sec": round(spin["spin_rtt5_mbytes_per_sec"], 2),
+            "tcp_spin_write_calls": round(spin["write_calls_per_response"], 2),
+            "tcp_drain_mbytes_per_sec": round(spin["drain_mbytes_per_sec"], 2),
+            "tcp_drain_segment_events_per_sec": round(spin["drain_segment_events_per_sec"], 1),
             "micro_wall_s": round(micro["wall_s"], 4),
             "micro_events_per_sec": round(micro["events_per_sec"], 1),
             "micro_completed": micro["completed"],
@@ -309,11 +425,27 @@ def compare_to_baseline(
     the chosen ``--scale`` while rates are scale-free, so a reduced-scale
     smoke run can be compared against a full-scale committed baseline.
     Returns a list of human-readable failure strings (empty = pass).
+
+    A baseline whose gated-metric set differs from the current run's is
+    rejected with :class:`ExperimentError` rather than silently skipping
+    the missing metrics: a stale baseline would otherwise disable exactly
+    the gates a new benchmark was added to enforce.
     """
     if not 0.0 <= tolerance < 1.0:
         raise ExperimentError(f"tolerance must be in [0, 1), got {tolerance!r}")
     cur = current["results"]  # type: ignore[index]
     base = baseline["results"]  # type: ignore[index]
+    mismatched = sorted(
+        metric for metric in RATE_METRICS
+        if (metric in cur) != (metric in base)  # type: ignore[operator]
+    )
+    if mismatched:
+        raise ExperimentError(
+            "baseline and current runs disagree on gated perf metrics "
+            f"({', '.join(mismatched)}); the baseline predates a suite "
+            "change — regenerate it with `repro-bench perf --out "
+            f"{BENCH_FILENAME}` on this host instead of skipping the gate"
+        )
     failures = []
     for metric in RATE_METRICS:
         have = cur.get(metric)  # type: ignore[union-attr]

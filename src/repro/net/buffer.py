@@ -13,7 +13,7 @@ free space appears, which is what drives level-triggered writability in the
 
 from __future__ import annotations
 
-from typing import Callable, List, Union
+from typing import Callable, List, Optional, Union
 
 from repro.errors import BufferError_
 from repro.sim.core import Event
@@ -42,6 +42,10 @@ class SendBuffer:
         self._used = 0
         self._closed = False
         self._space_waiters: List[_Waiter] = []
+        #: Optional hook invoked whenever a waiter is actually *parked*
+        #: (not fired immediately).  The owning connection's fast path uses
+        #: it to schedule a wake-up tick at the next planned ACK time.
+        self.on_park: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -119,6 +123,8 @@ class SendBuffer:
             callback()
         else:
             self._space_waiters.append(callback)
+            if self.on_park is not None:
+                self.on_park()
 
     def add_space_event(self, event: Event) -> None:
         """Park ``event`` until free space appears (one-shot).
@@ -134,6 +140,8 @@ class SendBuffer:
             event.succeed()
         else:
             self._space_waiters.append(event)
+            if self.on_park is not None:
+                self.on_park()
 
     def _notify_space(self) -> None:
         waiters, self._space_waiters = self._space_waiters, []

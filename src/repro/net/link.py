@@ -51,6 +51,24 @@ class Link:
         """Time to clock ``nbytes`` onto the wire."""
         return nbytes / self.bandwidth
 
+    def chunk_schedule(self, now: float, wire_free_at: float, nbytes: int) -> "tuple[float, float]":
+        """Departure bookkeeping for one cwnd-limited chunk.
+
+        Returns ``(new_wire_free_at, delivery_delay)`` for a chunk handed
+        to the link at ``now`` when the wire is busy until ``wire_free_at``:
+        the chunk departs once the wire frees, serialises at line rate, and
+        lands one propagation delay later.  Both the segment-level pump and
+        the flow-level fast path in :mod:`repro.net.tcp` route their
+        delivery arithmetic through this one method so the two paths
+        compute timestamps with literally the same float expressions — the
+        bit-identical-digest contract depends on the operation order here,
+        so do not algebraically "simplify" it.
+        """
+        serialization = nbytes / self.bandwidth
+        depart = now if now > wire_free_at else wire_free_at
+        free_at = depart + serialization
+        return free_at, (depart - now) + serialization + self.one_way_latency
+
     def transfer_delay(self, nbytes: int) -> float:
         """One-way delivery time for a message of ``nbytes``."""
         return self.one_way_latency + self.serialization_delay(nbytes)

@@ -149,7 +149,9 @@ class Selector:
             )
         if interest & EVENT_WRITE and (connection, EVENT_WRITE) not in self._armed:
             self._armed.add((connection, EVENT_WRITE))
-            connection.buffer.add_space_waiter(
+            # Routed through the connection (not the raw buffer) so the
+            # flow-level fast path sees the park and arms a wake-up tick.
+            connection.add_writable_watcher(
                 lambda c=connection: self._watch_fired(c, EVENT_WRITE)
             )
 

@@ -21,11 +21,46 @@ for the write-spin problem (Section IV):
 Only byte *counts* travel through the model (payload content is irrelevant
 to performance), but every syscall, copy, segment and ACK is an explicit
 simulated event.
+
+Flow-level fast path
+--------------------
+The ACK-clocked drain is fully deterministic when no faults are armed and
+the buffer is not autotuning, so the per-segment event churn (one delivery
+timer plus one ACK timer per ack-granularity chunk — the dominant event
+source of every large-response sweep) can be collapsed into a *plan*: at
+each ``write()`` the connection computes the whole remaining drain in
+closed form — slow-start growth, per-round in-flight caps, wire
+serialization — and records the exact per-chunk send/delivery/ACK
+timestamps.  Only **boundary events** reach the scheduler:
+
+* one *completion* event per response at the exact delivery time of its
+  final byte (``_attribute_delivery`` → ``transfer.done`` /
+  ``Request.mark_completed``);
+* one *armed wake-up* per parked writer, pushed directly at the next ACK
+  time (``Environment.schedule_event_at``);
+* one pooled *tick* at the next ACK time while selector-style callback
+  watchers are parked;
+* one *settle* event at the current end of the plan, so the final ACK
+  frees the buffer even when nobody is watching.
+
+All other effects (byte attribution, cwnd growth, buffer release, stats
+counters) are applied lazily by ``_fp_advance`` whenever simulated state
+is observed.  Timestamps replicate the segment path's float arithmetic
+expression-for-expression, so every observable — ``TCPStats`` counters,
+report floats, event ordering — is bit-identical; the golden-digest matrix
+in ``tests/test_kernel_determinism_golden.py`` pins that contract.  The
+fast path self-disables per connection when faults are attached, when
+autotuning is on, when bytes are written with no open transfer to
+attribute them to (``_fp_materialize``), and at ``close()``; the
+``REPRO_TCP_FASTPATH=0`` environment kill-switch disables it globally for
+one-run bisection.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
+from heapq import heappush
 from typing import Callable, Deque, List, Optional
 
 from repro.calibration import Calibration, DEFAULT_CALIBRATION
@@ -34,14 +69,33 @@ from repro.errors import ConnectionClosedError
 from repro.net.buffer import SendBuffer
 from repro.net.link import Link
 from repro.net.messages import Request
-from repro.sim.core import Environment, Event, ReusableEvent
+from repro.sim.core import (
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Environment,
+    Event,
+    ReusableEvent,
+)
 
-__all__ = ["Connection", "ResponseTransfer", "TCPStats"]
+__all__ = ["Connection", "ResponseTransfer", "TCPStats", "fastpath_enabled"]
 
 #: Retransmission-timeout-ish idle threshold after which Linux (with
 #: tcp_slow_start_after_idle=1, the default) resets cwnd to the initial
 #: window.  200 ms matches the minimum RTO.
 IDLE_RESET_THRESHOLD = 0.200
+
+_INF = float("inf")
+
+
+def fastpath_enabled() -> bool:
+    """Global kill-switch for the flow-level fast path.
+
+    ``REPRO_TCP_FASTPATH=0`` forces every new connection onto the
+    per-segment path; results are bit-identical either way, so flipping
+    the switch bisects any future digest mismatch to this layer in one
+    run.  Read per connection so tests can monkeypatch the environment.
+    """
+    return os.environ.get("REPRO_TCP_FASTPATH", "1") != "0"
 
 
 class TCPStats:
@@ -121,7 +175,7 @@ class Connection:
         self.calibration = calibration
         self.autotune = autotune
         self.closed = False
-        self.stats = TCPStats()
+        self._stats = TCPStats()
         #: Optional per-connection fault hooks (duck-typed like
         #: :class:`repro.faults.ConnectionFaults`).  ``None`` — the default —
         #: keeps the data path entirely fault-free: no extra branches draw
@@ -162,6 +216,50 @@ class Connection:
         # succeed directly (blocked readers), woken in registration order.
         self._readable_watchers: List = []
 
+        # ---- Flow-level fast path (see module docstring) -------------
+        # Eligibility is static per connection: faults and autotuning
+        # perturb the drain in ways the closed form does not model, so
+        # those connections stay on the per-segment path from birth.
+        self._fp_active = faults is None and not autotune and fastpath_enabled()
+        # The drain plan: exact per-chunk (send, delivery, ACK) records,
+        # consumed from head indices by _fp_advance.  Entries before the
+        # head are applied; entries after it are the pending future.
+        self._fp_sends: List[tuple] = []  # (send_time, nbytes, wire_free_after)
+        self._fp_delivs: List[tuple] = []  # (delivery_time, nbytes)
+        self._fp_acks: List[tuple] = []  # (ack_time, nbytes)
+        self._fp_sends_i = 0
+        self._fp_delivs_i = 0
+        self._fp_acks_i = 0
+        # Global byte-stream offsets: bytes planned (== accepted writes)
+        # and bytes of declared response demand (sum of transfer totals).
+        # The fast path requires planned <= demand at all times — bytes
+        # written with no transfer to attribute them to have no knowable
+        # completion boundary, so _fp_materialize bails to real events.
+        self._fp_planned = 0
+        self._fp_demand = 0
+        # Response-completion bookkeeping: (end_offset, transfer) pairs
+        # not yet covered by planned bytes, and the scheduled completion
+        # events for covered ones.
+        self._fp_boundaries: Deque[tuple] = deque()
+        self._fp_done_evs: Deque[tuple] = deque()  # (end_offset, event, transfer)
+        # Boundary triggers: the settle event at the current end of the
+        # plan, the pooled tick arming callback watchers, the set of
+        # armed (pre-triggered, heap-scheduled) writer wake-ups, and the
+        # armed events re-delivered at close whose stale ACK-time heap
+        # entries must die as lazy tombstones.
+        self._fp_settle = None
+        self._fp_tick = None
+        self._fp_armed: set = set()
+        self._fp_closing: set = set()
+        self._fp_advancing = False
+        # Timestamp of the earliest pending plan entry (_INF when the plan
+        # is fully applied): lets _fp_advance — called on every observation
+        # of simulated state, usually with nothing to do — exit on a single
+        # float compare instead of probing three list heads.
+        self._fp_next = _INF
+        if self._fp_active:
+            self.buffer.on_park = self._fp_on_park
+
     # ------------------------------------------------------------------
     # Congestion window helpers
     # ------------------------------------------------------------------
@@ -169,8 +267,17 @@ class Connection:
         return self.calibration.initial_cwnd_segments * self.calibration.mss
 
     @property
+    def stats(self) -> TCPStats:
+        """Per-connection counters (current as of ``env.now``)."""
+        if self._fp_active:
+            self._fp_advance()
+        return self._stats
+
+    @property
     def cwnd(self) -> int:
         """Current congestion window in bytes."""
+        if self._fp_active:
+            self._fp_advance()
         return self._cwnd
 
     @property
@@ -183,7 +290,7 @@ class Connection:
         if now - self._last_activity > IDLE_RESET_THRESHOLD:
             # Linux tcp_slow_start_after_idle: restart from the initial window.
             self._cwnd = self._initial_cwnd_bytes()
-            self.stats.idle_resets += 1
+            self._stats.idle_resets += 1
             self._retune_buffer()
         self._last_activity = now
 
@@ -228,7 +335,7 @@ class Connection:
             self.close()
             return
         self.inbox.append(request)
-        self.stats.requests_received += 1
+        self._stats.requests_received += 1
         self._notify_readable()
 
     # ------------------------------------------------------------------
@@ -242,6 +349,8 @@ class Connection:
     @property
     def writable(self) -> bool:
         """True when the send buffer has free space."""
+        if self._fp_active:
+            self._fp_advance()
         return self.buffer.free > 0
 
     def read_request(self) -> Optional[Request]:
@@ -288,12 +397,18 @@ class Connection:
         transfer = ResponseTransfer(self.env, total, request)
         if total == 0:
             transfer.completed_at = self.env.now
-            self.stats.responses_completed += 1
+            self._stats.responses_completed += 1
             if request is not None:
                 request.mark_completed()
             transfer.done.succeed(transfer)
         else:
             self._transfers.append(transfer)
+            if self._fp_active:
+                # planned <= demand holds (enforced at every write), so a
+                # new transfer's completion offset is always beyond the
+                # current plan: queue it for coverage by future writes.
+                self._fp_demand += total
+                self._fp_boundaries.append((self._fp_demand, transfer))
         return transfer
 
     def try_write(self, nbytes: int, request: Optional[Request] = None) -> int:
@@ -304,19 +419,25 @@ class Connection:
         syscall cost (``thread.syscall(bytes_copied=returned)``).
         """
         self._check_open()
+        if self._fp_active:
+            self._fp_advance()
         self._record_send_activity()
         accepted = self.buffer.reserve(nbytes)
-        self.stats.write_calls += 1
+        stats = self._stats
+        stats.write_calls += 1
         if request is not None:
             request.write_calls += 1
         if accepted == 0:
-            self.stats.zero_writes += 1
+            stats.zero_writes += 1
             if request is not None:
                 request.zero_writes += 1
             return 0
-        self.stats.bytes_written += accepted
+        stats.bytes_written += accepted
         self._unsent += accepted
-        self._pump()
+        if self._fp_active:
+            self._fp_write_planned(accepted)
+        else:
+            self._pump()
         return accepted
 
     def blocking_write(self, thread: SimThread, nbytes: int, request: Optional[Request] = None):
@@ -327,14 +448,14 @@ class Connection:
         moves the remaining bytes in as ACKs free space.  No write-spin.
         """
         self._check_open()
-        self.stats.write_calls += 1
+        self._stats.write_calls += 1
         if request is not None:
             request.write_calls += 1
         # One kernel crossing up front; the per-byte copy cost is charged
         # chunk by chunk below, as the kernel moves data into the buffer
         # while earlier bytes are already draining onto the wire.
         yield thread.syscall(bytes_copied=0)
-        self.stats.bytes_written += nbytes
+        self._stats.bytes_written += nbytes
         copy_cost = self.calibration.copy_cost_per_byte
         remaining = nbytes
         # One re-armable gate for the whole write: a 1 MB response through
@@ -342,12 +463,17 @@ class Connection:
         # used to allocate a fresh Event plus a wake-up closure.
         gate: Optional[ReusableEvent] = None
         while remaining > 0:
+            if self._fp_active:
+                self._fp_advance()
             self._record_send_activity()
             accepted = self.buffer.reserve(remaining)
             if accepted > 0:
                 remaining -= accepted
                 self._unsent += accepted
-                self._pump()
+                if self._fp_active:
+                    self._fp_write_planned(accepted)
+                else:
+                    self._pump()
                 chunk_cost = copy_cost * accepted + self.calibration.tx_kernel_cost(accepted)
                 if chunk_cost > 0:
                     yield thread.run(chunk_cost, "system")
@@ -355,7 +481,7 @@ class Connection:
                 if not self.closed:
                     if gate is None:
                         gate = ReusableEvent(self.env)
-                    self.buffer.add_space_event(gate.rearm())
+                    self._park_space_event(gate.rearm())
                     yield gate
                 if self.closed:
                     # Peer went away mid-write; unwind into the caller.
@@ -374,8 +500,50 @@ class Connection:
         if self.closed:
             event.succeed()
         else:
-            self.buffer.add_space_event(event)
+            if self._fp_active:
+                self._fp_advance()
+            self._park_space_event(event)
         return event
+
+    def add_writable_watcher(self, callback: Callable[[], None]) -> None:
+        """One-shot callback when the send buffer has space (selector path).
+
+        Mirrors :meth:`SendBuffer.add_space_waiter` — fires immediately
+        when space is free or the connection is closed — but goes through
+        the connection so the fast path can bring buffer occupancy up to
+        date first and arm a wake-up tick for the park.
+        """
+        if self._fp_active:
+            self._fp_advance()
+        self.buffer.add_space_waiter(callback)
+
+    def _park_space_event(self, event: Event) -> None:
+        """Park ``event`` until buffer space appears.
+
+        On the fast path with ACKs still pending, the waiter itself is
+        pushed into the event heap at the next ACK's exact timestamp (an
+        *armed wake-up*: one heap entry replaces the slow path's ACK timer
+        plus wake event), with an advance callback prepended so the
+        release happens before the writer resumes.  Otherwise this is
+        plain buffer parking.
+        """
+        buffer = self.buffer
+        if self._fp_active:
+            # The caller may have slept (e.g. the per-chunk copy charge in
+            # blocking_write) since the last advance; apply any ACKs that
+            # landed meanwhile so the head pending ACK is in the future.
+            self._fp_advance()
+        if (
+            self._fp_active
+            and self._fp_acks_i < len(self._fp_acks)
+            and buffer.free <= 0
+            and not buffer.closed
+        ):
+            event = self.env.schedule_event_at(event, self._fp_acks[self._fp_acks_i][0])
+            event.callbacks.append(self._fp_wake_cb)
+            self._fp_armed.add(event)
+        else:
+            buffer.add_space_event(event)
 
     # ------------------------------------------------------------------
     # Kernel transmit path (segments out, ACKs back)
@@ -388,8 +556,7 @@ class Connection:
         if unsent <= 0 or in_flight >= cwnd:
             return
         ack_granularity = self._ack_granularity
-        bandwidth = self.link.bandwidth
-        latency = self.link.one_way_latency
+        chunk_schedule = self.link.chunk_schedule
         now = self.env._now
         faults = self.faults
         pooled_timeout = self.env.pooled_timeout
@@ -399,10 +566,7 @@ class Connection:
             chunk = min(ack_granularity, unsent, cwnd - in_flight)
             unsent -= chunk
             in_flight += chunk
-            serialization = chunk / bandwidth
-            depart = now if now > wire_free_at else wire_free_at
-            wire_free_at = depart + serialization
-            delivery_delay = (depart - now) + serialization + latency
+            wire_free_at, delivery_delay = chunk_schedule(now, wire_free_at, chunk)
             if faults is not None:
                 # Injected loss/corruption/latency spike: retransmissions
                 # only matter as extra delivery delay in this model.
@@ -422,7 +586,7 @@ class Connection:
     def _on_chunk_delivered(self, nbytes: int) -> None:
         if self.closed:
             return
-        self.stats.bytes_delivered += nbytes
+        self._stats.bytes_delivered += nbytes
         self._attribute_delivery(nbytes)
         if self.faults is not None and self.faults.on_bytes_delivered(nbytes):
             # Injected reset at a byte offset: the delivered bytes counted,
@@ -435,7 +599,7 @@ class Connection:
     def _on_ack(self, nbytes: int) -> None:
         if self.closed:
             return
-        self.stats.acks_received += 1
+        self._stats.acks_received += 1
         self._in_flight -= nbytes
         self._last_activity = self.env._now
         # Slow start: grow by one MSS per ACK, up to the cap.
@@ -457,10 +621,425 @@ class Connection:
             if take == remaining:
                 transfers.popleft()
                 head.completed_at = self.env._now
-                self.stats.responses_completed += 1
+                self._stats.responses_completed += 1
                 if head.request is not None:
                     head.request.mark_completed()
                 head.done.succeed(head)
+
+    # ------------------------------------------------------------------
+    # Flow-level fast path
+    # ------------------------------------------------------------------
+    def _fp_advance(self) -> None:
+        """Apply every planned effect with a timestamp <= ``env.now``.
+
+        Walks the send/delivery/ACK plan in merged time order — at equal
+        timestamps deliveries first, then the ACK, then the sends that
+        ACK's pump emitted, matching the slow path's callback order inside
+        one timestamp.  Re-entrant calls (a buffer release notifying a
+        selector watcher that reads ``writable``) are no-ops; the outer
+        walk finishes the job in the same order the slow path's discrete
+        events would have.
+        """
+        now = self.env._now
+        if now < self._fp_next or self._fp_advancing or self.closed:
+            return
+        delivs = self._fp_delivs
+        acks = self._fp_acks
+        sends = self._fp_sends
+        di = self._fp_delivs_i
+        ai = self._fp_acks_i
+        si = self._fp_sends_i
+        nd = len(delivs)
+        na = len(acks)
+        ns = len(sends)
+        self._fp_advancing = True
+        stats = self._stats
+        attribute = self._attribute_delivery
+        release = self.buffer.release
+        mss = self._mss
+        cwnd_max = self._cwnd_max
+        cwnd = self._cwnd
+        in_flight = self._in_flight
+        # Runs of consecutive same-kind entries batch into one effect
+        # application: a run of deliveries becomes one attribution, a run
+        # of ACKs one release.  Legal because nothing between two entries
+        # of a run consumes an event id — the first observable divergence
+        # point — so batching is indistinguishable from per-entry apply.
+        deliv_acc = 0
+        try:
+            while True:
+                t_d = delivs[di][0] if di < nd else _INF
+                t_a = acks[ai][0] if ai < na else _INF
+                t_s = sends[si][0] if si < ns else _INF
+                if t_d <= t_a and t_d <= t_s:
+                    if t_d > now:
+                        self._fp_next = t_d
+                        break
+                    while True:
+                        deliv_acc += delivs[di][1]
+                        di += 1
+                        if di >= nd:
+                            break
+                        t_d = delivs[di][0]
+                        if t_d > now or t_d > t_a or t_d > t_s:
+                            break
+                elif t_a <= t_s:
+                    if t_a > now:
+                        self._fp_next = t_a
+                        break
+                    if deliv_acc:
+                        stats.bytes_delivered += deliv_acc
+                        attribute(deliv_acc)
+                        deliv_acc = 0
+                    n = 0
+                    run = 0
+                    while True:
+                        entry = acks[ai]
+                        n += entry[1]
+                        last_a = entry[0]
+                        run += 1
+                        ai += 1
+                        if ai >= na:
+                            break
+                        t_a = acks[ai][0]
+                        if t_a > now or t_a >= t_d or t_a > t_s:
+                            break
+                    stats.acks_received += run
+                    in_flight -= n
+                    self._last_activity = last_a
+                    if cwnd < cwnd_max:
+                        grown = cwnd + mss * run
+                        cwnd = grown if grown < cwnd_max else cwnd_max
+                    # Waiters woken by the release observe connection state:
+                    # write the locals back before notifying.
+                    self._fp_delivs_i = di
+                    self._fp_acks_i = ai
+                    self._fp_sends_i = si
+                    self._cwnd = cwnd
+                    self._in_flight = in_flight
+                    release(n)
+                else:
+                    if t_s > now:
+                        self._fp_next = t_s
+                        break
+                    entry = sends[si]
+                    si += 1
+                    self._unsent -= entry[1]
+                    in_flight += entry[1]
+                    self._wire_free_at = entry[2]
+        finally:
+            if deliv_acc:
+                stats.bytes_delivered += deliv_acc
+                attribute(deliv_acc)
+            self._fp_delivs_i = di
+            self._fp_acks_i = ai
+            self._fp_sends_i = si
+            self._cwnd = cwnd
+            self._in_flight = in_flight
+            self._fp_advancing = False
+
+    def _fp_write_planned(self, accepted: int) -> None:
+        """Plan the drain of freshly accepted bytes (fast-path ``_pump``)."""
+        if self._fp_planned + accepted > self._fp_demand:
+            # Bytes with no open transfer to attribute them to: their
+            # completion boundaries are unknowable, so fall back to real
+            # per-segment events for this connection.
+            self._fp_materialize()
+            self._pump()
+            return
+        self._fp_extend()
+
+    def _fp_extend(self) -> None:
+        """Recompute the pending plan after ``_unsent`` grew.
+
+        Replicates ``_pump`` (and the ``_on_ack`` → ``_pump`` cascade at
+        every future ACK) arithmetic expression-for-expression so that the
+        planned timestamps equal the slow path's event times bit-for-bit.
+        """
+        env = self.env
+        now = env._now
+        sends = self._fp_sends
+        delivs = self._fp_delivs
+        acks = self._fp_acks
+        boundaries = self._fp_boundaries
+        done_evs = self._fp_done_evs
+        planned = self._fp_planned
+
+        # (1) Drop not-yet-applied future sends — a new write at `now`
+        # changes what the pump at each future ACK would have sent, so the
+        # mutable suffix (and its delivery/ACK/completion entries, which
+        # are the tails in chunk order) is recomputed from scratch.
+        si = self._fp_sends_i
+        k = len(sends) - si
+        if k:
+            for i in range(si, len(sends)):
+                planned -= sends[i][1]
+            del sends[si:]
+            del delivs[len(delivs) - k :]
+            del acks[len(acks) - k :]
+            while done_evs and done_evs[-1][0] > planned:
+                end, ev, transfer = done_evs.pop()
+                if ev.callbacks is not None:
+                    env._cancel(ev)
+                boundaries.appendleft((end, transfer))
+
+        next_end = boundaries[0][0] if boundaries else _INF
+        boundary_cb = self._fp_boundary_cb
+
+        # (2) Send immediately what cwnd allows — the slow path's _pump at
+        # `now`, with the delivery timer replaced by a plan entry.
+        unsent = self._unsent
+        in_flight = self._in_flight
+        cwnd = self._cwnd
+        gran = self._ack_granularity
+        latency = self.link.one_way_latency
+        chunk_schedule = self.link.chunk_schedule
+        wire_free_at = self._wire_free_at
+        while unsent > 0 and in_flight < cwnd:
+            chunk = min(gran, unsent, cwnd - in_flight)
+            unsent -= chunk
+            in_flight += chunk
+            wire_free_at, delivery_delay = chunk_schedule(now, wire_free_at, chunk)
+            d = now + delivery_delay
+            delivs.append((d, chunk))
+            acks.append((d + latency, chunk))
+            planned += chunk
+            if planned >= next_end:
+                while boundaries and boundaries[0][0] <= planned:
+                    end, transfer = boundaries.popleft()
+                    ev = env.schedule_at(d)
+                    ev.callbacks.append(boundary_cb)
+                    done_evs.append((end, ev, transfer))
+                next_end = boundaries[0][0] if boundaries else _INF
+        self._unsent = unsent
+        self._in_flight = in_flight
+        self._wire_free_at = wire_free_at
+
+        # (3) The cwnd-limited remainder: simulate the ACK-clocked future.
+        # Each pending ACK frees in-flight bytes and grows cwnd exactly as
+        # _on_ack would, then pumps at the ACK's timestamp.  Appended ACK
+        # entries extend the walk, so the whole remaining drain is planned.
+        if unsent > 0:
+            mss = self._mss
+            cwnd_max = self._cwnd_max
+            i = self._fp_acks_i
+            while unsent > 0:
+                a, ack_n = acks[i]
+                i += 1
+                in_flight -= ack_n
+                if cwnd < cwnd_max:
+                    grown = cwnd + mss
+                    cwnd = grown if grown < cwnd_max else cwnd_max
+                while unsent > 0 and in_flight < cwnd:
+                    chunk = min(gran, unsent, cwnd - in_flight)
+                    unsent -= chunk
+                    in_flight += chunk
+                    wire_free_at, delivery_delay = chunk_schedule(a, wire_free_at, chunk)
+                    d = a + delivery_delay
+                    sends.append((a, chunk, wire_free_at))
+                    delivs.append((d, chunk))
+                    acks.append((d + latency, chunk))
+                    planned += chunk
+                    if planned >= next_end:
+                        while boundaries and boundaries[0][0] <= planned:
+                            end, transfer = boundaries.popleft()
+                            ev = env.schedule_at(d)
+                            ev.callbacks.append(boundary_cb)
+                            done_evs.append((end, ev, transfer))
+                        next_end = boundaries[0][0] if boundaries else _INF
+        self._fp_planned = planned
+
+        # (4) Settle event at the end of the plan: applies the final ACK's
+        # release even when no writer or watcher is parked.  When it fires
+        # mid-drain (the plan grew since) it hops to the new end.  Pooled:
+        # the stored reference is nulled at every cancel/fire site before
+        # the object can be recycled, satisfying the pool contract.
+        if self._fp_settle is None and acks:
+            ev = env.pooled_schedule_at(acks[-1][0])
+            ev.callbacks.append(self._fp_settle_cb)
+            self._fp_settle = ev
+
+        # Refresh the earliest-pending-entry cache: the appends above may
+        # have put a new head in front of an exhausted (or later) one.
+        nxt = sends[self._fp_sends_i][0] if self._fp_sends_i < len(sends) else _INF
+        if self._fp_delivs_i < len(delivs):
+            t = delivs[self._fp_delivs_i][0]
+            if t < nxt:
+                nxt = t
+        if self._fp_acks_i < len(acks):
+            t = acks[self._fp_acks_i][0]
+            if t < nxt:
+                nxt = t
+        self._fp_next = nxt
+
+    def _fp_boundary_cb(self, event: Event) -> None:
+        """A response's final byte lands exactly now: apply and complete."""
+        if self.closed:
+            return
+        self._fp_advance()
+        done_evs = self._fp_done_evs
+        while done_evs and done_evs[0][1].callbacks is None:
+            done_evs.popleft()
+
+    def _fp_settle_cb(self, event: Event) -> None:
+        self._fp_settle = None
+        if self.closed:
+            return
+        self._fp_advance()
+        acks = self._fp_acks
+        if self._fp_acks_i < len(acks):
+            # The plan grew while we were queued: hop to the current end.
+            ev = self.env.pooled_schedule_at(acks[-1][0])
+            ev.callbacks.append(self._fp_settle_cb)
+            self._fp_settle = ev
+        else:
+            # Fully drained: reset the plan storage so a long-lived
+            # connection's memory stays flat across responses.
+            del self._fp_sends[:]
+            del self._fp_delivs[:]
+            del acks[:]
+            self._fp_sends_i = self._fp_delivs_i = self._fp_acks_i = 0
+
+    def _fp_tick_cb(self, event: Event) -> None:
+        self._fp_tick = None
+        self._fp_advance()
+
+    def _fp_wake_cb(self, event: Event) -> None:
+        closing = self._fp_closing
+        if closing and event in closing:
+            # Re-delivered at close time; the original heap entry at the
+            # ACK timestamp is now stale — mark it so the scheduler drops
+            # it as a lazy tombstone when it pops (or compacts away).
+            closing.discard(event)
+            event._cancelled = True
+            self.env._cancelled_entries += 1
+            return
+        self._fp_armed.discard(event)
+        self._fp_advance()
+
+    def _fp_on_park(self) -> None:
+        """Buffer parked a callback watcher: make sure a wake-up exists.
+
+        Armed writer wake-ups already advance (and therefore release and
+        notify) at the next ACK; otherwise a pooled tick is scheduled at
+        that exact timestamp.
+        """
+        if self._fp_tick is not None or self._fp_armed:
+            return
+        ai = self._fp_acks_i
+        acks = self._fp_acks
+        if ai < len(acks):
+            t = self.env.pooled_schedule_at(acks[ai][0])
+            t.callbacks.append(self._fp_tick_cb)
+            self._fp_tick = t
+
+    def _fp_materialize(self) -> None:
+        """Bail out: turn the pending plan into real per-segment events.
+
+        Engaged when the closed form stops being safe (bytes written with
+        no open transfer).  Pending deliveries become delivery timers at
+        their exact planned times; ACKs whose delivery already applied
+        become ACK timers.  Future sends are simply dropped — their bytes
+        are still in ``_unsent`` and the slow path's ``_on_ack`` → ``_pump``
+        cascade re-sends them at the same timestamps.  ACK timers use
+        urgent priority so a release always precedes any armed wake-up
+        left in the heap at the same timestamp (matching the slow path's
+        release-then-wake order); the armed wake-ups themselves fire as
+        harmless advances of an empty plan.
+        """
+        env = self.env
+        self._fp_active = False
+        self.buffer.on_park = None
+        if self._fp_tick is not None:
+            env._cancel(self._fp_tick)
+            self._fp_tick = None
+        if self._fp_settle is not None:
+            env._cancel(self._fp_settle)
+            self._fp_settle = None
+        done_evs = self._fp_done_evs
+        while done_evs:
+            _end, ev, _transfer = done_evs.popleft()
+            if ev.callbacks is not None:
+                env._cancel(ev)
+        self._fp_boundaries.clear()
+        sends = self._fp_sends
+        delivs = self._fp_delivs
+        acks = self._fp_acks
+        pending_delivs = len(delivs) - self._fp_delivs_i
+        pending_acks = len(acks) - self._fp_acks_i
+        # ACKs of already-delivered chunks (delivery applied, ACK not):
+        # the leading pending ACK entries.
+        for i in range(self._fp_acks_i, self._fp_acks_i + (pending_acks - pending_delivs)):
+            a, n = acks[i]
+            t = env.pooled_schedule_at(a, n, PRIORITY_URGENT)
+            t.callbacks.append(self._ack_cb)
+        # In-flight chunks (sent, not delivered): real delivery timers
+        # which re-schedule their own ACKs, like the slow path.
+        mat_cb = self._fp_mat_deliv_cb
+        for i in range(self._fp_delivs_i, len(delivs)):
+            d, n = delivs[i]
+            t = env.pooled_schedule_at(d, n)
+            t.callbacks.append(mat_cb)
+        del sends[:]
+        del delivs[:]
+        del acks[:]
+        self._fp_sends_i = self._fp_delivs_i = self._fp_acks_i = 0
+        self._fp_next = _INF
+
+    def _fp_mat_deliv_cb(self, event: Event) -> None:
+        """Materialized delivery: slow-path effects, urgent ACK timer."""
+        nbytes = event._value
+        if self.closed:
+            return
+        self._stats.bytes_delivered += nbytes
+        self._attribute_delivery(nbytes)
+        env = self.env
+        ack = env.pooled_schedule_at(
+            env._now + self.link.one_way_latency, nbytes, PRIORITY_URGENT
+        )
+        ack.callbacks.append(self._ack_cb)
+
+    def _fp_teardown(self) -> None:
+        """Cancel every scheduled fast-path event at ``close()``.
+
+        All pre-scheduled boundary events die through the kernel's lazy
+        tombstone mechanism (O(1) marks, dropped at pop or compaction).
+        Armed writer wake-ups are re-pushed at the current time so blocked
+        writers wake immediately — exactly when the slow path's
+        ``buffer.close()`` would have woken them — and their stale
+        ACK-time entries are tombstoned by ``_fp_wake_cb``.
+        """
+        env = self.env
+        self._fp_active = False
+        self.buffer.on_park = None
+        if self._fp_tick is not None:
+            env._cancel(self._fp_tick)
+            self._fp_tick = None
+        if self._fp_settle is not None:
+            env._cancel(self._fp_settle)
+            self._fp_settle = None
+        done_evs = self._fp_done_evs
+        while done_evs:
+            _end, ev, _transfer = done_evs.popleft()
+            if ev.callbacks is not None:
+                env._cancel(ev)
+        self._fp_boundaries.clear()
+        del self._fp_sends[:]
+        del self._fp_delivs[:]
+        del self._fp_acks[:]
+        self._fp_sends_i = self._fp_delivs_i = self._fp_acks_i = 0
+        self._fp_next = _INF
+        armed = self._fp_armed
+        if armed:
+            now = env._now
+            queue = env._queue
+            eid = env._eid
+            closing = self._fp_closing
+            for ev in armed:
+                if ev.callbacks is not None:
+                    closing.add(ev)
+                    heappush(queue, (now, PRIORITY_NORMAL, next(eid), ev))
+            armed.clear()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -474,6 +1053,12 @@ class Connection:
         """
         if self.closed:
             return
+        if self._fp_active:
+            # Apply everything the slow path would have processed by now,
+            # then drop the rest of the plan (post-close deliveries and
+            # ACKs are dropped by the slow path too).
+            self._fp_advance()
+            self._fp_teardown()
         self.closed = True
         self.inbox.clear()
         self._transfers.clear()

@@ -384,6 +384,13 @@ def naive_spin_write(
     The loop always retries after a successful partial write and only
     waits once it observes a zero return, so both the non-zero and the
     zero ("spin") writes of the paper's Table IV occur.
+
+    Under the flow-level TCP fast path the ``wait_writable`` park is
+    answered by an armed wake-up at the next *planned* ACK time instead
+    of a per-segment event cascade, but each wake-up still lands at every
+    ACK granularity: the spin count here is a digest-pinned observable
+    (it *is* Table IV), so the fast path may thin the kernel's event
+    stream beneath this loop, never the loop's own syscall pattern.
     """
     transfer = connection.open_transfer(response_size, request)
     remaining = response_size

@@ -109,7 +109,7 @@ class Event:
     time) with the event's value.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "_cancelled")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "_cancelled", "_fire_at")
 
     #: Class flag: instances are recycled through the environment's free
     #: list after processing (see :meth:`Environment.pooled_timeout`).
@@ -234,7 +234,7 @@ class ReusableEvent(Event):
 class Timeout(Event):
     """An event that triggers automatically ``delay`` time units from now."""
 
-    __slots__ = ("_delay", "_fire_at")
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -626,6 +626,97 @@ class Environment:
         t._fire_at = fire_at
         heappush(self._queue, (fire_at, PRIORITY_NORMAL, next(self._eid), t))
         return t
+
+    # ------------------------------------------------------------------
+    # Batch scheduling of pre-computed event trains
+    # ------------------------------------------------------------------
+    # The flow-level TCP fast path computes a whole ACK-clocked drain in
+    # closed form and then needs to schedule its boundary events at the
+    # *exact* timestamps the per-segment path would have produced.  A
+    # relative ``timeout(fire_at - now)`` cannot do that: float addition is
+    # not associative, so ``now + (fire_at - now)`` generally differs from
+    # ``fire_at`` in the last ulp — enough to reorder same-time events and
+    # break the golden digests.  These helpers take the absolute fire time.
+
+    def schedule_at(self, fire_at: float, value: Any = None) -> Timeout:
+        """A :class:`Timeout` that fires at the absolute time ``fire_at``.
+
+        Bit-exact counterpart of :meth:`timeout` for pre-computed event
+        trains: the heap key is ``fire_at`` itself, not ``now + delay``.
+        """
+        if fire_at < self._now:
+            raise ValueError(f"fire_at={fire_at!r} is in the past (now={self._now!r})")
+        t = Timeout.__new__(Timeout)
+        t.env = self
+        t.callbacks = []
+        t._value = value
+        t._ok = True
+        t.defused = False
+        t._cancelled = False
+        t._delay = fire_at - self._now
+        t._fire_at = fire_at
+        heappush(self._queue, (fire_at, PRIORITY_NORMAL, next(self._eid), t))
+        return t
+
+    def pooled_schedule_at(
+        self, fire_at: float, value: Any = None, priority: int = PRIORITY_NORMAL
+    ) -> Timeout:
+        """Pooled variant of :meth:`schedule_at`.
+
+        Same free-list recycling — and therefore the same safety contract —
+        as :meth:`pooled_timeout`.
+        """
+        if fire_at < self._now:
+            raise ValueError(f"fire_at={fire_at!r} is in the past (now={self._now!r})")
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t._value = value
+            t._ok = True
+            t.defused = False
+            if t.callbacks is None:
+                t.callbacks = []
+        else:
+            t = _PooledTimeout.__new__(_PooledTimeout)
+            t.env = self
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t.defused = False
+            t._cancelled = False
+        t._delay = fire_at - self._now
+        t._fire_at = fire_at
+        heappush(self._queue, (fire_at, priority, next(self._eid), t))
+        return t
+
+    def schedule_event_at(
+        self,
+        event: Event,
+        fire_at: float,
+        value: Any = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Pre-trigger ``event`` with ``value`` but deliver it at ``fire_at``.
+
+        The *armed wake-up* primitive: instead of a timer that fires and
+        then succeeds a waiter (two heap entries), the waiter itself is
+        pushed at its known future wake time.  The event reports
+        ``triggered`` immediately — callers that arm events this way own
+        them and must not inspect the trigger state in between.
+
+        ``event._fire_at`` is recorded so the tombstone-revival path in
+        :meth:`Process._resume` can reschedule an armed event exactly like
+        a compacted :class:`Timeout`.
+        """
+        if fire_at < self._now:
+            raise ValueError(f"fire_at={fire_at!r} is in the past (now={self._now!r})")
+        if event._value is not _PENDING:
+            raise EventLifecycleError(f"{event!r} has already been triggered")
+        event._ok = True
+        event._value = value
+        event._fire_at = fire_at
+        heappush(self._queue, (fire_at, priority, next(self._eid), event))
+        return event
 
     def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
         """Start a new process from ``generator`` and return it."""

@@ -30,6 +30,11 @@ import hashlib
 import pytest
 
 from repro.experiments.micro import MicroConfig
+
+#: The digest matrix doubles as the flow-level TCP fast path's equivalence
+#: contract: `REPRO_TCP_FASTPATH=0 pytest -m tcpfast` re-runs it on the
+#: per-segment path and must produce the same GOLDEN rows bit-for-bit.
+pytestmark = pytest.mark.tcpfast
 from repro.experiments.parallel import SweepExecutor
 from repro.faults import FaultPlan, StallWindow
 from repro.resilience import (

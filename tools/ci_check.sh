@@ -12,12 +12,22 @@
 #   realnet tier  the loopback-socket tests (-m realnet) on their own, so
 #                 timing-sensitive socket work is not interleaved with the
 #                 CPU-heavy simulation tier.
-#   perf-smoke    a reduced-scale run of the kernel perf suite gated
-#                 against the committed BENCH_core.json: fails when any
-#                 rate metric (events/sec and friends) regresses more than
-#                 30% below the tracked baseline.  Wall times are not
-#                 gated (they scale with --scale); rates are scale-free.
-#                 Skipped when BENCH_core.json is absent.
+#   perf-smoke    a reduced-scale run of the kernel perf suite — including
+#                 the tcp-spin benchmark (Table IV write-spin at 0/5 ms RTT
+#                 plus the flow-level drain pattern) — gated against the
+#                 committed BENCH_core.json: fails when any rate metric
+#                 (events/sec and friends) regresses more than 30% below
+#                 the tracked baseline, and fails hard when the baseline's
+#                 gated-metric set does not match the suite's (a stale
+#                 baseline must be regenerated, not silently skipped).
+#                 Wall times are not gated (they scale with --scale);
+#                 rates are scale-free.  Skipped when BENCH_core.json is
+#                 absent.
+#   tcpfast tier  the tcpfast-marked equivalence tests (including the
+#                 golden-digest matrix) re-run with REPRO_TCP_FASTPATH=0,
+#                 proving the per-segment TCP path still produces
+#                 bit-identical results so any digest mismatch can be
+#                 bisected to the flow-level fast path in one run.
 #
 # Usage: tools/ci_check.sh [extra pytest args for both tiers]
 
@@ -46,6 +56,14 @@ run_tier chaos -m "chaos or resilience" tests benchmarks/test_bench_metastable.p
 echo "[ci_check] realnet tier"
 run_tier realnet -m realnet "$@"
 
+echo "[ci_check] tcpfast tier (REPRO_TCP_FASTPATH=0 equivalence)"
+# Explicit export/unset: a VAR=x prefix on a *function* call would persist
+# into the perf-smoke tier below (bash quirk), disabling the fast path
+# during the very benchmark that gates its speedup.
+export REPRO_TCP_FASTPATH=0
+run_tier tcpfast -m tcpfast "$@"
+unset REPRO_TCP_FASTPATH
+
 perf_elapsed=0
 if [[ -f BENCH_core.json ]]; then
     echo "[ci_check] perf-smoke tier (vs BENCH_core.json, tolerance 30%)"
@@ -58,4 +76,4 @@ else
     echo "[ci_check] perf-smoke tier skipped (no BENCH_core.json)"
 fi
 
-echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + realnet ${realnet_elapsed}s + perf ${perf_elapsed}s"
+echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + realnet ${realnet_elapsed}s + tcpfast ${tcpfast_elapsed}s + perf ${perf_elapsed}s"
