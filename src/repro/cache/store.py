@@ -1,0 +1,83 @@
+"""One cache level: TTL + LRU keyed store driven by the sim clock.
+
+No wall clock and no RNG: expiry is evaluated lazily against the caller's
+``now`` (the simulation time), so the store itself schedules nothing and
+adds zero events to a run — all determinism lives in the callers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+__all__ = ["TtlLruStore", "MISS"]
+
+#: Sentinel distinguishing "no entry" from a cached falsy value.
+MISS = object()
+
+
+class TtlLruStore:
+    """Bounded key→value map with per-entry absolute expiry and LRU order.
+
+    ``get`` refreshes recency; ``put`` beyond ``capacity`` evicts the
+    least-recently-used entry.  Expired entries are dropped lazily on
+    access (there is no sweeper process), which is what makes a
+    mass-TTL-expiry event a synchronized *miss storm* rather than a
+    gradual decay.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        #: key -> (value, expires_at); insertion/access order is LRU order.
+        self._entries: "OrderedDict[Hashable, Tuple[Any, float]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0
+        self.evictions = 0
+
+    @property
+    def size(self) -> int:
+        """Entries currently stored (including not-yet-collected expired)."""
+        return len(self._entries)
+
+    def get(self, key: Hashable, now: float) -> Any:
+        """The live value for ``key`` at sim time ``now``, else :data:`MISS`."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return MISS
+        value, expires_at = entry
+        if now >= expires_at:
+            del self._entries[key]
+            self.expired += 1
+            self.misses += 1
+            return MISS
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any, expires_at: float) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = (value, expires_at)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key`` if present; True when an entry was removed."""
+        return self._entries.pop(key, None) is not None
+
+    def peek_expiry(self, key: Hashable) -> Optional[float]:
+        """The entry's expiry time without touching recency or counters."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"<TtlLruStore {len(self._entries)}/{self.capacity} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

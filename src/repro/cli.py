@@ -13,13 +13,16 @@ Commands
 ``repro-bench metastable [--scale 0.3] [--jobs 4]``
     Shortcut for ``run metastable``: the metastable-failure study
     (naive retries vs the cross-tier resilience stack).
+``repro-bench cache [--scale 0.3] [--jobs 4]``
+    Shortcut for ``run cache``: the cache-stampede study (duplicate
+    miss fetches vs single-flight request coalescing).
 ``repro-bench perf [--scale 0.3] [--out BENCH_core.json] [--check BENCH_core.json]``
     Run the kernel perf-benchmark suite (events/sec, timeout churn, TCP
     throughput, micro wall time); optionally write the tracked JSON or
     gate against a committed baseline.
 ``repro-bench calibration``
     Print the calibration constants in use.
-``repro-bench cache [--clear]``
+``repro-bench sweep-cache [--clear]``
     Show (or empty) the on-disk sweep-result cache.
 
 ``--jobs N`` fans each artifact's sweep points out over ``N`` worker
@@ -73,9 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible artifacts")
     sub.add_parser("calibration", help="print calibration constants")
 
-    cache = sub.add_parser("cache", help="show or clear the sweep-result cache")
-    cache.add_argument("--clear", action="store_true",
-                       help="delete every cached sweep point")
+    sweep_cache = sub.add_parser(
+        "sweep-cache", help="show or clear the sweep-result cache"
+    )
+    sweep_cache.add_argument("--clear", action="store_true",
+                             help="delete every cached sweep point")
 
     run = sub.add_parser("run", help="regenerate one artifact")
     run.add_argument("artifact", help="artifact id, e.g. fig7 or tab4")
@@ -88,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
         "metastable", help="run the metastable-failure resilience study"
     )
     _add_sweep_flags(metastable)
+
+    cache = sub.add_parser(
+        "cache", help="run the cache-stampede single-flight study"
+    )
+    _add_sweep_flags(cache)
 
     perf = sub.add_parser("perf", help="run the kernel perf-benchmark suite")
     perf.add_argument("--scale", type=float, default=1.0,
@@ -212,7 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list()
         if args.command == "calibration":
             return _cmd_calibration()
-        if args.command == "cache":
+        if args.command == "sweep-cache":
             return _cmd_cache(args.clear)
         if args.command == "run":
             return _cmd_run(args.artifact, args.scale, args.jobs)
@@ -220,6 +230,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run("chaos", args.scale, args.jobs)
         if args.command == "metastable":
             return _cmd_run("metastable", args.scale, args.jobs)
+        if args.command == "cache":
+            return _cmd_run("cache", args.scale, args.jobs)
         if args.command == "perf":
             return _cmd_perf(args.scale, args.repeats, args.out,
                              args.check, args.tolerance)

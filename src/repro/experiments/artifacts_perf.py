@@ -4,7 +4,8 @@ Unlike every other artifact in :mod:`repro.experiments` — which reproduces a
 *claim of the paper* — this suite measures the reproduction's **own speed**:
 how many simulated events per wall-clock second the DES kernel sustains, how
 fast abandoned timeouts churn through the heap, how quickly the TCP model
-pushes bytes, and how long a representative micro-benchmark takes end to
+pushes bytes, how many queries/sec the cache tier's lookup machinery
+sustains, and how long a representative micro-benchmark takes end to
 end.  Simulator events/sec is the hard ceiling on how large a workload mix,
 population or latency sweep the reproduction can afford, so the numbers are
 tracked per commit in ``BENCH_core.json`` and gated by the ``perf-smoke``
@@ -27,11 +28,14 @@ from __future__ import annotations
 import json
 import math
 import platform
+import random
 import sys
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.cache.config import CacheConfig
+from repro.cache.tier import CacheTier
 from repro.calibration import DEFAULT_CALIBRATION, default_calibration
 from repro.errors import ExperimentError
 from repro.net.link import Link
@@ -44,6 +48,7 @@ __all__ = [
     "bench_timeout_churn",
     "bench_tcp_transfer",
     "bench_tcp_spin",
+    "bench_cache_tier",
     "bench_micro_wall",
     "run_perf_suite",
     "render_perf_suite",
@@ -66,6 +71,7 @@ RATE_METRICS = (
     "tcp_spin_rtt5_mbytes_per_sec",
     "tcp_drain_mbytes_per_sec",
     "tcp_drain_segment_events_per_sec",
+    "cache_ops_per_sec",
 )
 
 
@@ -307,7 +313,77 @@ def bench_tcp_spin(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]:
 
 
 # ----------------------------------------------------------------------
-# 5. Full micro-benchmark wall time
+# 5. Cache-tier lookup machinery
+# ----------------------------------------------------------------------
+def bench_cache_tier(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]:
+    """Queries/sec through the cache tier's lookup/fill state machine.
+
+    64 worker processes hammer one two-level :class:`CacheTier` (L1+L2,
+    short TTLs so entries churn through expiry and refill, 10% writes,
+    single-flight on) with a stub thread and a stub database fetch, so
+    the measurement isolates the tier's own cost — key draws, store
+    bookkeeping, flight election/coalescing — from the servlet and TCP
+    layers it normally sits between.  The reported ``hit_ratio`` is a
+    determinism sanity: it is a pure function of the fixed seed and
+    iteration count, identical on every host.
+    """
+    queries = max(1, int(40_000 * scale))
+    workers = 64
+
+    def round_() -> Dict[str, float]:
+        env = Environment()
+        config = CacheConfig(
+            policy="cache_aside",
+            ttl=0.02,
+            capacity=256,
+            l2_capacity=1024,
+            l2_ttl=0.05,
+            write_ratio=0.1,
+            keys_per_class=64,
+        )
+        tier = CacheTier(env, config, random.Random(1234), DEFAULT_CALIBRATION)
+
+        class _StubThread:
+            """Duck-typed WorkerThread: CPU and syscall become plain delays."""
+
+            @staticmethod
+            def run(cpu: float):
+                return env.timeout(cpu)
+
+            @staticmethod
+            def syscall(bytes_copied: int = 0, extra_kernel: float = 0.0):
+                return env.timeout(extra_kernel)
+
+        thread = _StubThread()
+
+        def fetch():
+            yield env.timeout(0.002)  # stand-in database round trip
+            return "ok"
+
+        def worker(env: Environment, n: int):
+            for index in range(n):
+                yield from tier.query(
+                    thread, ("Bench", index % 4), 4096, None, fetch
+                )
+
+        per_worker = queries // workers
+        for _ in range(workers):
+            env.process(worker(env, per_worker))
+        started = time.perf_counter()
+        env.run()
+        wall = time.perf_counter() - started
+        done = workers * per_worker
+        return {
+            "wall_s": wall,
+            "ops_per_sec": done / wall if wall > 0 else 0.0,
+            "hit_ratio": tier.hit_ratio(),
+        }
+
+    return _best_of(round_, repeats)
+
+
+# ----------------------------------------------------------------------
+# 6. Full micro-benchmark wall time
 # ----------------------------------------------------------------------
 def bench_micro_wall(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
     """End-to-end wall time of one representative micro-benchmark run.
@@ -354,10 +430,11 @@ def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
     churn = bench_timeout_churn(scale, repeats)
     tcp = bench_tcp_transfer(scale, repeats)
     spin = bench_tcp_spin(scale, repeats)
+    cache = bench_cache_tier(scale, repeats)
     micro = bench_micro_wall(scale, max(1, repeats - 1))
     return {
         "suite": "repro-kernel-perf",
-        "version": 2,
+        "version": 3,
         "scale": scale,
         "host": {
             "python": sys.version.split()[0],
@@ -376,6 +453,9 @@ def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
             "tcp_spin_write_calls": round(spin["write_calls_per_response"], 2),
             "tcp_drain_mbytes_per_sec": round(spin["drain_mbytes_per_sec"], 2),
             "tcp_drain_segment_events_per_sec": round(spin["drain_segment_events_per_sec"], 1),
+            "cache_ops_per_sec": round(cache["ops_per_sec"], 1),
+            "cache_wall_s": round(cache["wall_s"], 4),
+            "cache_hit_ratio": round(cache["hit_ratio"], 4),
             "micro_wall_s": round(micro["wall_s"], 4),
             "micro_events_per_sec": round(micro["events_per_sec"], 1),
             "micro_completed": micro["completed"],

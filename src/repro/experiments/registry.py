@@ -30,6 +30,7 @@ from repro.experiments.artifacts_micro import (
     tab3_cpu_split,
     tab4_write_spin,
 )
+from repro.experiments.artifacts_cache import cache_stampedes
 from repro.experiments.artifacts_chaos import chaos_resilience
 from repro.experiments.artifacts_metastable import metastable_failure
 from repro.experiments.artifacts_extensions import (
@@ -83,6 +84,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("ablE", "Ablation: N-copy multi-core scaling", ablation_ncopy_scaling),
         ExperimentSpec("chaos", "Chaos resilience under fault injection", chaos_resilience, "minutes"),
         ExperimentSpec("metastable", "Metastable failure: naive retries vs resilience stack", metastable_failure, "minutes"),
+        ExperimentSpec("cache", "Cache stampedes: duplicate fetches vs single-flight", cache_stampedes, "minutes"),
     ]
 }
 

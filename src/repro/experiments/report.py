@@ -16,6 +16,8 @@ __all__ = [
 
 
 def _cell(value: object) -> str:
+    if value is None:  # not-applicable cell (e.g. coalesced w/o flight)
+        return "-"
     if isinstance(value, float):
         if value != value:  # NaN
             return "-"

@@ -25,13 +25,16 @@ without a breaker take exactly the historical event sequence.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 from repro.errors import ConnectionClosedError
 from repro.net.messages import Request
 from repro.ntier.pool import ConnectionPool
 from repro.servers.base import Application, BaseServer
 from repro.workload.rubbos import Interaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a hard import)
+    from repro.cache.tier import CacheTier
 
 __all__ = ["ProxyApplication", "ServletApplication", "QueryApplication"]
 
@@ -172,13 +175,25 @@ class ProxyApplication(Application):
 
 
 class ServletApplication(Application):
-    """Tomcat servlet work for RUBBoS interactions (with DB queries)."""
+    """Tomcat servlet work for RUBBoS interactions (with DB queries).
 
-    def __init__(self, pool: Optional[ConnectionPool], per_row_cpu: float = 15.0e-6):
+    With a :class:`~repro.cache.tier.CacheTier` attached, every query
+    first consults the cache; only misses (and writes) reach the pooled
+    database exchange.  Without one the historical event sequence is
+    taken untouched.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[ConnectionPool],
+        per_row_cpu: float = 15.0e-6,
+        cache: "Optional[CacheTier]" = None,
+    ):
         if per_row_cpu < 0:
             raise ValueError("per_row_cpu must be >= 0")
         self.pool = pool
         self.per_row_cpu = per_row_cpu
+        self.cache = cache
 
     def service(self, server: BaseServer, thread, request: Request):
         calib = server.calibration
@@ -190,6 +205,10 @@ class ServletApplication(Application):
             return request.response_size
 
         yield thread.run(interaction.app_cpu)
+        if self.pool is not None and self.cache is not None:
+            return (
+                yield from self._service_cached(server, thread, request, interaction)
+            )
         if self.pool is not None:
             deadline = request.deadline
             breaker = self.pool.breaker
@@ -227,6 +246,72 @@ class ServletApplication(Application):
                 # Result-set processing (row mapping, templating).
                 yield thread.run(self.per_row_cpu)
         return interaction.response_size
+
+    def _service_cached(self, server: BaseServer, thread, request: Request,
+                        interaction: Interaction):
+        """The query loop with the cache tier between Tomcat and MySQL."""
+        env = server.env
+        deadline = request.deadline
+        for index, (result_size, db_cpu) in enumerate(interaction.queries):
+            if deadline is not None and env.now >= deadline:
+                return _reject(request, expired=True)
+            status = yield from self.cache.query(
+                thread,
+                (interaction.name, index),
+                result_size,
+                deadline,
+                self._db_fetch(server, thread, interaction, result_size,
+                               db_cpu, deadline),
+            )
+            if status != "ok":
+                return _reject(request, expired=(status == "expired"))
+            # Result-set processing (row mapping, templating).
+            yield thread.run(self.per_row_cpu)
+        return interaction.response_size
+
+    def _db_fetch(self, server: BaseServer, thread, interaction: Interaction,
+                  result_size: int, db_cpu: float, deadline: Optional[float]):
+        """One database round trip as the cache tier's backing fetch.
+
+        Returns a generator *function* (the tier decides whether to run
+        it — a coalesced follower never does).  Folds the breaker gate
+        and outcome accounting of the uncached path into the unified
+        status vocabulary the tier propagates: ``"ok"``, ``"expired"``
+        (busy/timeout/downstream-expired) or ``"rejected"``.
+        """
+        env = server.env
+
+        def make_query() -> Request:
+            query = Request(
+                env,
+                kind=f"{interaction.name}.sql",
+                response_size=result_size,
+                request_size=256,
+                deadline=deadline,
+            )
+            query.metadata["db_cpu"] = db_cpu
+            return query
+
+        def fetch():
+            breaker = self.pool.breaker
+            if breaker is not None and not breaker.allow():
+                return "rejected"
+            status, query = yield from _pooled_exchange(
+                self.pool, server, thread, make_query, deadline
+            )
+            if status == "ok":
+                if breaker is not None:
+                    breaker.record_success()
+                return "ok"
+            if breaker is not None:
+                breaker.record_failure()
+            if status in ("busy", "timeout") or (
+                query is not None and bool(query.metadata.get("expired"))
+            ):
+                return "expired"
+            return "rejected"
+
+        return fetch
 
 
 class QueryApplication(Application):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
+from repro.errors import SimulationError
 from repro.net.tcp import Connection
 from repro.resilience.breaker import CircuitBreaker
 from repro.servers.base import BaseServer
@@ -102,7 +103,20 @@ class ConnectionPool:
         if get.triggered:
             # Granted (possibly in the same tick the timer fired): take it.
             return get.value
-        self._idle.cancel(get)
+        if not self._idle.cancel(get):
+            # The grant raced the deadline tick: per Store.cancel, a claim
+            # whose item was already assigned cannot be withdrawn — the
+            # connection is ours now, so hand it straight back instead of
+            # leaking it (and undercounting in_use forever).
+            pending = get.callbacks
+            if pending is not None and self._on_acquired in pending:
+                # The grant has not been processed yet: drop our checkout
+                # accounting hook and return the connection directly, so
+                # it was never observed as in use.
+                pending.remove(self._on_acquired)
+                self._idle.put(get.value)
+            else:
+                self.release(get.value)
         return None
 
     def _on_acquired(self, _event) -> None:
@@ -114,7 +128,17 @@ class ConnectionPool:
 
         A connection that died while checked out (fault-injected reset,
         deadline-triggered close) is evicted and replaced with a fresh
-        one instead of being handed to the next borrower.
+        one instead of being handed to the next borrower, keeping the
+        pool at exactly ``size`` connections — the invariant that bounds
+        the downstream tier's concurrency.
+
+        The eviction deliberately records **no** outcome on the attached
+        circuit breaker: a connection only dies checked-out as the tail
+        end of a non-``"ok"`` pooled exchange, and the exchange's caller
+        already reports that same incident via ``breaker.record_failure``
+        — recording here too would double-count one sickness signal and
+        shift every breaker state transition (verified against the
+        golden-digest matrix, which pins breaker counters).
         """
         self._in_use -= 1
         if connection.closed:
@@ -122,12 +146,14 @@ class ConnectionPool:
             try:
                 slot = self.connections.index(connection)
             except ValueError:
-                slot = -1
+                # Appending a replacement here would silently grow the
+                # pool past its fixed size; a foreign (or double-released)
+                # connection is a caller bug, so fail loudly instead.
+                raise SimulationError(
+                    "released a connection this pool does not own"
+                ) from None
             replacement = self._fresh()
-            if slot >= 0:
-                self.connections[slot] = replacement
-            else:
-                self.connections.append(replacement)
+            self.connections[slot] = replacement
             self._idle.put(replacement)
             return
         self._idle.put(connection)

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.cache import CacheConfig, CacheTier, cache_tier_enabled
 from repro.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cpu.scheduler import CPU
 from repro.errors import ExperimentError
@@ -29,6 +30,7 @@ from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
 from repro.sim.core import Environment
 from repro.sim.rng import SeedStreams
 from repro.workload.client import ClientStats, ExponentialThink, RetryPolicy
+from repro.workload.mixes import RequestMix
 from repro.workload.population import build_population
 from repro.workload.rubbos import RubbosMix
 
@@ -64,6 +66,11 @@ class NTierConfig:
     resilience: Optional[ResiliencePolicy] = None
     #: Goodput-timeline bucket width in seconds (0 disables the timeline).
     timeline_bucket: float = 0.0
+    #: Cache tier between Tomcat and MySQL (``None`` → nothing built; also
+    #: subject to the ``REPRO_CACHE=0`` kill switch).
+    cache: Optional[CacheConfig] = None
+    #: Workload mix (``None`` → the RUBBoS Markov navigation, as always).
+    mix: Optional[RequestMix] = None
 
     def validate(self) -> "NTierConfig":
         """Raise :class:`ExperimentError` on nonsensical settings."""
@@ -77,6 +84,8 @@ class NTierConfig:
             raise ExperimentError(
                 f"timeline_bucket must be >= 0, got {self.timeline_bucket!r}"
             )
+        if self.cache is not None:
+            self.cache.validate()
         return self
 
 
@@ -115,7 +124,22 @@ class ThreeTierSystem:
             if breaker_cfg is not None
             else None,
         )
-        servlet_app = ServletApplication(self.tomcat_db_pool)
+        #: Cache tier between Tomcat and MySQL.  Only instantiated when
+        #: configured, enabled *and* not killed via ``REPRO_CACHE=0`` —
+        #: otherwise no object, no RNG fork, no event: bit-identical runs.
+        self.cache_tier: Optional[CacheTier] = None
+        if (
+            config.cache is not None
+            and config.cache.enabled
+            and cache_tier_enabled()
+        ):
+            self.cache_tier = CacheTier(
+                env,
+                config.cache,
+                SeedStreams(config.seed).fork("cache").stream("keys"),
+                calib,
+            )
+        servlet_app = ServletApplication(self.tomcat_db_pool, cache=self.cache_tier)
         if config.tomcat_variant == "sync":
             self.app_server: BaseServer = TomcatSyncServer(
                 env, self.app_cpu, app=servlet_app, name="tomcat-v7"
@@ -185,6 +209,10 @@ class NTierResult:
     #: Resilience-machinery counters: retry budget, breakers, admission
     #: limiter, pool evictions (empty unless a policy was configured).
     resilience: Dict[str, float] = field(default_factory=dict)
+    #: Cache-tier counters (hits, fetches, coalesced flights; empty
+    #: unless a cache tier actually ran, so cacheless results compare
+    #: equal to historical ones).
+    cache_stats: Dict[str, float] = field(default_factory=dict)
     #: Fault-injection report (``None`` for clean runs).
     faults: Optional[FaultReport] = None
     #: Successful completions per ``timeline_bucket`` of absolute sim
@@ -236,12 +264,16 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         if policy.retry_budget is not None:
             budget = RetryBudget(policy.retry_budget)
 
+    mix = config.mix if config.mix is not None else RubbosMix()
+    if system.cache_tier is not None and config.cache.prewarm:
+        system.cache_tier.prewarm_from_mix(mix)
+
     client_link = Link.lan(calib)
     population = build_population(
         env,
         system.front_server,
         size=config.users,
-        mix=RubbosMix(),
+        mix=mix,
         link=client_link,
         calibration=calib,
         seeds=seeds,
@@ -302,6 +334,9 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         resilience["pool_evictions"] = float(
             system.apache_tomcat_pool.evictions + system.tomcat_db_pool.evictions
         )
+    cache_stats: Dict[str, float] = {}
+    if system.cache_tier is not None:
+        cache_stats = system.cache_tier.counters()
 
     return NTierResult(
         config=config,
@@ -313,6 +348,7 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         client_stats=client_stats,
         server_stats=server_stats,
         resilience=resilience,
+        cache_stats=cache_stats,
         faults=injector.report() if injector is not None else None,
         goodput_timeline=recorder.timeline(),
         sim_wall_s=sim_wall,

@@ -227,5 +227,9 @@ class RubbosMix(RequestMix):
     def kinds(self) -> List[str]:
         return [i.name for i in RUBBOS_INTERACTIONS]
 
+    def interactions(self) -> List[Interaction]:
+        """The interaction catalog (used by cache-tier prewarming)."""
+        return list(RUBBOS_INTERACTIONS)
+
     def __repr__(self) -> str:
         return f"<RubbosMix state={self.state!r}>"

@@ -1,0 +1,1 @@
+"""Cache-tier tests (PR 6)."""

@@ -1,0 +1,81 @@
+"""TtlLruStore: TTL + LRU semantics driven by caller-supplied sim time."""
+
+import pytest
+
+from repro.cache.store import MISS, TtlLruStore
+
+pytestmark = pytest.mark.cache
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TtlLruStore(0)
+
+
+def test_get_miss_and_hit():
+    store = TtlLruStore(4)
+    assert store.get("k", now=0.0) is MISS
+    store.put("k", 42, expires_at=10.0)
+    assert store.get("k", now=1.0) == 42
+    assert (store.hits, store.misses) == (1, 1)
+
+
+def test_cached_falsy_values_are_hits():
+    store = TtlLruStore(4)
+    store.put("zero", 0, expires_at=10.0)
+    assert store.get("zero", now=1.0) == 0
+    assert store.get("zero", now=1.0) is not MISS
+
+
+def test_lazy_expiry_counts_and_drops():
+    store = TtlLruStore(4)
+    store.put("k", 42, expires_at=5.0)
+    # Expiry boundary is inclusive: at exactly expires_at the entry is gone.
+    assert store.get("k", now=5.0) is MISS
+    assert (store.expired, store.misses) == (1, 1)
+    assert store.size == 0
+
+
+def test_put_refreshes_expiry():
+    store = TtlLruStore(4)
+    store.put("k", 1, expires_at=5.0)
+    store.put("k", 2, expires_at=50.0)
+    assert store.get("k", now=10.0) == 2
+    assert store.peek_expiry("k") == 50.0
+
+
+def test_lru_eviction_order_respects_recency():
+    store = TtlLruStore(2)
+    store.put("a", 1, expires_at=100.0)
+    store.put("b", 2, expires_at=100.0)
+    assert store.get("a", now=0.0) == 1  # refresh "a": "b" is now LRU
+    store.put("c", 3, expires_at=100.0)
+    assert store.evictions == 1
+    assert store.get("b", now=0.0) is MISS
+    assert store.get("a", now=0.0) == 1
+    assert store.get("c", now=0.0) == 3
+
+
+def test_refreshing_existing_key_does_not_evict():
+    store = TtlLruStore(2)
+    store.put("a", 1, expires_at=100.0)
+    store.put("b", 2, expires_at=100.0)
+    store.put("a", 9, expires_at=100.0)  # refresh, store already full
+    assert store.evictions == 0
+    assert store.size == 2
+
+
+def test_invalidate():
+    store = TtlLruStore(4)
+    store.put("k", 1, expires_at=100.0)
+    assert store.invalidate("k") is True
+    assert store.invalidate("k") is False
+    assert store.get("k", now=0.0) is MISS
+
+
+def test_peek_expiry_touches_nothing():
+    store = TtlLruStore(4)
+    assert store.peek_expiry("k") is None
+    store.put("k", 1, expires_at=7.5)
+    assert store.peek_expiry("k") == 7.5
+    assert (store.hits, store.misses) == (0, 0)

@@ -1,0 +1,286 @@
+"""CacheTier: fallback chain, fill policies, single-flight coalescing."""
+
+import random
+
+import pytest
+
+from repro.cache import CacheConfig, CacheTier
+from repro.cache.store import MISS
+from repro.errors import ExperimentError
+from repro.workload.rubbos import RUBBOS_INTERACTIONS, RubbosMix
+
+pytestmark = pytest.mark.cache
+
+#: keys_per_class=1 makes the key draw deterministic; write_ratio=0 keeps
+#: the RNG out of the read path entirely.
+_READ_CONFIG = dict(keys_per_class=1, write_ratio=0.0)
+
+
+class FakeThread:
+    """Stands in for a worker SimThread: costs become plain timeouts."""
+
+    def __init__(self, env):
+        self.env = env
+        self.cpu_time = 0.0
+        self.copied = []
+
+    def run(self, duration):
+        self.cpu_time += duration
+        return self.env.timeout(duration)
+
+    def syscall(self, bytes_copied=0, extra_kernel=0.0):
+        self.copied.append(bytes_copied)
+        return self.env.timeout(extra_kernel)
+
+
+@pytest.fixture
+def thread(env):
+    return FakeThread(env)
+
+
+def make_tier(env, calib, **kwargs):
+    seed = kwargs.pop("seed", 0)
+    return CacheTier(env, CacheConfig(**kwargs), random.Random(seed), calib)
+
+
+def make_fetch(env, log, status="ok", delay=0.01):
+    """A fake database round trip: logs its start time, returns status."""
+
+    def fetch():
+        log.append(env.now)
+        yield env.timeout(delay)
+        return status
+
+    return fetch
+
+
+def run_query(env, tier, thread, fetch, deadline=None, at=0.0, results=None):
+    """Start one cached query as a process; outcomes append to results."""
+    sink = results if results is not None else []
+
+    def worker():
+        if at > 0.0:
+            yield env.timeout(at)
+        status = yield from tier.query(thread, ("Q", 0), 1024, deadline, fetch)
+        sink.append((status, env.now))
+
+    env.process(worker())
+    return sink
+
+
+def test_miss_fetches_then_hit_serves_from_l1(env, calib, thread):
+    tier = make_tier(env, calib, **_READ_CONFIG)
+    log, results = [], []
+    fetch = make_fetch(env, log)
+    run_query(env, tier, thread, fetch, results=results)
+    run_query(env, tier, thread, fetch, at=1.0, results=results)
+    env.run()
+    assert [status for status, _ in results] == ["ok", "ok"]
+    assert log == [pytest.approx(2.0e-6)]  # one fetch, after the L1 probe
+    assert tier.l1.hits == 1
+    assert tier.fetches == 1
+    assert tier.hit_ratio() == 0.5
+
+
+def test_ttl_expiry_forces_refetch(env, calib, thread):
+    tier = make_tier(env, calib, ttl=0.5, **_READ_CONFIG)
+    log, results = [], []
+    fetch = make_fetch(env, log)
+    run_query(env, tier, thread, fetch, results=results)
+    run_query(env, tier, thread, fetch, at=1.0, results=results)  # past TTL
+    env.run()
+    assert [status for status, _ in results] == ["ok", "ok"]
+    assert len(log) == 2
+    assert tier.l1.expired == 1
+
+
+def test_lru_eviction_on_capacity(env, calib, thread):
+    tier = make_tier(env, calib, capacity=1, **_READ_CONFIG)
+    log = []
+    fetch = make_fetch(env, log)
+
+    def worker():
+        yield from tier.query(thread, ("A", 0), 64, None, fetch)
+        yield from tier.query(thread, ("B", 0), 64, None, fetch)  # evicts A
+        yield from tier.query(thread, ("A", 0), 64, None, fetch)  # refetches
+
+    env.process(worker())
+    env.run()
+    assert len(log) == 3
+    assert tier.l1.evictions == 2
+
+
+def test_l2_hit_promotes_to_l1_without_fetch(env, calib, thread):
+    tier = make_tier(env, calib, l2_capacity=16, **_READ_CONFIG)
+    tier.l2.put(("Q", 0, 0), 1024, expires_at=100.0)
+    log, results = [], []
+    run_query(env, tier, thread, make_fetch(env, log), results=results)
+    env.run()
+    assert results[0][0] == "ok"
+    assert log == []  # the database was never touched
+    assert thread.copied == [1024]  # result copied out of the shared tier
+    assert tier.l1.get(("Q", 0, 0), env.now) == 1024  # promoted
+    assert tier.l2.hits == 1
+
+
+def test_fetch_failure_fills_nothing(env, calib, thread):
+    tier = make_tier(env, calib, **_READ_CONFIG)
+    log, results = [], []
+    fetch = make_fetch(env, log, status="expired")
+    run_query(env, tier, thread, fetch, results=results)
+    run_query(env, tier, thread, fetch, at=1.0, results=results)
+    env.run()
+    assert [status for status, _ in results] == ["expired", "expired"]
+    assert len(log) == 2  # nothing cached, both queries fetched
+    assert tier.l1.get(("Q", 0, 0), env.now) is MISS
+
+
+def test_single_flight_coalesces_concurrent_misses(env, calib, thread):
+    tier = make_tier(env, calib, **_READ_CONFIG)
+    log, results = [], []
+    fetch = make_fetch(env, log, delay=0.01)
+    run_query(env, tier, thread, fetch, results=results)
+    run_query(env, tier, thread, fetch, at=0.001, results=results)
+    run_query(env, tier, thread, fetch, at=0.002, results=results)
+    env.run()
+    assert [status for status, _ in results] == ["ok", "ok", "ok"]
+    assert len(log) == 1  # one leader fetch served all three
+    assert tier.flights == 1
+    assert tier.coalesced == 2
+    assert not tier._flights  # table drained
+    # Followers resolve when the leader's fill lands, not earlier.
+    assert results[1][1] >= log[0] + 0.01
+
+
+def test_without_single_flight_every_miss_fetches(env, calib, thread):
+    tier = make_tier(env, calib, single_flight=False, **_READ_CONFIG)
+    log, results = [], []
+    fetch = make_fetch(env, log, delay=0.01)
+    run_query(env, tier, thread, fetch, results=results)
+    run_query(env, tier, thread, fetch, at=0.001, results=results)
+    env.run()
+    assert [status for status, _ in results] == ["ok", "ok"]
+    assert len(log) == 2  # duplicate fetches: the stampede amplification
+    assert tier.coalesced == 0
+
+
+def test_follower_bounded_by_deadline(env, calib, thread):
+    tier = make_tier(env, calib, **_READ_CONFIG)
+    log, results = [], []
+    fetch = make_fetch(env, log, delay=1.0)  # slow leader
+    run_query(env, tier, thread, fetch, results=results)
+    run_query(env, tier, thread, fetch, at=0.001, deadline=0.1, results=results)
+    env.run()
+    statuses = dict((round(t, 6), s) for s, t in results)
+    assert statuses[0.1] == "expired"  # follower gave up at its deadline
+    assert tier.flight_timeouts == 1
+    assert len(log) == 1
+    assert ("ok", pytest.approx(log[0] + 1.0)) in [
+        (s, t) for s, t in results if s == "ok"
+    ]
+
+
+def test_follower_with_spent_deadline_expires_immediately(env, calib, thread):
+    tier = make_tier(env, calib, **_READ_CONFIG)
+    log, results = [], []
+    fetch = make_fetch(env, log, delay=1.0)
+    run_query(env, tier, thread, fetch, results=results)
+    run_query(env, tier, thread, fetch, at=0.5, deadline=0.5, results=results)
+    env.run()
+    expired = [t for s, t in results if s == "expired"]
+    # No timer was even created: the budget was already spent post-probe.
+    assert expired == [pytest.approx(0.5, abs=1e-4)]
+    assert tier.flight_timeouts == 1
+
+
+def test_flight_resolves_even_when_fetch_raises(env, calib, thread):
+    tier = make_tier(env, calib, **_READ_CONFIG)
+    results, errors = [], []
+
+    def broken_fetch():
+        yield env.timeout(0.01)
+        raise RuntimeError("db exploded")
+
+    def leader():
+        try:
+            yield from tier.query(thread, ("Q", 0), 64, None, broken_fetch)
+        except RuntimeError as exc:
+            errors.append(exc)
+
+    env.process(leader())
+    run_query(env, tier, thread, broken_fetch, at=0.001, results=results)
+    env.run()
+    assert len(errors) == 1
+    # The follower was unparked with the failure status, and the flight
+    # table did not leak the dead flight.
+    assert [status for status, _ in results] == ["rejected"]
+    assert not tier._flights
+
+
+def test_cache_aside_write_invalidates_both_levels(env, calib, thread):
+    tier = make_tier(
+        env, calib, policy="cache_aside", write_ratio=1.0,
+        keys_per_class=1, l2_capacity=16,
+    )
+    key = ("Q", 0, 0)
+    tier.l1.put(key, 64, expires_at=100.0)
+    tier.l2.put(key, 64, expires_at=100.0)
+    log, results = [], []
+    run_query(env, tier, thread, make_fetch(env, log), results=results)
+    env.run()
+    assert results[0][0] == "ok"
+    assert len(log) == 1  # the write itself is a DB round trip
+    assert tier.writes == 1
+    assert tier.invalidations == 1
+    # Cache-aside leaves the refill to the next read.
+    assert tier.l1.peek_expiry(key) is None
+    assert tier.l2.peek_expiry(key) is None
+
+
+def test_write_through_refills_after_db_round(env, calib, thread):
+    tier = make_tier(
+        env, calib, policy="write_through", write_ratio=1.0,
+        keys_per_class=1, ttl=10.0,
+    )
+    key = ("Q", 0, 0)
+    log, results = [], []
+    run_query(env, tier, thread, make_fetch(env, log, delay=0.01), results=results)
+    env.run()
+    assert results[0][0] == "ok"
+    assert tier.writes == 1
+    assert tier.invalidations == 0
+    # Filled at fetch completion: expiry = completion time + ttl.
+    assert tier.l1.peek_expiry(key) == pytest.approx(results[0][1] + 10.0)
+
+
+def test_prewarm_fills_full_catalog(env, calib):
+    tier = make_tier(env, calib, keys_per_class=2, l2_capacity=4096,
+                     capacity=4096, prewarm_expiry=6.0)
+    count = tier.prewarm_from_mix(RubbosMix())
+    slots = sum(len(i.queries) for i in RUBBOS_INTERACTIONS)
+    assert count == slots * 2
+    assert tier.l1.size == count
+    assert tier.l2.size == count
+    # All entries share the synchronized mass-expiry instant.
+    assert tier.l1.peek_expiry(("ViewStory", 0, 0)) == 6.0
+    assert tier.l1.peek_expiry(("ViewStory", 1, 1)) == 6.0
+
+
+def test_prewarm_requires_interaction_catalog(env, calib):
+    tier = make_tier(env, calib)
+    with pytest.raises(ExperimentError):
+        tier.prewarm_from_mix(object())
+
+
+def test_counters_shape(env, calib, thread):
+    tier = make_tier(env, calib, l2_capacity=8, **_READ_CONFIG)
+    run_query(env, tier, thread, make_fetch(env, []))
+    env.run()
+    counters = tier.counters()
+    assert counters["cache_fetches"] == 1.0
+    assert counters["cache_l1_misses"] == 1.0
+    assert "cache_l2_hits" in counters
+    assert all(isinstance(v, float) for v in counters.values())
+    # Without L2 the l2 keys are absent entirely (digest stability).
+    no_l2 = make_tier(env, calib, **_READ_CONFIG)
+    assert not any(k.startswith("cache_l2") for k in no_l2.counters())

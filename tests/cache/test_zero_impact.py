@@ -1,0 +1,69 @@
+"""The cache tier's zero-impact contract, proven three ways.
+
+A run with (a) no cache config, (b) ``CacheConfig(enabled=False)`` and
+(c) a fully enabled config under ``REPRO_CACHE=0`` must all be
+*bit-identical*: same report floats, same counters, same kernel event
+count — no tier object, no extra RNG fork consumption, no events.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cache import CACHE_TIER_ENV, CacheConfig
+from repro.ntier.topology import NTierConfig, run_ntier
+
+pytestmark = pytest.mark.cache
+
+_BASE = dict(
+    tomcat_variant="async",
+    users=15,
+    think_mean=0.5,
+    duration=1.0,
+    warmup=0.4,
+    timeline_bucket=0.25,
+    seed=9,
+)
+
+#: A config that visibly changes behaviour when the tier is live.
+_CACHE = CacheConfig(ttl=0.5, capacity=64, keys_per_class=2, prewarm=True)
+
+
+def _fingerprint(result):
+    return (
+        dataclasses.asdict(result.report),
+        sorted(result.server_stats.items()),
+        sorted(result.client_stats.items()),
+        sorted(result.resilience.items()),
+        sorted(result.cache_stats.items()),
+    )
+
+
+@pytest.fixture
+def baseline(monkeypatch):
+    monkeypatch.setenv(CACHE_TIER_ENV, "1")
+    return _fingerprint(run_ntier(NTierConfig(**_BASE)))
+
+
+def test_disabled_config_is_bit_identical(monkeypatch, baseline):
+    monkeypatch.setenv(CACHE_TIER_ENV, "1")
+    result = run_ntier(NTierConfig(cache=CacheConfig(enabled=False), **_BASE))
+    assert _fingerprint(result) == baseline
+    assert result.cache_stats == {}
+
+
+def test_kill_switch_is_bit_identical(monkeypatch, baseline):
+    monkeypatch.setenv(CACHE_TIER_ENV, "0")
+    result = run_ntier(NTierConfig(cache=_CACHE, **_BASE))
+    assert _fingerprint(result) == baseline
+    assert result.cache_stats == {}
+
+
+def test_enabled_tier_actually_engages(monkeypatch, baseline):
+    """Sanity for the contract above: the same cache config *with* the
+    tier live must diverge from the baseline and report counters."""
+    monkeypatch.setenv(CACHE_TIER_ENV, "1")
+    result = run_ntier(NTierConfig(cache=_CACHE, **_BASE))
+    assert result.cache_stats  # counters present
+    assert result.cache_stats["cache_l1_hits"] > 0
+    assert _fingerprint(result) != baseline

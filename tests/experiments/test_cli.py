@@ -62,18 +62,24 @@ def test_invalid_jobs_is_an_error(capsys):
     assert "jobs" in capsys.readouterr().err
 
 
-def test_cache_status_and_clear(tmp_path, monkeypatch, capsys):
+def test_parser_cache_sweep_flags():
+    args = build_parser().parse_args(["cache", "--scale", "0.5", "--jobs", "4"])
+    assert args.scale == 0.5
+    assert args.jobs == "4"
+
+
+def test_sweep_cache_status_and_clear(tmp_path, monkeypatch, capsys):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     (tmp_path / "fig7").mkdir(parents=True)
     (tmp_path / "fig7" / "micro-abc.pkl").write_bytes(b"x")
-    assert main(["cache"]) == 0
+    assert main(["sweep-cache"]) == 0
     assert "cached points:   1" in capsys.readouterr().out
-    assert main(["cache", "--clear"]) == 0
+    assert main(["sweep-cache", "--clear"]) == 0
     assert "removed 1" in capsys.readouterr().out
     assert not tmp_path.exists()
 
 
-def test_cache_disabled_message(monkeypatch, capsys):
+def test_sweep_cache_disabled_message(monkeypatch, capsys):
     monkeypatch.setenv("REPRO_CACHE", "0")
-    assert main(["cache"]) == 0
+    assert main(["sweep-cache"]) == 0
     assert "disabled" in capsys.readouterr().out

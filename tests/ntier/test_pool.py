@@ -2,9 +2,13 @@
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.faults import FaultInjector, FaultPlan
 from repro.net.messages import Request
+from repro.net.tcp import Connection
 from repro.ntier.pool import ConnectionPool
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.policy import BreakerConfig
 from repro.servers.threaded import ThreadedServer
 from repro.sim.rng import SeedStreams
 
@@ -119,6 +123,7 @@ def test_dead_connection_evicted_on_release(env, cpu, lan, calib):
     assert seen[1] is not seen[0]  # replacement, not the corpse
     assert not seen[1].closed
     assert pool.idle == 1  # pool capacity preserved
+    assert len(pool.connections) == pool.size
 
 
 def test_fault_injected_reset_triggers_eviction(env, cpu, lan, calib):
@@ -157,6 +162,7 @@ def test_fault_injected_reset_triggers_eviction(env, cpu, lan, calib):
     assert injector.connection_resets == 1
     # The replacement is attached to the downstream server.
     assert pool.connections[0] in server.connections
+    assert len(pool.connections) == pool.size
 
 
 def test_acquire_within_grants_when_idle(env, cpu, lan, calib):
@@ -203,3 +209,124 @@ def test_acquire_within_times_out_and_withdraws_claim(env, cpu, lan, calib):
     assert results[1][1] is not None
     assert results[1][2] == pytest.approx(1.0)
     assert pool.idle == 1
+
+
+# ----------------------------------------------------------------------
+# PR 6 bugfix sweep: grant-vs-timeout races and ownership violations.
+# ----------------------------------------------------------------------
+def test_acquire_within_same_tick_grant_wins(env, cpu, lan, calib):
+    """A release landing in the exact deadline tick is taken, not dropped."""
+    pool = make_pool(env, cpu, lan, calib, size=1)
+    results = []
+
+    def holder(env, pool):
+        conn = yield pool.acquire()
+        yield env.timeout(0.1)  # released at exactly the waiter's deadline
+        pool.release(conn)
+
+    def waiter(env, pool):
+        conn = yield from pool.acquire_within(0.1)
+        results.append((conn, env.now))
+        if conn is not None:
+            pool.release(conn)
+
+    env.process(holder(env, pool))
+    env.process(waiter(env, pool))
+    env.run()
+    assert results[0][0] is not None
+    assert results[0][1] == pytest.approx(0.1)
+    assert pool.in_use == 0
+    assert pool.idle == 1
+
+
+def test_acquire_within_failed_cancel_returns_connection(env, cpu, lan, calib):
+    """Regression: ``acquire_within`` discarded ``Store.cancel``'s return
+    value.  When the grant races the deadline tick — the claim's item was
+    assigned an instant before the withdrawal, so cancel returns False —
+    the granted connection used to leak out of the pool forever (and
+    ``in_use`` stayed wrong).  The race is injected deterministically by
+    wrapping the store's cancel to release the held connection first."""
+    pool = make_pool(env, cpu, lan, calib, size=1)
+    store = pool._idle
+    real_cancel = store.cancel
+    held = []
+    cancel_results = []
+
+    def racing_cancel(get):
+        # The holder's release lands just before the withdrawal: the put
+        # assigns the idle connection to the pending claim, so the real
+        # cancel below finds it already served and returns False.
+        pool.release(held[0])
+        outcome = real_cancel(get)
+        cancel_results.append(outcome)
+        return outcome
+
+    store.cancel = racing_cancel
+    results = []
+
+    def holder(env, pool):
+        conn = yield pool.acquire()
+        held.append(conn)
+        yield env.timeout(10.0)  # never releases; racing_cancel does
+
+    def impatient(env, pool):
+        conn = yield from pool.acquire_within(0.1)
+        results.append((conn, env.now))
+
+    def late_borrower(env, pool):
+        yield env.timeout(0.2)
+        conn = yield pool.acquire()
+        results.append((conn, env.now))
+        pool.release(conn)
+
+    env.process(holder(env, pool))
+    env.process(impatient(env, pool))
+    env.process(late_borrower(env, pool))
+    env.run()
+    # The cancel genuinely failed, the caller still got None...
+    assert cancel_results == [False]
+    assert results[0] == (None, 0.1)
+    # ...and the granted connection went back to the pool instead of
+    # leaking: accounting intact, next borrower served immediately.
+    assert pool.in_use == 0
+    assert pool.idle == 1
+    assert len(pool.connections) == pool.size
+    assert results[1][0] is not None
+    assert results[1][1] == pytest.approx(0.2)
+
+
+def test_release_rejects_foreign_dead_connection(env, cpu, lan, calib):
+    """Regression: a dead connection the pool never owned used to append
+    a *replacement* anyway, silently growing the pool past ``size`` and
+    breaking the concurrency bound.  Now it fails loudly."""
+    pool = make_pool(env, cpu, lan, calib, size=2)
+    stranger = ThreadedServer(env, cpu)
+    foreign = Connection(env, lan, calib)
+    stranger.attach(foreign)
+    foreign.close()
+    with pytest.raises(SimulationError):
+        pool.release(foreign)
+    assert len(pool.connections) == pool.size
+    assert pool.idle == pool.size
+
+
+def test_eviction_records_no_breaker_outcome(env, cpu, lan, calib):
+    """Evicting a dead connection must stay silent on the breaker: the
+    caller of the failed exchange already records that same incident, so
+    a second signal here would double-count it (see ``release``)."""
+    server = ThreadedServer(env, cpu)
+    breaker = CircuitBreaker(env, BreakerConfig())
+    pool = ConnectionPool(env, server, 1, lan, calib, breaker=breaker)
+
+    def worker(env, pool):
+        conn = yield pool.acquire()
+        conn.close()
+        pool.release(conn)
+
+    env.process(worker(env, pool))
+    env.run()
+    assert pool.evictions == 1
+    assert breaker.state == "closed"
+    assert breaker.opens == 0
+    assert breaker.fast_failures == 0
+    assert len(breaker._window) == 0  # no success OR failure recorded

@@ -35,8 +35,10 @@ from repro.experiments.micro import MicroConfig
 #: contract: `REPRO_TCP_FASTPATH=0 pytest -m tcpfast` re-runs it on the
 #: per-segment path and must produce the same GOLDEN rows bit-for-bit.
 pytestmark = pytest.mark.tcpfast
+from repro.cache import CacheConfig
 from repro.experiments.parallel import SweepExecutor
 from repro.faults import FaultPlan, StallWindow
+from repro.ntier.topology import NTierConfig
 from repro.resilience import (
     AdmissionConfig,
     ResiliencePolicy,
@@ -123,6 +125,62 @@ GOLDEN = {
     "resilience": "426ba4a474da6b7d",
 }
 
+#: Golden digests for the cache-enabled n-tier rows (PR 6).  Recorded
+#: with the same regeneration helper; all 12 ``GOLDEN`` rows above were
+#: verified byte-identical in the same run (zero-impact contract).
+GOLDEN_NTIER = {
+    "cache": "04873799a633fd53",
+    "cache-aside": "d33aee503d422319",
+}
+
+
+#: A 3-tier run with the cache tier switched on (both levels, TTL expiry,
+#: LRU eviction, write-through refills, single-flight, prewarm), pinning
+#: the cache layer's event sequence and counters into the digest matrix.
+#: Kept separate from the micro configs: it runs through ``map_ntier``.
+_NTIER_CONFIGS = {
+    "cache": NTierConfig(
+        tomcat_variant="async",
+        users=40,
+        think_mean=0.5,
+        duration=2.0,
+        warmup=0.8,
+        timeline_bucket=0.25,
+        seed=5,
+        cache=CacheConfig(
+            policy="write_through",
+            ttl=0.5,
+            capacity=64,
+            l2_capacity=256,
+            l2_ttl=1.0,
+            write_ratio=0.1,
+            keys_per_class=4,
+            prewarm=True,
+        ),
+    ),
+    # Cache-aside without single-flight (invalidation path + duplicate
+    # fetches), so both write policies and both coalescing modes are
+    # digest-pinned.  Two rows also force a real process fan-out in the
+    # jobs=4 run (a single pending point would fall back to serial).
+    "cache-aside": NTierConfig(
+        tomcat_variant="sync",
+        users=40,
+        think_mean=0.5,
+        duration=2.0,
+        warmup=0.8,
+        timeline_bucket=0.25,
+        seed=6,
+        cache=CacheConfig(
+            policy="cache_aside",
+            ttl=0.4,
+            capacity=32,
+            write_ratio=0.15,
+            keys_per_class=2,
+            single_flight=False,
+        ),
+    ),
+}
+
 
 def _digest_result(result) -> str:
     """Stable hash of everything a run reports."""
@@ -135,6 +193,10 @@ def _digest_result(result) -> str:
         # Appended only when the resilience stack ran, so the digests of
         # the pre-resilience configs stay byte-for-byte stable.
         payload = payload + (sorted(result.resilience.items()),)
+    cache_stats = getattr(result, "cache_stats", None)
+    if cache_stats:
+        # Same population rule for the cache tier (PR 6).
+        payload = payload + (sorted(cache_stats.items()),)
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
 
 
@@ -142,6 +204,19 @@ def _run_all(jobs: int) -> dict:
     executor = SweepExecutor("golden", scale=1.0, jobs=jobs, cache_dir=None)
     results = executor.map_micro(dict(_CONFIGS))
     return {name: _digest_result(result) for name, result in results.items()}
+
+
+def _run_all_ntier(jobs: int) -> dict:
+    """The n-tier rows, with the cache kill switch pinned *on*.
+
+    Pinning ``REPRO_CACHE=1`` keeps the digest meaningful even when the
+    developer's shell disables the tier; worker processes inherit it.
+    """
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setenv("REPRO_CACHE", "1")
+        executor = SweepExecutor("golden", scale=1.0, jobs=jobs, cache_dir=None)
+        results = executor.map_ntier(dict(_NTIER_CONFIGS))
+        return {name: _digest_result(result) for name, result in results.items()}
 
 
 @pytest.fixture(scope="module")
@@ -158,9 +233,30 @@ def test_golden_digests_parallel_fanout(serial_digests):
     assert _run_all(jobs=4) == GOLDEN == serial_digests
 
 
+@pytest.fixture(scope="module")
+def serial_ntier_digests() -> dict:
+    return _run_all_ntier(jobs=1)
+
+
+@pytest.mark.cache
+def test_golden_ntier_cache_digest_serial(serial_ntier_digests):
+    assert serial_ntier_digests == GOLDEN_NTIER
+
+
+@pytest.mark.cache
+def test_golden_ntier_cache_digest_parallel(serial_ntier_digests):
+    """jobs=4 must reproduce the cache-enabled n-tier row too."""
+    assert _run_all_ntier(jobs=4) == GOLDEN_NTIER == serial_ntier_digests
+
+
 if __name__ == "__main__":  # pragma: no cover - digest regeneration helper
     digests = _run_all(jobs=1)
     print("GOLDEN = {")
     for name, digest in digests.items():
+        print(f"    {name!r}: {digest!r},")
+    print("}")
+    ntier_digests = _run_all_ntier(jobs=1)
+    print("GOLDEN_NTIER = {")
+    for name, digest in ntier_digests.items():
         print(f"    {name!r}: {digest!r},")
     print("}")

@@ -23,6 +23,11 @@
 #                 Wall times are not gated (they scale with --scale);
 #                 rates are scale-free.  Skipped when BENCH_core.json is
 #                 absent.
+#   cache tier    the cache-marked tests (cache-tier stores, single-flight
+#                 coalescing, golden cache digests, the stampede artifact
+#                 smoke) with the REPRO_CACHE kill switch pinned *on*, so
+#                 a developer shell that disabled the tier cannot silently
+#                 skip its coverage.
 #   tcpfast tier  the tcpfast-marked equivalence tests (including the
 #                 golden-digest matrix) re-run with REPRO_TCP_FASTPATH=0,
 #                 proving the per-segment TCP path still produces
@@ -48,10 +53,23 @@ run_tier() {
 }
 
 echo "[ci_check] fast tier (REPRO_JOBS=$REPRO_JOBS, cache: ${REPRO_CACHE:-on})"
-run_tier fast -m "not realnet and not chaos" "$@"
+run_tier fast -m "not realnet and not chaos and not cache" "$@"
 
 echo "[ci_check] chaos tier"
 run_tier chaos -m "chaos or resilience" tests benchmarks/test_bench_metastable.py "$@"
+
+echo "[ci_check] cache tier (REPRO_CACHE=1 pinned)"
+# Same export/unset discipline as the tcpfast tier below; REPRO_CACHE
+# doubles as the sweep memo-cache switch, so restore the inherited value
+# rather than leaving our pin behind.
+_saved_repro_cache="${REPRO_CACHE-__unset__}"
+export REPRO_CACHE=1
+run_tier cache -m cache tests benchmarks/test_bench_cache.py "$@"
+if [[ "$_saved_repro_cache" == "__unset__" ]]; then
+    unset REPRO_CACHE
+else
+    export REPRO_CACHE="$_saved_repro_cache"
+fi
 
 echo "[ci_check] realnet tier"
 run_tier realnet -m realnet "$@"
@@ -76,4 +94,4 @@ else
     echo "[ci_check] perf-smoke tier skipped (no BENCH_core.json)"
 fi
 
-echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + realnet ${realnet_elapsed}s + tcpfast ${tcpfast_elapsed}s + perf ${perf_elapsed}s"
+echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + cache ${cache_elapsed}s + realnet ${realnet_elapsed}s + tcpfast ${tcpfast_elapsed}s + perf ${perf_elapsed}s"
