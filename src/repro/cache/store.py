@@ -71,6 +71,10 @@ class TtlLruStore:
         """Drop ``key`` if present; True when an entry was removed."""
         return self._entries.pop(key, None) is not None
 
+    def clear(self) -> None:
+        """Drop every entry (cold restart); counters are kept."""
+        self._entries.clear()
+
     def peek_expiry(self, key: Hashable) -> Optional[float]:
         """The entry's expiry time without touching recency or counters."""
         entry = self._entries.get(key)

@@ -140,6 +140,18 @@ class CacheTier:
             flight.succeed(status)
         return status
 
+    def clear(self) -> None:
+        """Empty both levels, as after a cold process restart.
+
+        Cumulative counters survive (they describe the whole run), and the
+        single-flight table is left alone: in-flight leaders belong to the
+        crashing server's request handling, which fails on its own terms —
+        popping their entries here would strand followers forever.
+        """
+        self.l1.clear()
+        if self.l2 is not None:
+            self.l2.clear()
+
     def _fetch_and_fill(
         self, key: Hashable, result_size: int, fetch: Callable[[], Generator]
     ) -> Generator[object, object, str]:

@@ -16,6 +16,11 @@ Commands
 ``repro-bench cache [--scale 0.3] [--jobs 4]``
     Shortcut for ``run cache``: the cache-stampede study (duplicate
     miss fetches vs single-flight request coalescing).
+``repro-bench failover [--scale 0.3] [--jobs 4]``
+    Shortcut for ``run failover``: the replica-failover study
+    (crash-restart of one instance under no-failover vs outlier
+    ejection vs ejection+hedging, plus the cold-cache restart
+    stampede).
 ``repro-bench perf [--scale 0.3] [--out BENCH_core.json] [--check BENCH_core.json]``
     Run the kernel perf-benchmark suite (events/sec, timeout churn, TCP
     throughput, micro wall time); optionally write the tracked JSON or
@@ -98,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="run the cache-stampede single-flight study"
     )
     _add_sweep_flags(cache)
+
+    failover = sub.add_parser(
+        "failover", help="run the replica-failover crash-restart study"
+    )
+    _add_sweep_flags(failover)
 
     perf = sub.add_parser("perf", help="run the kernel perf-benchmark suite")
     perf.add_argument("--scale", type=float, default=1.0,
@@ -232,6 +242,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run("metastable", args.scale, args.jobs)
         if args.command == "cache":
             return _cmd_run("cache", args.scale, args.jobs)
+        if args.command == "failover":
+            return _cmd_run("failover", args.scale, args.jobs)
         if args.command == "perf":
             return _cmd_perf(args.scale, args.repeats, args.out,
                              args.check, args.tolerance)

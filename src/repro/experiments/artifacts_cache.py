@@ -238,6 +238,11 @@ def cache_stampedes(
         )
         result.add_counter("timeouts", run.client_stats.get("timeouts", 0.0))
         result.add_counter("rejected", run.report.rejected)
+        # Surface the cache-tier counters in the rendered report next to
+        # the resilience counters (not just inside the shape checks).
+        for name in ("cache_fetches", "cache_coalesced",
+                     "cache_flight_timeouts", "cache_invalidations"):
+            result.add_counter(name, stats.get(name, 0.0))
         result.add_counter(
             "expired",
             sum(run.server_stats.get(f"{tier}_expired", 0.0)

@@ -32,6 +32,7 @@ from repro.experiments.artifacts_micro import (
 )
 from repro.experiments.artifacts_cache import cache_stampedes
 from repro.experiments.artifacts_chaos import chaos_resilience
+from repro.experiments.artifacts_failover import replica_failover
 from repro.experiments.artifacts_metastable import metastable_failure
 from repro.experiments.artifacts_extensions import (
     ablation_flow_granularity,
@@ -85,6 +86,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("chaos", "Chaos resilience under fault injection", chaos_resilience, "minutes"),
         ExperimentSpec("metastable", "Metastable failure: naive retries vs resilience stack", metastable_failure, "minutes"),
         ExperimentSpec("cache", "Cache stampedes: duplicate fetches vs single-flight", cache_stampedes, "minutes"),
+        ExperimentSpec("failover", "Replica failover: crash-restart vs ejection and hedging", replica_failover, "minutes"),
     ]
 }
 

@@ -14,7 +14,7 @@ from repro.faults.injector import (
     FaultInjector,
     FaultReport,
 )
-from repro.faults.plan import FAULT_PRESETS, FaultPlan, StallWindow
+from repro.faults.plan import FAULT_PRESETS, CrashWindow, FaultPlan, StallWindow
 
 __all__ = [
     "ClientFaults",
@@ -25,4 +25,5 @@ __all__ = [
     "FAULT_PRESETS",
     "FaultPlan",
     "StallWindow",
+    "CrashWindow",
 ]

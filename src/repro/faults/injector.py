@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.errors import SimulationError
 from repro.faults.plan import FaultPlan
 from repro.sim.core import Environment
 from repro.sim.rng import SeedStreams
@@ -65,6 +66,8 @@ class FaultReport:
     client_aborts: int = 0
     stall_windows: int = 0
     events_dropped: int = 0
+    #: Crash–restart windows executed (each counts one crash + restart).
+    crashes: int = 0
     events: Tuple[FaultEvent, ...] = ()
 
     @property
@@ -77,6 +80,7 @@ class FaultReport:
             + self.connection_resets
             + self.client_aborts
             + self.stall_windows
+            + self.crashes
         )
 
 
@@ -88,6 +92,7 @@ class FaultInjector:
     """
 
     def __init__(self, env: Environment, plan: FaultPlan, seeds: SeedStreams):
+        plan.validate()
         self.env = env
         self.plan = plan
         self.seeds = seeds
@@ -98,6 +103,7 @@ class FaultInjector:
         self.client_aborts = 0
         self.stall_windows = 0
         self.events_dropped = 0
+        self.crashes = 0
         self._events: List[FaultEvent] = []
         #: Reconnect attempt counter per population index, so a client's
         #: replacement connection gets a fresh (but deterministic) stream.
@@ -150,6 +156,56 @@ class FaultInjector:
         for t in threads:
             t.close()
 
+    def start_crashes(self, targets) -> None:
+        """Spawn one crash–restart process per plan window.
+
+        ``targets`` is a sequence of crashable instances indexed by
+        :attr:`~repro.faults.plan.CrashWindow.instance`; each must expose
+        ``crash()``, ``restart()`` and ``cpu`` (the
+        :class:`~repro.replica.group.Replica` protocol).  An out-of-range
+        instance index is a configuration error, raised before any
+        process is spawned.
+        """
+        for window in self.plan.crash_windows:
+            if window.instance >= len(targets):
+                raise SimulationError(
+                    f"crash window targets instance {window.instance} but "
+                    f"only {len(targets)} crash target(s) exist"
+                )
+        for i, window in enumerate(self.plan.crash_windows):
+            self.env.process(
+                self._crash(targets[window.instance], i, window),
+                name=f"fault-crash-{i}",
+            )
+
+    def _crash(self, target, i: int, window):
+        """Kill the target at ``start``, restart it cold at ``end``."""
+        yield self.env.timeout(window.start)
+        self.crashes += 1
+        self.record(
+            "crash",
+            f"instance[{window.instance}]",
+            f"down {window.end - window.start:g}s",
+        )
+        target.crash()
+        yield self.env.timeout(window.end - self.env.now)
+        self.record("restart", f"instance[{window.instance}]",
+                    f"warmup {window.warmup:g}s")
+        target.restart()
+        if window.warmup > 0:
+            # Cold-start penalty: the restarted instance's CPU spends the
+            # warm-up window on system work (JIT, page cache, pools), so
+            # early post-restart requests queue behind it.
+            threads = [
+                target.cpu.thread(f"crash-warmup-{i}-{c}")
+                for c in range(target.cpu.cores)
+            ]
+            done = [t.run(window.warmup, "system") for t in threads]
+            for event in done:
+                yield event
+            for t in threads:
+                t.close()
+
     def report(self) -> "FaultReport":
         """Freeze the counters and trace into a :class:`FaultReport`."""
         return FaultReport(
@@ -160,6 +216,7 @@ class FaultInjector:
             client_aborts=self.client_aborts,
             stall_windows=self.stall_windows,
             events_dropped=self.events_dropped,
+            crashes=self.crashes,
             events=tuple(self._events),
         )
 

@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SimulationError
 
-__all__ = ["FaultPlan", "StallWindow", "FAULT_PRESETS"]
+__all__ = ["FaultPlan", "StallWindow", "CrashWindow", "FAULT_PRESETS"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,33 @@ class StallWindow:
             raise ExperimentError(f"stall start must be >= 0, got {self.start!r}")
         if self.duration <= 0:
             raise ExperimentError(f"stall duration must be > 0, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One crash–restart fault: a server *instance* dies and comes back.
+
+    At sim time ``start`` the targeted instance crashes: every in-flight
+    request on it fails, all of its connections reset (both the ones
+    upstream tiers pooled towards it and its own outbound pool), and new
+    connection attempts are refused while it is down.  At ``end`` the
+    instance restarts **cold**: caches empty, circuit breakers back in
+    their initial state, and — when ``warmup`` is non-zero — its CPU is
+    seized for ``warmup`` seconds of system work (JIT/cache warm-up), so
+    the first requests after the restart see degraded service.
+
+    ``instance`` selects which member of the crash-target list dies
+    (replica index in a replicated tier; ``0`` is the only valid value
+    for a single-instance tier).  Field sanity lives in
+    :meth:`FaultPlan.validate`, which rejects malformed windows with
+    :class:`~repro.errors.SimulationError` before a run starts.
+    """
+
+    start: float
+    end: float
+    instance: int = 0
+    #: Seconds of full-CPU warm-up penalty charged right after restart.
+    warmup: float = 0.5
 
 
 def _check_prob(name: str, value: float) -> None:
@@ -72,6 +99,11 @@ class FaultPlan:
     client_abort_delay: float = 0.050
     #: Server-side stop-the-world stall windows.
     server_stalls: Tuple[StallWindow, ...] = ()
+    #: Crash–restart windows: a server instance dies at ``start`` and
+    #: restarts cold at ``end`` (see :class:`CrashWindow`).  Applied to
+    #: whatever crash targets the runner registers — the Tomcat tier
+    #: instance(s) in the n-tier topology.
+    crash_windows: Tuple[CrashWindow, ...] = ()
     #: Retransmission timeout charged per lost/corrupted segment.
     rto: float = 0.200
 
@@ -110,6 +142,7 @@ class FaultPlan:
             or self.reset_after_bytes is not None
             or self.client_abort_prob > 0
             or bool(self.server_stalls)
+            or bool(self.crash_windows)
         )
 
     @property
@@ -124,15 +157,62 @@ class FaultPlan:
             or self.reset_after_bytes is not None
         )
 
+    def validate(self) -> "FaultPlan":
+        """Reject malformed stall/crash windows with :class:`SimulationError`.
+
+        Called by the :class:`~repro.faults.injector.FaultInjector` before
+        any process is spawned, so a bad plan fails loudly up front instead
+        of silently misbehaving mid-run.  Checks: no negative times, every
+        window must end after it starts, and two crash windows targeting
+        the same instance must not overlap (a crash of an already-crashed
+        instance has no defined semantics).
+        """
+        # Stall windows are range-checked at construction (StallWindow
+        # __post_init__) and overlapping stalls just stack CPU hogs, so
+        # only the crash windows need cross-window checks here.
+        for window in self.crash_windows:
+            if window.start < 0:
+                raise SimulationError(
+                    f"crash start must be >= 0, got {window.start!r}"
+                )
+            if window.end <= window.start:
+                raise SimulationError(
+                    f"crash end must be > start, got "
+                    f"[{window.start!r}, {window.end!r}]"
+                )
+            if window.instance < 0:
+                raise SimulationError(
+                    f"crash instance must be >= 0, got {window.instance!r}"
+                )
+            if window.warmup < 0:
+                raise SimulationError(
+                    f"crash warmup must be >= 0, got {window.warmup!r}"
+                )
+        by_instance: Dict[int, list] = {}
+        for window in self.crash_windows:
+            by_instance.setdefault(window.instance, []).append(window)
+        for instance, windows in by_instance.items():
+            windows.sort(key=lambda w: w.start)
+            for earlier, later in zip(windows, windows[1:]):
+                if later.start < earlier.end:
+                    raise SimulationError(
+                        f"overlapping crash windows for instance {instance}: "
+                        f"[{earlier.start:g}, {earlier.end:g}) and "
+                        f"[{later.start:g}, {later.end:g})"
+                    )
+        return self
+
     def describe(self) -> str:
         """One-line summary listing only the non-default knobs."""
         parts = []
         for f in fields(self):
             value = getattr(self, f.name)
-            if value != f.default and f.name != "server_stalls":
+            if value != f.default and f.name not in ("server_stalls", "crash_windows"):
                 parts.append(f"{f.name}={value:g}" if isinstance(value, float) else f"{f.name}={value}")
         if self.server_stalls:
             parts.append(f"stalls={len(self.server_stalls)}")
+        if self.crash_windows:
+            parts.append(f"crashes={len(self.crash_windows)}")
         return ", ".join(parts) if parts else "no faults"
 
 

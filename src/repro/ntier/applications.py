@@ -65,6 +65,7 @@ def _pooled_exchange(
     thread,
     make_downstream: Callable[[], Request],
     deadline: Optional[float],
+    cancel: Optional[object] = None,
 ) -> "Tuple[str, Optional[Request]]":
     """One synchronous call over a pooled connection, resilience-aware.
 
@@ -72,17 +73,32 @@ def _pooled_exchange(
     status is ``"ok"`` (full response arrived), ``"busy"`` (no pooled
     connection within the deadline budget), ``"timeout"`` (deadline hit
     or connection died mid-call; the connection is closed so the pool
-    evicts it), or ``"rejected"`` (the downstream tier shed the call).
-    Breaker accounting is the caller's responsibility.
+    evicts it), ``"rejected"`` (the downstream tier shed the call), or
+    ``"cancelled"`` (the optional ``cancel`` event fired first — the
+    hedging path's loser; its connection is closed/evicted, and the
+    caller must record **no** breaker or balancer outcome for it).
+    Breaker accounting is the caller's responsibility.  With
+    ``cancel=None`` (every pre-existing call site) the historical event
+    sequence is taken untouched.
     """
     calib = server.calibration
     env = server.env
     if deadline is None:
-        connection = yield pool.acquire()
+        if cancel is None:
+            connection = yield pool.acquire()
+        else:
+            connection = yield from pool.acquire_unless(cancel)
+            if connection is None:
+                return "cancelled", None
     else:
         connection = yield from pool.acquire_within(deadline - env.now)
         if connection is None:
             return "busy", None
+        if cancel is not None and cancel.triggered:
+            # Cancelled while queueing for the pool: the connection is
+            # still pristine, hand it straight back.
+            pool.release(connection)
+            return "cancelled", None
     downstream: Optional[Request] = None
     try:
         downstream = make_downstream()
@@ -96,7 +112,14 @@ def _pooled_exchange(
         except ConnectionClosedError:
             return "timeout", downstream
         if deadline is None:
-            yield downstream.completed
+            if cancel is None:
+                yield downstream.completed
+            else:
+                yield env.any_of([downstream.completed, connection.on_close, cancel])
+                if not downstream.completed.triggered:
+                    connection.close()
+                    status = "cancelled" if cancel.triggered else "timeout"
+                    return status, downstream
         else:
             remaining = deadline - env.now
             if remaining <= 0 or connection.closed:
@@ -105,9 +128,14 @@ def _pooled_exchange(
                 connection.close()
                 return "timeout", downstream
             timer = env.timeout(remaining)
-            yield env.any_of([downstream.completed, connection.on_close, timer])
+            waits = [downstream.completed, connection.on_close, timer]
+            if cancel is not None:
+                waits.append(cancel)
+            yield env.any_of(waits)
             if not downstream.completed.triggered:
                 connection.close()
+                if cancel is not None and cancel.triggered:
+                    return "cancelled", downstream
                 return "timeout", downstream
         # Read the downstream response back into user space.
         delivered = (

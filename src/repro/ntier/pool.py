@@ -119,9 +119,58 @@ class ConnectionPool:
                 self.release(get.value)
         return None
 
+    def acquire_unless(
+        self, cancel: Event
+    ) -> Generator[object, object, Optional[Connection]]:
+        """Acquire a connection unless ``cancel`` triggers first.
+
+        Generator (use ``yield from``); returns the connection, or
+        ``None`` when ``cancel`` won the race — the hedging path's
+        analogue of :meth:`acquire_within`, with the same withdrawn-claim
+        race handling so a grant that beat the cancel tick is returned to
+        the pool instead of leaked.
+        """
+        get = self.acquire()
+        yield self.env.any_of([get, cancel])
+        if get.triggered:
+            return get.value
+        if not self._idle.cancel(get):
+            pending = get.callbacks
+            if pending is not None and self._on_acquired in pending:
+                pending.remove(self._on_acquired)
+                self._idle.put(get.value)
+            else:
+                self.release(get.value)
+        return None
+
     def _on_acquired(self, _event) -> None:
         self._in_use += 1
         self.peak_in_use = max(self.peak_in_use, self._in_use)
+
+    def evict_closed_idle(self) -> int:
+        """Evict and replace every *idle* connection that has died.
+
+        The lazy release-time eviction below is right for the occasional
+        fault-killed connection, but after a server crash the whole pool
+        is corpses and lazy replacement would drip-feed reconnects (one
+        per borrower failure) for tens of seconds.  Real pools reconnect
+        eagerly when the peer comes back — Apache retires stale proxy
+        connections on checkout, JDBC pools validate on borrow — so the
+        crash–restart path calls this to model the reconnection storm.
+        Checked-out corpses are still evicted at release as usual.
+        Returns the number of connections replaced.
+        """
+        replaced = 0
+        items = self._idle.items
+        for i, connection in enumerate(items):
+            if connection.closed:
+                slot = self.connections.index(connection)
+                replacement = self._fresh()
+                self.connections[slot] = replacement
+                items[i] = replacement
+                self.evictions += 1
+                replaced += 1
+        return replaced
 
     def release(self, connection: Connection) -> None:
         """Return a connection to the pool.

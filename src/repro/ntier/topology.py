@@ -23,7 +23,14 @@ from repro.metrics.collector import RunRecorder, RunReport
 from repro.net.link import Link
 from repro.ntier.applications import ProxyApplication, QueryApplication, ServletApplication
 from repro.ntier.pool import ConnectionPool
-from repro.resilience import CircuitBreaker, ResiliencePolicy, RetryBudget
+from repro.replica import (
+    BalancedProxyApplication,
+    Replica,
+    ReplicaConfig,
+    ReplicaGroup,
+    replica_enabled,
+)
+from repro.resilience import CircuitBreaker, HedgePolicy, ResiliencePolicy, RetryBudget
 from repro.servers.base import BaseServer, ServerLimits
 from repro.servers.threaded import ThreadedServer
 from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
@@ -71,6 +78,9 @@ class NTierConfig:
     cache: Optional[CacheConfig] = None
     #: Workload mix (``None`` → the RUBBoS Markov navigation, as always).
     mix: Optional[RequestMix] = None
+    #: Replicated Tomcat tier behind Apache (``None`` → the classic
+    #: single-instance build; also subject to ``REPRO_REPLICA=0``).
+    replica: Optional[ReplicaConfig] = None
 
     def validate(self) -> "NTierConfig":
         """Raise :class:`ExperimentError` on nonsensical settings."""
@@ -86,6 +96,8 @@ class NTierConfig:
             )
         if self.cache is not None:
             self.cache.validate()
+        if self.replica is not None:
+            self.replica.validate()
         return self
 
 
@@ -96,6 +108,30 @@ class ThreeTierSystem:
         config.validate()
         self.env = env
         self.config = config
+        #: Replica group for the Tomcat tier (``None`` in the classic
+        #: single-instance build — which is also what ``replicas=1``,
+        #: ``enabled=False`` and ``REPRO_REPLICA=0`` produce).
+        self.replica_group: Optional[ReplicaGroup] = None
+        #: The balancing proxy application (replicated build only); the
+        #: runner attaches the hedge policy here once the budget exists.
+        self.balanced_app: Optional[BalancedProxyApplication] = None
+        if (
+            config.replica is not None
+            and config.replica.active
+            and replica_enabled()
+        ):
+            self._build_replicated(env, config)
+        else:
+            self._build_single(env, config)
+
+    def _build_single(self, env: Environment, config: NTierConfig) -> None:
+        """The classic one-instance-per-tier build (the paper's testbed).
+
+        This body is the historical constructor verbatim — statement
+        order included, since construction order assigns connection ids
+        and forks RNG streams — so every pre-replica golden digest is
+        preserved by definition.
+        """
         calib = config.calibration
 
         # One CPU ("machine") per tier.
@@ -176,6 +212,100 @@ class ThreeTierSystem:
             name="apache",
         )
 
+    def _build_replicated(self, env: Environment, config: NTierConfig) -> None:
+        """N Tomcat instances behind a balancing Apache.
+
+        Each replica is a full vertical slice: its own CPU ("machine"),
+        its own JDBC pool to the shared MySQL (with its own breaker), its
+        own private cache tier (seeded from a per-replica RNG stream),
+        and its own Apache-side connection pool + breaker.  The classic
+        attribute names (``app_cpu``, ``app_server``, ...) alias replica
+        0 so tier-generic plumbing — stall injection, CPU watching —
+        keeps a well-defined target.
+        """
+        calib = config.calibration
+        rconf = config.replica
+
+        self.db_cpu = CPU(env, calib, name="mysql-cpu")
+        self.web_cpu = CPU(env, calib, name="apache-cpu")
+
+        tier_link = Link.lan(calib, added_latency=config.inter_tier_latency)
+        policy = config.resilience
+        breaker_cfg = policy.breaker if policy is not None else None
+
+        # MySQL stays a single shared instance: the paper's bottleneck
+        # analysis needs the database fixed while the mid tier scales.
+        self.db_server = ThreadedServer(
+            env, self.db_cpu, app=QueryApplication(), name="mysql"
+        )
+
+        cache_enabled = (
+            config.cache is not None
+            and config.cache.enabled
+            and cache_tier_enabled()
+        )
+        cache_seeds = (
+            SeedStreams(config.seed).fork("cache") if cache_enabled else None
+        )
+        suffix = "v7" if config.tomcat_variant == "sync" else "v8"
+        replicas = []
+        for i in range(rconf.replicas):
+            cpu = CPU(env, calib, name=f"tomcat{i}-cpu")
+            db_pool = ConnectionPool(
+                env,
+                self.db_server,
+                config.tomcat_db_pool,
+                tier_link,
+                calib,
+                breaker=CircuitBreaker(env, breaker_cfg, name=f"tomcat{i}-mysql")
+                if breaker_cfg is not None
+                else None,
+            )
+            cache = (
+                CacheTier(env, config.cache, cache_seeds.stream("keys", i), calib)
+                if cache_enabled
+                else None
+            )
+            servlet_app = ServletApplication(db_pool, cache=cache)
+            if config.tomcat_variant == "sync":
+                server: BaseServer = TomcatSyncServer(
+                    env, cpu, app=servlet_app, name=f"tomcat{i}-{suffix}"
+                )
+            else:
+                server = TomcatAsyncServer(
+                    env,
+                    cpu,
+                    app=servlet_app,
+                    name=f"tomcat{i}-{suffix}",
+                    workers=config.tomcat_workers,
+                )
+            if policy is not None and policy.admission is not None:
+                server.limits = ServerLimits(adaptive=policy.admission)
+            front_pool = ConnectionPool(
+                env,
+                server,
+                config.apache_tomcat_pool,
+                tier_link,
+                calib,
+                breaker=CircuitBreaker(env, breaker_cfg, name=f"apache-tomcat{i}")
+                if breaker_cfg is not None
+                else None,
+            )
+            replicas.append(Replica(i, server, cpu, front_pool, db_pool, cache))
+
+        self.replica_group = ReplicaGroup(env, rconf, replicas)
+        self.balanced_app = BalancedProxyApplication(self.replica_group)
+        self.web_server = ThreadedServer(
+            env, self.web_cpu, app=self.balanced_app, name="apache"
+        )
+
+        # Replica-0 aliases for tier-generic plumbing.
+        self.app_cpu = replicas[0].cpu
+        self.app_server = replicas[0].server
+        self.apache_tomcat_pool = replicas[0].pool
+        self.tomcat_db_pool = replicas[0].db_pool
+        self.cache_tier = replicas[0].cache
+
     @property
     def front_server(self) -> BaseServer:
         """The tier clients connect to."""
@@ -183,7 +313,43 @@ class ThreeTierSystem:
 
     def cpu_by_tier(self) -> Dict[str, CPU]:
         """Tier name → CPU, for per-tier utilisation reports."""
+        if self.replica_group is not None:
+            cpus = {"apache": self.web_cpu}
+            for replica in self.replica_group.replicas:
+                cpus[f"tomcat{replica.index}"] = replica.cpu
+            cpus["mysql"] = self.db_cpu
+            return cpus
         return {"apache": self.web_cpu, "tomcat": self.app_cpu, "mysql": self.db_cpu}
+
+    def cache_tiers(self) -> "list":
+        """Every cache-tier instance in the system (possibly empty)."""
+        if self.replica_group is not None:
+            return [
+                r.cache for r in self.replica_group.replicas if r.cache is not None
+            ]
+        return [] if self.cache_tier is None else [self.cache_tier]
+
+    def crash_targets(self) -> "list":
+        """Instances a :class:`~repro.faults.plan.CrashWindow` may kill.
+
+        With a replica group these are the group's members; the classic
+        single-instance topology exposes its one Tomcat wrapped in a
+        :class:`~repro.replica.group.Replica` so crash–restart semantics
+        are identical either way.  Only called when crash windows exist,
+        so the wrapper costs nothing on clean runs.
+        """
+        if self.replica_group is not None:
+            return self.replica_group.replicas
+        return [
+            Replica(
+                0,
+                self.app_server,
+                self.app_cpu,
+                self.apache_tomcat_pool,
+                self.tomcat_db_pool,
+                self.cache_tier,
+            )
+        ]
 
 
 @dataclass(frozen=True)
@@ -213,6 +379,10 @@ class NTierResult:
     #: unless a cache tier actually ran, so cacheless results compare
     #: equal to historical ones).
     cache_stats: Dict[str, float] = field(default_factory=dict)
+    #: Replica-group counters: balancer picks/ejections, health probes,
+    #: crashes, hedging (empty unless a replica group actually ran, same
+    #: population rule as ``cache_stats``).
+    replica_stats: Dict[str, float] = field(default_factory=dict)
     #: Fault-injection report (``None`` for clean runs).
     faults: Optional[FaultReport] = None
     #: Successful completions per ``timeline_bucket`` of absolute sim
@@ -254,6 +424,10 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         # Stall windows seize the Tomcat tier's cores: the mid-tier
         # slowdown that triggers the metastable-failure scenario.
         injector.start_stalls(system.app_cpu)
+        if config.fault_plan.crash_windows:
+            # Crash windows kill Tomcat instances (replica members, or
+            # the single classic instance wrapped as one).
+            injector.start_crashes(system.crash_targets())
     policy = config.resilience if (
         config.resilience is not None and config.resilience.enabled
     ) else None
@@ -263,10 +437,23 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         deadline = policy.deadline
         if policy.retry_budget is not None:
             budget = RetryBudget(policy.retry_budget)
+    hedge_policy: Optional[HedgePolicy] = None
+    if (
+        policy is not None
+        and policy.hedge is not None
+        and system.balanced_app is not None
+    ):
+        # Hedges spend tokens from the same bucket retries do, so the
+        # combined amplification stays inside one budget.
+        hedge_policy = HedgePolicy(policy.hedge, budget)
+        system.balanced_app.hedge = hedge_policy
+    if system.replica_group is not None:
+        system.replica_group.start_probes()
 
     mix = config.mix if config.mix is not None else RubbosMix()
-    if system.cache_tier is not None and config.cache.prewarm:
-        system.cache_tier.prewarm_from_mix(mix)
+    if config.cache is not None and config.cache.prewarm:
+        for tier in system.cache_tiers():
+            tier.prewarm_from_mix(mix)
 
     client_link = Link.lan(calib)
     population = build_population(
@@ -305,6 +492,7 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         utilization[name] = usage.utilization
         switch_rate[name] = usage.context_switch_rate
 
+    group = system.replica_group
     client_stats: Dict[str, float] = {}
     server_stats: Dict[str, float] = {}
     if injector is not None or config.retry is not None or policy is not None:
@@ -312,43 +500,75 @@ def run_ntier(config: NTierConfig) -> NTierResult:
             client_stats[counter] = float(
                 sum(getattr(c.stats, counter) for c in population.clients)
             )
-        tiers = (
-            ("apache", system.web_server),
-            ("tomcat", system.app_server),
-            ("mysql", system.db_server),
+        tomcat_servers = (
+            [r.server for r in group.replicas]
+            if group is not None
+            else [system.app_server]
         )
-        for tier_name, tier_server in tiers:
-            stats = tier_server.stats
-            server_stats[f"{tier_name}_rejected"] = float(stats.requests_rejected)
-            server_stats[f"{tier_name}_expired"] = float(stats.requests_expired)
-            server_stats[f"{tier_name}_aborted"] = float(stats.requests_aborted)
+        tiers = (
+            ("apache", [system.web_server]),
+            ("tomcat", tomcat_servers),
+            ("mysql", [system.db_server]),
+        )
+        for tier_name, tier_servers in tiers:
+            server_stats[f"{tier_name}_rejected"] = float(
+                sum(s.stats.requests_rejected for s in tier_servers)
+            )
+            server_stats[f"{tier_name}_expired"] = float(
+                sum(s.stats.requests_expired for s in tier_servers)
+            )
+            server_stats[f"{tier_name}_aborted"] = float(
+                sum(s.stats.requests_aborted for s in tier_servers)
+            )
     resilience: Dict[str, float] = {}
     if policy is not None:
         if budget is not None:
             resilience.update(budget.counters())
-        for pool in (system.apache_tomcat_pool, system.tomcat_db_pool):
+        if group is None:
+            pools = [system.apache_tomcat_pool, system.tomcat_db_pool]
+            limiters = [system.app_server.limiter]
+        else:
+            pools = [p for r in group.replicas for p in (r.pool, r.db_pool)]
+            limiters = [r.server.limiter for r in group.replicas]
+        for pool in pools:
             if pool.breaker is not None:
                 resilience.update(pool.breaker.counters())
-        if system.app_server.limiter is not None:
-            resilience.update(system.app_server.limiter.counters())
-        resilience["pool_evictions"] = float(
-            system.apache_tomcat_pool.evictions + system.tomcat_db_pool.evictions
-        )
+        limiter_totals: Dict[str, float] = {}
+        for limiter in limiters:
+            if limiter is not None:
+                for key, value in limiter.counters().items():
+                    limiter_totals[key] = limiter_totals.get(key, 0.0) + value
+        resilience.update(limiter_totals)
+        resilience["pool_evictions"] = float(sum(p.evictions for p in pools))
     cache_stats: Dict[str, float] = {}
-    if system.cache_tier is not None:
-        cache_stats = system.cache_tier.counters()
+    cache_totals: Dict[str, float] = {}
+    for tier in system.cache_tiers():
+        for key, value in tier.counters().items():
+            cache_totals[key] = cache_totals.get(key, 0.0) + value
+    if cache_totals or system.cache_tier is not None:
+        cache_stats = cache_totals
+    replica_stats: Dict[str, float] = {}
+    if group is not None:
+        replica_stats = group.counters()
+        if hedge_policy is not None:
+            replica_stats.update(hedge_policy.counters())
 
     return NTierResult(
         config=config,
         report=recorder.report(),
         tier_utilization=utilization,
         tier_switch_rate=switch_rate,
-        tomcat_peak_concurrency=system.apache_tomcat_pool.peak_in_use,
+        tomcat_peak_concurrency=(
+            sum(r.pool.peak_in_use for r in group.replicas)
+            if group is not None
+            else system.apache_tomcat_pool.peak_in_use
+        ),
         kernel_events=env.events_processed,
         client_stats=client_stats,
         server_stats=server_stats,
         resilience=resilience,
         cache_stats=cache_stats,
+        replica_stats=replica_stats,
         faults=injector.report() if injector is not None else None,
         goodput_timeline=recorder.timeline(),
         sim_wall_s=sim_wall,

@@ -1,0 +1,103 @@
+"""Frozen configuration for replicated tiers, plus the kill switch.
+
+Mirrors the contract every optional layer in this repo obeys
+(:mod:`repro.cache.config` is the template): a frozen value object that
+hashes into sweep cache keys and golden-digest configs, an ``active``
+property that decides whether the replicated build path runs at all, and
+an environment kill switch (``REPRO_REPLICA=0``) that forces the classic
+single-instance topology no matter what the config says — bit-identical
+three ways (config absent == replicas=1/disabled == killed).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+__all__ = ["ReplicaConfig", "REPLICA_ENV", "replica_enabled"]
+
+#: Environment kill switch: set to ``0``/``off``/``no``/``false`` to force
+#: the classic single-instance topology regardless of configuration.
+REPLICA_ENV = "REPRO_REPLICA"
+
+_DISABLED = {"0", "off", "no", "false"}
+
+#: Load-balancing policies the :class:`~repro.replica.group.LoadBalancer`
+#: implements.
+POLICIES = ("round_robin", "least_outstanding")
+
+
+def replica_enabled() -> bool:
+    """True unless ``REPRO_REPLICA`` disables the replicated topology."""
+    return os.environ.get(REPLICA_ENV, "1").strip().lower() not in _DISABLED
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """How the Tomcat tier is replicated and how Apache routes to it."""
+
+    #: Master toggle; ``False`` behaves exactly like no config at all.
+    enabled: bool = True
+    #: Number of Tomcat instances behind Apache.  ``1`` is defined to be
+    #: bit-identical to the classic single-instance build.
+    replicas: int = 1
+    #: ``"round_robin"`` or ``"least_outstanding"``.
+    policy: str = "round_robin"
+    #: Consecutive failures that eject a replica from rotation
+    #: (``0`` disables passive outlier ejection entirely).
+    ejection_threshold: int = 5
+    #: Seconds a freshly ejected replica sits out of rotation.
+    ejection_duration: float = 1.0
+    #: Multiplier applied to the sit-out on every re-ejection (a replica
+    #: that fails its re-probe goes back out for longer).
+    ejection_backoff: float = 2.0
+    #: Ceiling on the backed-off sit-out duration.
+    ejection_max_duration: float = 8.0
+    #: Period of the active health prober (``0`` disables active probes;
+    #: passive ejection then learns only from live request outcomes).
+    probe_interval: float = 0.0
+
+    def validate(self) -> "ReplicaConfig":
+        """Raise :class:`ExperimentError` on nonsensical settings."""
+        if self.replicas < 1:
+            raise ExperimentError(f"replicas must be >= 1, got {self.replicas!r}")
+        if self.policy not in POLICIES:
+            raise ExperimentError(
+                f"unknown load-balancing policy {self.policy!r} "
+                f"(expected one of {POLICIES})"
+            )
+        if self.ejection_threshold < 0:
+            raise ExperimentError(
+                f"ejection_threshold must be >= 0, got {self.ejection_threshold!r}"
+            )
+        if self.ejection_duration <= 0:
+            raise ExperimentError(
+                f"ejection_duration must be > 0, got {self.ejection_duration!r}"
+            )
+        if self.ejection_backoff < 1.0:
+            raise ExperimentError(
+                f"ejection_backoff must be >= 1, got {self.ejection_backoff!r}"
+            )
+        if self.ejection_max_duration < self.ejection_duration:
+            raise ExperimentError(
+                "ejection_max_duration must be >= ejection_duration, got "
+                f"{self.ejection_max_duration!r}"
+            )
+        if self.probe_interval < 0:
+            raise ExperimentError(
+                f"probe_interval must be >= 0, got {self.probe_interval!r}"
+            )
+        return self
+
+    @property
+    def active(self) -> bool:
+        """True when the replicated build path should actually run.
+
+        A single replica is *defined* as the classic topology, so the
+        replicated assembly (and every extra object it creates) only
+        exists for ``replicas > 1`` — that is what makes ``replicas=1``
+        trivially bit-identical rather than accidentally so.
+        """
+        return self.enabled and self.replicas > 1

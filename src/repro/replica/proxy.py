@@ -1,0 +1,207 @@
+"""Apache as a *balancing* reverse proxy over a Tomcat replica group.
+
+:class:`BalancedProxyApplication` is the replicated-tier sibling of
+:class:`~repro.ntier.applications.ProxyApplication`: instead of one
+downstream pool it holds a :class:`~repro.replica.group.ReplicaGroup`,
+asks the group's balancer for a replica per request, and feeds every
+attempt outcome back into the balancer's ejection bookkeeping and the
+chosen replica's circuit breaker.
+
+With a :class:`~repro.resilience.hedge.HedgePolicy` attached, a request
+whose primary attempt is still outstanding after the hedge delay gets
+one budget-bounded backup attempt on a *different* replica; the first
+``"ok"`` response wins and the loser is cancelled through the
+``cancel`` event of :func:`~repro.ntier.applications._pooled_exchange`
+(its connection closes, the pool evicts it, and no breaker/balancer
+outcome is recorded for it — a cancelled attempt says nothing about
+replica health).  Hedged attempts run on their own proxy-worker threads
+so the two downstream calls genuinely overlap, mod CPU contention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.messages import Request
+from repro.ntier.applications import _forwardable, _pooled_exchange, _reject
+from repro.replica.group import Replica, ReplicaGroup
+from repro.resilience.hedge import HedgePolicy
+from repro.servers.base import Application, BaseServer
+
+__all__ = ["BalancedProxyApplication"]
+
+
+class BalancedProxyApplication(Application):
+    """Reverse proxy routing each request across a replica group."""
+
+    def __init__(
+        self,
+        group: ReplicaGroup,
+        per_request_cpu: float = 60.0e-6,
+        hedge: Optional[HedgePolicy] = None,
+    ):
+        if per_request_cpu < 0:
+            raise ValueError("per_request_cpu must be >= 0")
+        self.group = group
+        self.per_request_cpu = per_request_cpu
+        self.hedge = hedge
+        #: Deterministic per-request sequence (names hedge threads/procs).
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def _attempt(self, server: BaseServer, thread, replica: Replica,
+                 make_downstream, deadline, cancel):
+        """One routed attempt; returns ``(status, downstream)``.
+
+        Wraps the pooled exchange with the replica's outstanding count
+        and, afterwards, the failover accounting: breaker + balancer
+        success/failure — except for ``"cancelled"``, which records
+        nothing anywhere (the attempt was abandoned, not judged).
+        """
+        replica.outstanding += 1
+        try:
+            status, downstream = yield from _pooled_exchange(
+                replica.pool, server, thread, make_downstream, deadline, cancel
+            )
+        finally:
+            replica.outstanding -= 1
+        breaker = replica.pool.breaker
+        if status == "ok":
+            if breaker is not None:
+                breaker.record_success()
+            self.group.balancer.on_success(replica)
+        elif status != "cancelled":
+            if breaker is not None:
+                breaker.record_failure()
+            self.group.balancer.on_failure(replica)
+        return status, downstream
+
+    def _worker_attempt(self, server: BaseServer, replica: Replica,
+                        make_downstream, deadline, cancel, label: str):
+        """A hedge attempt on its own proxy-worker thread (generator)."""
+        thread = server.cpu.thread(label)
+        try:
+            return (
+                yield from self._attempt(
+                    server, thread, replica, make_downstream, deadline, cancel
+                )
+            )
+        finally:
+            thread.close()
+
+    # ------------------------------------------------------------------
+    def service(self, server: BaseServer, thread, request: Request):
+        env = server.env
+        # Parse + route the client request.
+        yield thread.run(self.per_request_cpu)
+        deadline = request.deadline
+        if deadline is not None and env.now >= deadline:
+            return _reject(request, expired=True)
+        balancer = self.group.balancer
+        primary = balancer.pick()
+        breaker = primary.pool.breaker
+        if breaker is not None and not breaker.allow():
+            # This replica's edge is sick; give one *other* replica a
+            # chance before fast-failing the whole request.
+            alternate = balancer.pick(exclude=primary)
+            if alternate is None:
+                return _reject(request)
+            primary = alternate
+            breaker = primary.pool.breaker
+            if breaker is not None and not breaker.allow():
+                return _reject(request)
+
+        def make_downstream() -> Request:
+            downstream = Request(
+                env,
+                kind=request.kind,
+                response_size=request.response_size,
+                request_size=request.request_size,
+                deadline=deadline,
+            )
+            downstream.metadata.update(_forwardable(request.metadata))
+            return downstream
+
+        if self.hedge is None:
+            status, downstream = yield from self._attempt(
+                server, thread, primary, make_downstream, deadline, None
+            )
+            if status == "ok":
+                return request.response_size
+            expired = status in ("busy", "timeout") or (
+                downstream is not None and bool(downstream.metadata.get("expired"))
+            )
+            return _reject(request, expired=expired)
+
+        return (
+            yield from self._service_hedged(
+                server, request, primary, make_downstream, deadline
+            )
+        )
+
+    def _service_hedged(self, server: BaseServer, request: Request,
+                        primary: Replica, make_downstream, deadline):
+        """Primary attempt + at most one delayed backup; first ok wins."""
+        env = server.env
+        hedge = self.hedge
+        balancer = self.group.balancer
+        self._seq += 1
+        seq = self._seq
+        started = env.now
+
+        primary_cancel = env.event()
+        primary_proc = env.process(
+            self._worker_attempt(server, primary, make_downstream, deadline,
+                                 primary_cancel, f"hedge-{seq}-p"),
+            name=f"hedge-{seq}-primary",
+        )
+        yield env.any_of([primary_proc, env.timeout(hedge.delay())])
+
+        backup_proc = None
+        backup_cancel = None
+        if not primary_proc.triggered:
+            # Primary is slow: hedge to a different replica, budget willing.
+            backup = balancer.pick(exclude=primary)
+            if backup is not None and hedge.try_hedge():
+                backup_cancel = env.event()
+                backup_proc = env.process(
+                    self._worker_attempt(server, backup, make_downstream,
+                                         deadline, backup_cancel,
+                                         f"hedge-{seq}-b"),
+                    name=f"hedge-{seq}-backup",
+                )
+
+        attempts = [(primary_proc, primary_cancel)]
+        if backup_proc is not None:
+            attempts.append((backup_proc, backup_cancel))
+        winner = None
+        while True:
+            for proc, _ in attempts:
+                if proc.triggered and proc.value[0] == "ok":
+                    winner = proc
+                    break
+            if winner is not None:
+                break
+            pending = [proc for proc, _ in attempts if not proc.triggered]
+            if not pending:
+                break
+            yield env.any_of(pending)
+
+        if winner is not None:
+            hedge.observe(env.now - started)
+            if winner is backup_proc:
+                hedge.hedges_won += 1
+            for proc, cancel in attempts:
+                if proc is not winner and not proc.triggered:
+                    cancel.succeed()
+                    hedge.hedges_cancelled += 1
+            return request.response_size
+
+        # Every attempt resolved without an "ok": shed the request.
+        statuses = [proc.value[0] for proc, _ in attempts]
+        downstreams = [proc.value[1] for proc, _ in attempts]
+        expired = any(s in ("busy", "timeout") for s in statuses) or any(
+            d is not None and bool(d.metadata.get("expired"))
+            for d in downstreams
+        )
+        return _reject(request, expired=expired)

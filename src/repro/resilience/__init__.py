@@ -18,7 +18,11 @@ attractor the paper's collapse measurements hint at:
 * **adaptive admission control** — an AIMD concurrency limiter discovers
   a server's sustainable ``max_inflight`` from observed latency
   (:class:`AdaptiveLimiter`, wired through
-  :class:`~repro.servers.base.ServerLimits`).
+  :class:`~repro.servers.base.ServerLimits`);
+* **hedged requests** — against a replicated tier, a backup attempt to a
+  different replica after a streaming-quantile delay, first response
+  wins, paid for out of the retry budget (:class:`HedgePolicy`, consumed
+  by :mod:`repro.replica.proxy`).
 
 Everything is deterministic (no RNG draws, no wall clock) and provably
 zero-impact when disabled: with ``ResiliencePolicy`` absent no object in
@@ -28,9 +32,11 @@ this package is instantiated and no extra simulation events exist.
 from repro.resilience.admission import AdaptiveLimiter
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.budget import RetryBudget
+from repro.resilience.hedge import HedgePolicy
 from repro.resilience.policy import (
     AdmissionConfig,
     BreakerConfig,
+    HedgeConfig,
     ResiliencePolicy,
     RetryBudgetConfig,
 )
@@ -40,6 +46,8 @@ __all__ = [
     "RetryBudgetConfig",
     "BreakerConfig",
     "AdmissionConfig",
+    "HedgeConfig",
+    "HedgePolicy",
     "RetryBudget",
     "CircuitBreaker",
     "AdaptiveLimiter",

@@ -112,6 +112,19 @@ class CircuitBreaker:
         self._window.clear()
         self.opens += 1
 
+    def reset(self) -> None:
+        """Return to the cold (CLOSED) state, as after a process restart.
+
+        Clears the outcome window and any half-open probe bookkeeping but
+        keeps the cumulative counters: a crash–restart wipes the breaker's
+        *memory*, not the run's accounting of what it did before dying.
+        """
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._window.clear()
+        self._probes_inflight = 0
+        self._probe_successes = 0
+
     def counters(self) -> Dict[str, float]:
         """Snapshot of the breaker counters for result reports."""
         return {

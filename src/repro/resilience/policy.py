@@ -17,6 +17,7 @@ __all__ = [
     "RetryBudgetConfig",
     "BreakerConfig",
     "AdmissionConfig",
+    "HedgeConfig",
     "ResiliencePolicy",
 ]
 
@@ -150,6 +151,45 @@ class AdmissionConfig:
 
 
 @dataclass(frozen=True)
+class HedgeConfig:
+    """Budget-bounded request hedging against a replicated tier.
+
+    After the primary attempt has been outstanding for the streaming
+    ``quantile`` of observed response latencies (never less than
+    ``min_delay``; ``initial_delay`` until ``min_samples`` observations
+    exist), one backup attempt is issued to a *different* replica and the
+    first response wins.  Each hedge withdraws a token from the shared
+    retry budget, so hedge amplification is bounded exactly like retry
+    amplification — no budget token, no backup.
+    """
+
+    #: Latency quantile after which the backup is issued (the classic
+    #: "hedge at p95" from The Tail at Scale).
+    quantile: float = 0.95
+    #: Floor for the hedge delay in seconds (guards against a quantile
+    #: estimate collapsing to ~0 and doubling every request).
+    min_delay: float = 0.010
+    #: Delay used until the quantile estimator has ``min_samples``.
+    initial_delay: float = 0.050
+    #: Observations required before the streaming quantile is trusted.
+    min_samples: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise WorkloadError(f"quantile must be in (0, 1), got {self.quantile!r}")
+        if self.min_delay < 0:
+            raise WorkloadError(f"min_delay must be >= 0, got {self.min_delay!r}")
+        if self.initial_delay < 0:
+            raise WorkloadError(
+                f"initial_delay must be >= 0, got {self.initial_delay!r}"
+            )
+        if self.min_samples < 1:
+            raise WorkloadError(
+                f"min_samples must be >= 1, got {self.min_samples!r}"
+            )
+
+
+@dataclass(frozen=True)
 class ResiliencePolicy:
     """The full cross-tier resilience stance of one experiment run.
 
@@ -167,6 +207,9 @@ class ResiliencePolicy:
     breaker: Optional[BreakerConfig] = None
     #: Adaptive admission control applied to the bottleneck-tier server.
     admission: Optional[AdmissionConfig] = None
+    #: Request hedging against replicated tiers (``None`` → no hedging;
+    #: ignored unless the topology actually runs multiple replicas).
+    hedge: Optional[HedgeConfig] = None
 
     def __post_init__(self) -> None:
         if self.deadline is not None and self.deadline <= 0:
@@ -180,4 +223,5 @@ class ResiliencePolicy:
             or self.retry_budget is not None
             or self.breaker is not None
             or self.admission is not None
+            or self.hedge is not None
         )

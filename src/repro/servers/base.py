@@ -181,6 +181,12 @@ class BaseServer:
         self.limits = limits
         #: Requests currently admitted into application service.
         self._inflight = 0
+        #: True while a crash window holds this instance down: new
+        #: connection attempts are refused (closed immediately, like a
+        #: connection reset against a dead port).  Only the crash–restart
+        #: fault machinery flips this; the default path just reads one
+        #: attribute per attach.
+        self.down = False
         #: Most recent request being served per connection, for abort
         #: accounting when a connection dies mid-request.
         self._active: Dict[Connection, Request] = {}
@@ -220,6 +226,12 @@ class BaseServer:
         """
         if connection in self.connections:
             raise ServerError("connection already attached")
+        if self.down:
+            # Crashed instance: nothing is listening, the SYN is answered
+            # with a reset.  Counted as a refusal like the cap path below.
+            self.stats.connections_refused += 1
+            connection.close()
+            return
         if (
             self.limits is not None
             and self.limits.max_connections is not None

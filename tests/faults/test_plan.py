@@ -1,9 +1,9 @@
-"""FaultPlan / StallWindow validation and the named presets."""
+"""FaultPlan / StallWindow / CrashWindow validation and the named presets."""
 
 import pytest
 
-from repro.errors import ExperimentError
-from repro.faults import FAULT_PRESETS, FaultPlan, StallWindow
+from repro.errors import ExperimentError, SimulationError
+from repro.faults import FAULT_PRESETS, CrashWindow, FaultPlan, StallWindow
 
 
 def test_default_plan_is_disabled():
@@ -78,6 +78,62 @@ def test_describe_lists_only_non_default_knobs():
     assert "segment_loss_prob" in summary
     assert "stalls=1" in summary
     assert "latency_spike_prob" not in summary
+
+
+def test_crash_windows_enable_the_plan_but_not_the_data_path():
+    plan = FaultPlan(crash_windows=(CrashWindow(start=1.0, end=2.0),))
+    assert plan.enabled
+    assert not plan.connection_faults_enabled
+    assert "crashes=1" in plan.describe()
+
+
+@pytest.mark.parametrize(
+    "window",
+    [
+        CrashWindow(start=-0.5, end=1.0),
+        CrashWindow(start=1.0, end=1.0),
+        CrashWindow(start=2.0, end=1.0),
+        CrashWindow(start=0.0, end=1.0, instance=-1),
+        CrashWindow(start=0.0, end=1.0, warmup=-0.1),
+    ],
+)
+def test_validate_rejects_malformed_crash_windows(window):
+    with pytest.raises(SimulationError):
+        FaultPlan(crash_windows=(window,)).validate()
+
+
+def test_validate_rejects_overlapping_windows_on_one_instance():
+    plan = FaultPlan(
+        crash_windows=(
+            CrashWindow(start=1.0, end=3.0),
+            CrashWindow(start=2.0, end=4.0),
+        )
+    )
+    with pytest.raises(SimulationError):
+        plan.validate()
+    # Declaration order must not matter: the validator sorts per instance.
+    reordered = FaultPlan(
+        crash_windows=(
+            CrashWindow(start=2.0, end=4.0),
+            CrashWindow(start=1.0, end=3.0),
+        )
+    )
+    with pytest.raises(SimulationError):
+        reordered.validate()
+
+
+def test_validate_accepts_back_to_back_and_cross_instance_overlap():
+    plan = FaultPlan(
+        crash_windows=(
+            CrashWindow(start=1.0, end=2.0),
+            # Touching windows are legal: the instance restarts at 2.0 and
+            # crashes again in the same instant.
+            CrashWindow(start=2.0, end=3.0),
+            # Concurrent crash of a *different* instance is legal too.
+            CrashWindow(start=1.5, end=2.5, instance=1),
+        )
+    )
+    assert plan.validate() is plan
 
 
 def test_presets_escalate():

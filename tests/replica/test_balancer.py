@@ -1,0 +1,247 @@
+"""LoadBalancer routing, passive outlier ejection and the active prober."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.replica import LoadBalancer, Replica, ReplicaConfig, ReplicaGroup
+from repro.sim.core import Environment
+
+pytestmark = pytest.mark.failover
+
+
+class _Server:
+    """The slice of the server surface the balancer/prober touches."""
+
+    def __init__(self):
+        self.down = False
+        self.connections = []
+
+
+def _replicas(n):
+    return [Replica(i, _Server(), None, None) for i in range(n)]
+
+
+def _balancer(env, n=3, **overrides):
+    defaults = dict(
+        replicas=n, ejection_threshold=3, ejection_duration=1.0,
+        ejection_backoff=2.0, ejection_max_duration=8.0,
+    )
+    defaults.update(overrides)
+    replicas = _replicas(n)
+    return LoadBalancer(env, ReplicaConfig(**defaults), replicas), replicas
+
+
+def advance(env, seconds):
+    env.timeout(seconds)
+    env.run()
+
+
+# ----------------------------------------------------------------------
+# Selection policies
+# ----------------------------------------------------------------------
+
+def test_round_robin_cycles_in_index_order():
+    lb, _ = _balancer(Environment())
+    picks = [lb.pick().index for _ in range(7)]
+    assert picks == [0, 1, 2, 0, 1, 2, 0]
+    assert lb.picks == 7
+
+
+def test_round_robin_skips_the_excluded_replica():
+    lb, replicas = _balancer(Environment())
+    picks = [lb.pick(exclude=replicas[1]).index for _ in range(4)]
+    assert picks == [0, 2, 0, 2]
+
+
+def test_exclude_of_the_sole_candidate_yields_none():
+    lb, replicas = _balancer(Environment(), n=1)
+    assert lb.pick(exclude=replicas[0]) is None
+
+
+def test_least_outstanding_prefers_idle_replicas_with_index_ties():
+    lb, replicas = _balancer(Environment(), policy="least_outstanding")
+    replicas[0].outstanding = 2
+    replicas[1].outstanding = 1
+    replicas[2].outstanding = 1
+    assert lb.pick().index == 1  # tie between 1 and 2 -> lowest index
+    replicas[1].outstanding = 5
+    assert lb.pick().index == 2
+
+
+# ----------------------------------------------------------------------
+# Passive outlier ejection
+# ----------------------------------------------------------------------
+
+def test_threshold_consecutive_failures_eject():
+    env = Environment()
+    lb, replicas = _balancer(env)
+    victim = replicas[1]
+    for _ in range(2):
+        lb.on_failure(victim)
+    assert victim.ejected_until is None  # one short of the threshold
+    lb.on_failure(victim)
+    assert victim.ejected_until == env.now + 1.0
+    assert lb.ejections == 1
+    picks = {lb.pick().index for _ in range(6)}
+    assert picks == {0, 2}
+
+
+def test_any_success_clears_the_failure_streak():
+    env = Environment()
+    lb, replicas = _balancer(env)
+    victim = replicas[0]
+    lb.on_failure(victim)
+    lb.on_failure(victim)
+    lb.on_success(victim)
+    lb.on_failure(victim)
+    lb.on_failure(victim)
+    lb.on_failure(victim)  # streak restarted at the success
+    assert lb.ejections == 1
+
+
+def test_probation_success_restores_full_health():
+    env = Environment()
+    lb, replicas = _balancer(env)
+    victim = replicas[2]
+    for _ in range(3):
+        lb.on_failure(victim)
+    advance(env, 1.5)  # sit-out lapsed: probation
+    assert victim.index in {lb.pick().index for _ in range(6)}
+    lb.on_success(victim)
+    assert victim.ejected_until is None
+    assert victim.sitout is None
+    assert victim.consecutive_failures == 0
+
+
+def test_probation_failure_reejects_immediately_with_backoff():
+    env = Environment()
+    lb, replicas = _balancer(env)
+    victim = replicas[0]
+    for _ in range(3):
+        lb.on_failure(victim)
+    assert victim.sitout == 2.0  # next sit-out, backed off from 1.0
+    advance(env, 1.5)
+    lb.on_failure(victim)  # single probation failure, no new streak needed
+    assert victim.ejected_until == env.now + 2.0
+    assert victim.sitout == 4.0
+    assert lb.ejections == 2
+
+
+def test_backoff_is_capped_at_the_max_duration():
+    env = Environment()
+    lb, replicas = _balancer(env, ejection_backoff=4.0, ejection_max_duration=3.0)
+    victim = replicas[0]
+    for _ in range(3):
+        lb.on_failure(victim)
+    assert victim.sitout == 3.0  # min(1.0 * 4, 3.0)
+    advance(env, 1.5)
+    lb.on_failure(victim)
+    assert victim.ejected_until == env.now + 3.0
+    assert victim.sitout == 3.0  # stays pinned at the cap
+
+
+def test_failures_while_sitting_out_do_not_stack_ejections():
+    env = Environment()
+    lb, replicas = _balancer(env)
+    victim = replicas[1]
+    for _ in range(3):
+        lb.on_failure(victim)
+    until = victim.ejected_until
+    for _ in range(5):  # panic-mode picks can still route and fail here
+        lb.on_failure(victim)
+    assert victim.ejected_until == until
+    assert lb.ejections == 1
+
+
+def test_panic_mode_routes_over_ejected_replicas():
+    env = Environment()
+    lb, replicas = _balancer(env, n=2)
+    for replica in replicas:
+        for _ in range(3):
+            lb.on_failure(replica)
+    assert lb.pick() is not None  # a dead pick beats no pick
+    assert lb.panic_picks == 1
+
+
+def test_zero_threshold_disables_ejection():
+    env = Environment()
+    lb, replicas = _balancer(env, ejection_threshold=0)
+    for _ in range(50):
+        lb.on_failure(replicas[0])
+    assert replicas[0].ejected_until is None
+    assert lb.ejections == 0
+
+
+def test_balancer_requires_at_least_one_replica():
+    with pytest.raises(SimulationError):
+        LoadBalancer(Environment(), ReplicaConfig(), [])
+
+
+def test_counters_are_namespaced():
+    lb, _ = _balancer(Environment())
+    lb.pick()
+    assert lb.counters() == {
+        "lb_picks": 1.0,
+        "lb_panic_picks": 0.0,
+        "lb_ejections": 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Active health probes
+# ----------------------------------------------------------------------
+
+def _group(env, **overrides):
+    defaults = dict(
+        replicas=2, ejection_threshold=2, ejection_duration=10.0,
+        ejection_max_duration=20.0, probe_interval=0.25,
+    )
+    defaults.update(overrides)
+    replicas = _replicas(defaults["replicas"])
+    group = ReplicaGroup(env, ReplicaConfig(**defaults), replicas)
+    group.start_probes()
+    return group, replicas
+
+
+def test_probes_eject_a_down_replica_without_live_requests():
+    env = Environment()
+    group, replicas = _group(env)
+    replicas[1].server.down = True
+    env.run(until=0.6)  # two probe rounds at 0.25 and 0.5
+    assert group.probe_failures == 2
+    assert group.probe_successes == 2
+    assert group.balancer.ejections == 1
+    assert group.balancer._in_ejection(replicas[1])
+    assert group.balancer.picks == 0  # detection cost zero live requests
+
+
+def test_probes_restore_a_recovered_replica_before_the_sitout_lapses():
+    env = Environment()
+    group, replicas = _group(env)
+    replicas[1].server.down = True
+    env.run(until=0.6)
+    assert group.balancer._in_ejection(replicas[1])
+    replicas[1].server.down = False
+    env.run(until=0.8)  # one more probe round; sit-out (10 s) is far away
+    assert replicas[1].ejected_until is None
+    assert replicas[1].consecutive_failures == 0
+
+
+def test_disabled_probe_interval_spawns_no_prober():
+    env = Environment()
+    group, replicas = _group(env, probe_interval=0.0)
+    replicas[0].server.down = True
+    env.run(until=2.0)
+    assert group.probe_failures == 0
+    assert group.probe_successes == 0
+
+
+def test_group_counters_include_probe_and_crash_totals():
+    env = Environment()
+    group, replicas = _group(env)
+    env.run(until=0.3)
+    counts = group.counters()
+    assert counts["probe_successes"] == 2.0
+    assert counts["probe_failures"] == 0.0
+    assert counts["replica_crashes"] == 0.0
+    assert "lb_picks" in counts

@@ -1,0 +1,62 @@
+"""ReplicaConfig validation, the ``active`` property and the kill switch."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.replica import REPLICA_ENV, ReplicaConfig, replica_enabled
+
+pytestmark = pytest.mark.failover
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"replicas": 0},
+        {"replicas": -1},
+        {"policy": "random"},
+        {"ejection_threshold": -1},
+        {"ejection_duration": 0.0},
+        {"ejection_backoff": 0.5},
+        {"ejection_duration": 2.0, "ejection_max_duration": 1.0},
+        {"probe_interval": -0.1},
+    ],
+)
+def test_validate_rejects_nonsense(kwargs):
+    with pytest.raises(ExperimentError):
+        ReplicaConfig(**kwargs).validate()
+
+
+def test_validate_returns_self_for_chaining():
+    config = ReplicaConfig(replicas=3, policy="least_outstanding")
+    assert config.validate() is config
+
+
+def test_zero_threshold_is_legal_and_disables_ejection():
+    assert ReplicaConfig(ejection_threshold=0).validate().ejection_threshold == 0
+
+
+def test_active_requires_enabled_and_more_than_one_replica():
+    assert not ReplicaConfig().active                      # replicas=1
+    assert not ReplicaConfig(enabled=False, replicas=3).active
+    assert ReplicaConfig(replicas=2).active
+
+
+def test_config_is_hashable_and_value_comparable():
+    assert ReplicaConfig(replicas=3) == ReplicaConfig(replicas=3)
+    assert hash(ReplicaConfig()) == hash(ReplicaConfig())
+    assert ReplicaConfig() != ReplicaConfig(policy="least_outstanding")
+
+
+@pytest.mark.parametrize("value", ["0", "off", "no", "false", " FALSE "])
+def test_kill_switch_values(monkeypatch, value):
+    monkeypatch.setenv(REPLICA_ENV, value)
+    assert not replica_enabled()
+
+
+@pytest.mark.parametrize("value", [None, "1", "on", "yes", "true", ""])
+def test_enabled_values(monkeypatch, value):
+    if value is None:
+        monkeypatch.delenv(REPLICA_ENV, raising=False)
+    else:
+        monkeypatch.setenv(REPLICA_ENV, value)
+    assert replica_enabled()

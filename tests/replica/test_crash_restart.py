@@ -1,0 +1,107 @@
+"""Replica crash/restart semantics: connection resets and cold state."""
+
+import pytest
+
+from repro.replica import Replica
+
+pytestmark = pytest.mark.failover
+
+
+class _Conn:
+    def __init__(self):
+        self.closed = False
+        self.closes = 0
+
+    def close(self):
+        self.closed = True
+        self.closes += 1
+
+
+class _Breaker:
+    def __init__(self):
+        self.resets = 0
+
+    def reset(self):
+        self.resets += 1
+
+
+class _Pool:
+    def __init__(self, connections=(), breaker=None):
+        self.connections = list(connections)
+        self.breaker = breaker
+        self.evictions = 0
+
+    def evict_closed_idle(self):
+        self.evictions += 1
+        return 0
+
+
+class _Cache:
+    def __init__(self):
+        self.clears = 0
+
+    def clear(self):
+        self.clears += 1
+
+
+class _Server:
+    def __init__(self, connections=()):
+        self.down = False
+        self.connections = list(connections)
+
+
+def _replica():
+    upstream = [_Conn(), _Conn()]
+    downstream = [_Conn()]
+    server = _Server(upstream)
+    breaker = _Breaker()
+    pool = _Pool()
+    db_pool = _Pool(downstream, breaker=breaker)
+    cache = _Cache()
+    replica = Replica(0, server, cpu=None, pool=pool, db_pool=db_pool, cache=cache)
+    return replica, upstream, downstream
+
+
+def test_crash_kills_the_instance_and_resets_every_connection():
+    replica, upstream, downstream = _replica()
+    replica.crash()
+    assert replica.server.down
+    assert replica.crashes == 1
+    assert all(c.closed for c in upstream)
+    assert all(c.closed for c in downstream)
+
+
+def test_crash_skips_already_closed_connections():
+    replica, upstream, _ = _replica()
+    upstream[0].close()
+    replica.crash()
+    assert upstream[0].closes == 1  # not double-closed
+    assert upstream[1].closes == 1
+
+
+def test_restart_comes_back_cold():
+    replica, _, _ = _replica()
+    replica.crash()
+    replica.restart()
+    assert not replica.server.down
+    assert replica.cache.clears == 1           # cache starts empty
+    assert replica.db_pool.breaker.resets == 1  # own breaker back to CLOSED
+    # Reconnection storm: both pools eagerly replace their dead members.
+    assert replica.pool.evictions == 1
+    assert replica.db_pool.evictions == 1
+
+
+def test_restart_tolerates_missing_cache_and_db_pool():
+    replica = Replica(0, _Server(), cpu=None, pool=_Pool())
+    replica.crash()
+    replica.restart()
+    assert not replica.server.down
+    assert replica.pool.evictions == 1
+
+
+def test_crash_counter_accumulates_across_windows():
+    replica, _, _ = _replica()
+    for _ in range(3):
+        replica.crash()
+        replica.restart()
+    assert replica.crashes == 3

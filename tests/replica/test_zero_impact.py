@@ -1,0 +1,81 @@
+"""The replica layer's zero-impact contract, proven three ways.
+
+A run with (a) no replica config, (b) ``ReplicaConfig(replicas=1)``,
+(c) ``ReplicaConfig(enabled=False)`` and (d) a fully enabled config
+under ``REPRO_REPLICA=0`` must all be *bit-identical*: same report
+floats, same counters, same kernel event count — the replicated build
+path never executes, forks no RNG streams, creates no objects.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.replica import REPLICA_ENV, ReplicaConfig
+from repro.ntier.topology import NTierConfig, run_ntier
+
+pytestmark = pytest.mark.failover
+
+_BASE = dict(
+    tomcat_variant="async",
+    users=15,
+    think_mean=0.5,
+    duration=1.0,
+    warmup=0.4,
+    timeline_bucket=0.25,
+    seed=9,
+)
+
+#: A config that visibly changes behaviour when the layer is live.
+_REPLICA = ReplicaConfig(replicas=3, policy="least_outstanding", probe_interval=0.2)
+
+
+def _fingerprint(result):
+    return (
+        dataclasses.asdict(result.report),
+        sorted(result.server_stats.items()),
+        sorted(result.client_stats.items()),
+        sorted(result.resilience.items()),
+        sorted(result.replica_stats.items()),
+        result.kernel_events,
+    )
+
+
+@pytest.fixture
+def baseline(monkeypatch):
+    monkeypatch.setenv(REPLICA_ENV, "1")
+    return _fingerprint(run_ntier(NTierConfig(**_BASE)))
+
+
+def test_single_replica_is_bit_identical(monkeypatch, baseline):
+    monkeypatch.setenv(REPLICA_ENV, "1")
+    result = run_ntier(NTierConfig(replica=ReplicaConfig(replicas=1), **_BASE))
+    assert _fingerprint(result) == baseline
+    assert result.replica_stats == {}
+
+
+def test_disabled_config_is_bit_identical(monkeypatch, baseline):
+    monkeypatch.setenv(REPLICA_ENV, "1")
+    result = run_ntier(
+        NTierConfig(replica=dataclasses.replace(_REPLICA, enabled=False), **_BASE)
+    )
+    assert _fingerprint(result) == baseline
+    assert result.replica_stats == {}
+
+
+def test_kill_switch_is_bit_identical(monkeypatch, baseline):
+    monkeypatch.setenv(REPLICA_ENV, "0")
+    result = run_ntier(NTierConfig(replica=_REPLICA, **_BASE))
+    assert _fingerprint(result) == baseline
+    assert result.replica_stats == {}
+
+
+def test_enabled_layer_actually_engages(monkeypatch, baseline):
+    """Sanity for the contract above: the same replica config *with* the
+    layer live must diverge from the baseline and report counters."""
+    monkeypatch.setenv(REPLICA_ENV, "1")
+    result = run_ntier(NTierConfig(replica=_REPLICA, **_BASE))
+    assert result.replica_stats
+    assert result.replica_stats["lb_picks"] > 0
+    assert result.replica_stats["probe_successes"] > 0
+    assert _fingerprint(result) != baseline

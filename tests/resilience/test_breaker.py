@@ -1,6 +1,11 @@
 """The circuit breaker's closed → open → half-open state machine."""
 
-from repro.resilience import BreakerConfig, CircuitBreaker
+from repro.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    RetryBudget,
+    RetryBudgetConfig,
+)
 from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
 
 CONFIG = BreakerConfig(
@@ -94,6 +99,92 @@ def test_failures_while_open_are_ignored(env):
     _trip(env, breaker)
     breaker.record_failure()  # the in-flight stragglers keep failing
     assert breaker.opens == 1  # no double trip
+
+
+def test_down_for_entire_probe_window_reopens_each_cycle(env):
+    """Upstream dead across every probe window: each half-open cycle
+    admits its probes, the first failure re-opens, and ``opens`` counts
+    exactly one transition per cycle."""
+    breaker = CircuitBreaker(env, CONFIG)
+    _trip(env, breaker)
+    for cycle in range(1, 4):
+        advance(env, CONFIG.open_duration)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe goes out...
+        breaker.record_failure()  # ...and dies against the down upstream
+        assert breaker.state == OPEN
+        assert breaker.opens == 1 + cycle
+        # Until the next window expires everything fast-fails.
+        assert not breaker.allow()
+
+
+def test_straggler_probe_outcomes_are_counted_exactly_once(env):
+    """Two concurrent probes: the first failure re-opens; the second
+    probe's outcome (failure *or* late success) must not double-trip,
+    close, or pollute the next cycle's window."""
+    breaker = CircuitBreaker(env, CONFIG)
+    _trip(env, breaker)
+    advance(env, CONFIG.open_duration)
+    assert breaker.allow() and breaker.allow()  # both probes in flight
+    breaker.record_failure()
+    assert breaker.state == OPEN and breaker.opens == 2
+    breaker.record_failure()  # straggler probe fails too
+    assert breaker.opens == 2  # not a second transition
+    breaker.record_success()  # or even comes back late and "succeeds"
+    assert breaker.state == OPEN and breaker.closes == 0
+    # The next cycle starts clean: a full probe quota of successes is
+    # still required to close (no leftover probe bookkeeping).
+    advance(env, CONFIG.open_duration)
+    for _ in range(CONFIG.half_open_probes):
+        assert breaker.allow()
+        breaker.record_success()
+    assert breaker.state == CLOSED and breaker.closes == 1
+
+
+def test_reopen_cycles_do_not_leak_retry_budget_tokens(env):
+    """Clients retrying through a breaker that is re-opening against a
+    down upstream spend retry-budget tokens only for retries they
+    actually issue — breaker bookkeeping (probe admissions, fast
+    failures, re-opens) never touches the bucket."""
+    breaker = CircuitBreaker(env, CONFIG)
+    budget = RetryBudget(RetryBudgetConfig(ratio=0.5, initial=0.0, cap=10.0))
+    _trip(env, breaker)
+    retries_issued = 0
+    for _ in range(40):  # requests against a permanently-down upstream
+        budget.on_request()
+        if breaker.allow():
+            breaker.record_failure()  # probe or regular call: it dies
+        if budget.try_spend():
+            retries_issued += 1
+            if breaker.allow():
+                breaker.record_failure()
+        advance(env, CONFIG.open_duration / 4)
+    # Exact conservation: deposits in, one whole token per granted
+    # retry out — regardless of how many probes the breaker admitted,
+    # fast-failed, or re-opened along the way.
+    assert budget.granted == retries_issued
+    assert budget.tokens == budget.deposited - budget.granted
+    assert budget.granted + budget.denied == 40
+    assert breaker.opens > 1  # the upstream really was down all along
+
+
+def test_reset_restores_cold_state_but_keeps_accounting(env):
+    """A crash-restart wipes the breaker's memory (state, window, probe
+    bookkeeping) without erasing what it did before dying."""
+    breaker = CircuitBreaker(env, CONFIG)
+    _trip(env, breaker)
+    advance(env, CONFIG.open_duration)
+    assert breaker.allow()  # leave a probe dangling mid-restart
+    breaker.reset()
+    assert breaker.state == CLOSED
+    assert breaker.opens == 1  # cumulative counters survive
+    assert breaker.allow()
+    # The window restarts empty: min_samples fresh failures to re-trip.
+    for _ in range(CONFIG.min_samples - 1):
+        breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN and breaker.opens == 2
 
 
 def test_counters_are_namespaced(env):

@@ -1,0 +1,74 @@
+"""HedgePolicy: the learned hedge delay and budget-bounded issuance."""
+
+from repro.resilience import (
+    HedgeConfig,
+    HedgePolicy,
+    RetryBudget,
+    RetryBudgetConfig,
+)
+
+
+def test_initial_delay_until_enough_samples():
+    policy = HedgePolicy(HedgeConfig(min_samples=5, initial_delay=0.05, min_delay=0.01))
+    assert policy.delay() == 0.05
+    for _ in range(4):
+        policy.observe(0.2)
+    assert policy.delay() == 0.05  # still one sample short
+    policy.observe(0.2)
+    assert policy.delay() == 0.2  # P2 is exact for the first five samples
+
+
+def test_min_delay_floors_a_collapsed_quantile():
+    policy = HedgePolicy(HedgeConfig(min_samples=5, initial_delay=0.05, min_delay=0.01))
+    for _ in range(5):
+        policy.observe(0.0001)
+    assert policy.delay() == 0.01
+
+
+def test_initial_delay_is_floored_too():
+    policy = HedgePolicy(HedgeConfig(min_samples=5, initial_delay=0.0, min_delay=0.02))
+    assert policy.delay() == 0.02
+
+
+def test_budgetless_policy_grants_every_hedge():
+    policy = HedgePolicy(HedgeConfig())
+    for _ in range(10):
+        assert policy.try_hedge()
+    assert policy.hedges_issued == 10
+    assert policy.hedges_denied == 0
+
+
+def test_budget_bounds_hedges_exactly_like_retries():
+    budget = RetryBudget(RetryBudgetConfig(ratio=0.5, initial=0.0, cap=10.0))
+    policy = HedgePolicy(HedgeConfig(), budget=budget)
+
+    # A dry budget denies the backup outright.
+    assert not policy.try_hedge()
+    assert policy.hedges_denied == 1
+    assert policy.hedges_issued == 0
+
+    # Two initial attempts deposit one whole token; the next hedge spends it.
+    budget.on_request()
+    budget.on_request()
+    assert policy.try_hedge()
+    assert policy.hedges_issued == 1
+    # The token came out of the *shared* bucket, so the budget's own
+    # accounting sees the hedge as a granted withdrawal.
+    assert budget.granted == 1
+    # Bucket is dry again.
+    assert not policy.try_hedge()
+    assert policy.hedges_denied == 2
+
+
+def test_counters_snapshot():
+    budget = RetryBudget(RetryBudgetConfig(ratio=1.0, initial=1.0, cap=10.0))
+    policy = HedgePolicy(HedgeConfig(), budget=budget)
+    assert policy.try_hedge()
+    policy.hedges_won += 1
+    policy.hedges_cancelled += 1
+    assert policy.counters() == {
+        "hedges_issued": 1.0,
+        "hedges_won": 1.0,
+        "hedges_cancelled": 1.0,
+        "hedges_denied": 0.0,
+    }

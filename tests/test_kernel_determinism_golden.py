@@ -37,10 +37,13 @@ from repro.experiments.micro import MicroConfig
 pytestmark = pytest.mark.tcpfast
 from repro.cache import CacheConfig
 from repro.experiments.parallel import SweepExecutor
-from repro.faults import FaultPlan, StallWindow
+from repro.faults import CrashWindow, FaultPlan, StallWindow
 from repro.ntier.topology import NTierConfig
+from repro.replica import ReplicaConfig
 from repro.resilience import (
     AdmissionConfig,
+    BreakerConfig,
+    HedgeConfig,
     ResiliencePolicy,
     RetryBudgetConfig,
 )
@@ -182,6 +185,85 @@ _NTIER_CONFIGS = {
 }
 
 
+#: Golden digests for the replica-enabled n-tier rows (PR 7), recorded
+#: with the regeneration helper; all earlier rows were verified
+#: byte-identical in the same run (zero-impact contract).
+GOLDEN_REPLICA = {
+    "failover": "f908a36f52e6965c",
+    "hedged": "f272d9d9edf07c96",
+}
+
+#: Replicated 3-tier runs: a crash-restart mid-run with round-robin
+#: balancing and passive ejection, and a least-outstanding + hedging +
+#: per-replica-cache row, pinning the whole failover layer's event
+#: sequence (crash connection resets, cold restarts, probes, hedge
+#: cancellation) into the digest matrix.
+_REPLICA_CONFIGS = {
+    "failover": NTierConfig(
+        tomcat_variant="async",
+        users=40,
+        think_mean=0.5,
+        duration=2.5,
+        warmup=0.5,
+        timeline_bucket=0.25,
+        seed=5,
+        retry=RetryPolicy(timeout=0.4, max_retries=2, backoff_base=0.02),
+        resilience=ResiliencePolicy(
+            retry_budget=RetryBudgetConfig(ratio=0.2),
+            breaker=BreakerConfig(open_duration=0.2),
+        ),
+        fault_plan=FaultPlan(
+            crash_windows=(CrashWindow(start=1.0, end=1.5, warmup=0.1),),
+        ),
+        replica=ReplicaConfig(
+            replicas=3,
+            policy="round_robin",
+            ejection_threshold=3,
+            ejection_duration=0.1,
+            probe_interval=0.25,
+        ),
+    ),
+    # Least-outstanding balancing + hedging + a per-replica cache, with
+    # the crash hitting instance 2 — covers the other balancer policy,
+    # the hedge win/cancel path, and a cold cache restart.
+    "hedged": NTierConfig(
+        tomcat_variant="sync",
+        users=40,
+        think_mean=0.5,
+        duration=2.5,
+        warmup=0.5,
+        timeline_bucket=0.25,
+        seed=6,
+        retry=RetryPolicy(timeout=0.4, max_retries=2, backoff_base=0.02),
+        resilience=ResiliencePolicy(
+            retry_budget=RetryBudgetConfig(ratio=0.2),
+            breaker=BreakerConfig(open_duration=0.2),
+            hedge=HedgeConfig(
+                quantile=0.9, min_delay=0.005, initial_delay=0.02,
+                min_samples=10,
+            ),
+        ),
+        cache=CacheConfig(
+            policy="cache_aside",
+            ttl=0.5,
+            capacity=32,
+            keys_per_class=2,
+            prewarm=True,
+        ),
+        fault_plan=FaultPlan(
+            crash_windows=(CrashWindow(start=1.0, end=1.5, instance=2,
+                                       warmup=0.1),),
+        ),
+        replica=ReplicaConfig(
+            replicas=3,
+            policy="least_outstanding",
+            ejection_threshold=3,
+            ejection_duration=0.1,
+        ),
+    ),
+}
+
+
 def _digest_result(result) -> str:
     """Stable hash of everything a run reports."""
     payload = (
@@ -197,6 +279,10 @@ def _digest_result(result) -> str:
     if cache_stats:
         # Same population rule for the cache tier (PR 6).
         payload = payload + (sorted(cache_stats.items()),)
+    replica_stats = getattr(result, "replica_stats", None)
+    if replica_stats:
+        # Same population rule for the replica layer (PR 7).
+        payload = payload + (sorted(replica_stats.items()),)
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
 
 
@@ -249,6 +335,37 @@ def test_golden_ntier_cache_digest_parallel(serial_ntier_digests):
     assert _run_all_ntier(jobs=4) == GOLDEN_NTIER == serial_ntier_digests
 
 
+def _run_all_replica(jobs: int) -> dict:
+    """The replica rows, with both kill switches pinned *on*.
+
+    ``REPRO_REPLICA=1`` keeps the replicated build path active (the
+    "hedged" row also needs ``REPRO_CACHE=1`` for its per-replica
+    caches); worker processes inherit both.
+    """
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setenv("REPRO_REPLICA", "1")
+        patch.setenv("REPRO_CACHE", "1")
+        executor = SweepExecutor("golden", scale=1.0, jobs=jobs, cache_dir=None)
+        results = executor.map_ntier(dict(_REPLICA_CONFIGS))
+        return {name: _digest_result(result) for name, result in results.items()}
+
+
+@pytest.fixture(scope="module")
+def serial_replica_digests() -> dict:
+    return _run_all_replica(jobs=1)
+
+
+@pytest.mark.failover
+def test_golden_ntier_replica_digest_serial(serial_replica_digests):
+    assert serial_replica_digests == GOLDEN_REPLICA
+
+
+@pytest.mark.failover
+def test_golden_ntier_replica_digest_parallel(serial_replica_digests):
+    """jobs=4 must reproduce the replica-enabled n-tier rows too."""
+    assert _run_all_replica(jobs=4) == GOLDEN_REPLICA == serial_replica_digests
+
+
 if __name__ == "__main__":  # pragma: no cover - digest regeneration helper
     digests = _run_all(jobs=1)
     print("GOLDEN = {")
@@ -258,5 +375,10 @@ if __name__ == "__main__":  # pragma: no cover - digest regeneration helper
     ntier_digests = _run_all_ntier(jobs=1)
     print("GOLDEN_NTIER = {")
     for name, digest in ntier_digests.items():
+        print(f"    {name!r}: {digest!r},")
+    print("}")
+    replica_digests = _run_all_replica(jobs=1)
+    print("GOLDEN_REPLICA = {")
+    for name, digest in replica_digests.items():
         print(f"    {name!r}: {digest!r},")
     print("}")

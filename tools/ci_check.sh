@@ -33,6 +33,14 @@
 #                 proving the per-segment TCP path still produces
 #                 bit-identical results so any digest mismatch can be
 #                 bisected to the flow-level fast path in one run.
+#   failover tier the failover-marked tests (replica groups, crash-
+#                 restart faults, hedging, the golden replica digests and
+#                 the failover artifact benchmark) with REPRO_REPLICA
+#                 pinned *on*, followed by a kill-switch equivalence run:
+#                 the golden-digest matrix re-executed under
+#                 REPRO_REPLICA=0 must reproduce every pre-replica digest
+#                 bit-for-bit (the replica layer is provably inert when
+#                 killed).
 #
 # Usage: tools/ci_check.sh [extra pytest args for both tiers]
 
@@ -53,7 +61,7 @@ run_tier() {
 }
 
 echo "[ci_check] fast tier (REPRO_JOBS=$REPRO_JOBS, cache: ${REPRO_CACHE:-on})"
-run_tier fast -m "not realnet and not chaos and not cache" "$@"
+run_tier fast -m "not realnet and not chaos and not cache and not failover" "$@"
 
 echo "[ci_check] chaos tier"
 run_tier chaos -m "chaos or resilience" tests benchmarks/test_bench_metastable.py "$@"
@@ -69,6 +77,22 @@ if [[ "$_saved_repro_cache" == "__unset__" ]]; then
     unset REPRO_CACHE
 else
     export REPRO_CACHE="$_saved_repro_cache"
+fi
+
+echo "[ci_check] failover tier (REPRO_REPLICA=1 pinned)"
+_saved_repro_replica="${REPRO_REPLICA-__unset__}"
+export REPRO_REPLICA=1
+run_tier failover -m failover tests benchmarks/test_bench_failover.py "$@"
+echo "[ci_check] replica kill-switch equivalence (REPRO_REPLICA=0)"
+# The failover-marked digest rows are deselected: under the kill switch
+# the replica configs deliberately collapse to the classic topology, so
+# only the pre-replica digests are expected to reproduce.
+export REPRO_REPLICA=0
+run_tier replicakill -m "not failover" tests/test_kernel_determinism_golden.py "$@"
+if [[ "$_saved_repro_replica" == "__unset__" ]]; then
+    unset REPRO_REPLICA
+else
+    export REPRO_REPLICA="$_saved_repro_replica"
 fi
 
 echo "[ci_check] realnet tier"
@@ -94,4 +118,4 @@ else
     echo "[ci_check] perf-smoke tier skipped (no BENCH_core.json)"
 fi
 
-echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + cache ${cache_elapsed}s + realnet ${realnet_elapsed}s + tcpfast ${tcpfast_elapsed}s + perf ${perf_elapsed}s"
+echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + cache ${cache_elapsed}s + failover ${failover_elapsed}s + replicakill ${replicakill_elapsed}s + realnet ${realnet_elapsed}s + tcpfast ${tcpfast_elapsed}s + perf ${perf_elapsed}s"
