@@ -1,0 +1,20 @@
+"""Million-client scale: cohort aggregation vs the per-client builder.
+
+Regenerates artifact ``million`` from the experiment registry and
+asserts its shape checks (bit-identical zero-impact of
+``materialize="always"``, fixed-seed determinism of the lazy engine,
+>=10x clients-per-wall-second over per-client simulation in an
+interleaved A/B, and a flat-heap-bound million-client run).
+
+The cohort engine is pinned on via ``REPRO_COHORT=1`` so a shell that
+disabled it cannot silently turn the big run into an hours-long
+per-client simulation.
+"""
+
+import pytest
+
+
+@pytest.mark.cohort
+def test_bench_million_clients(monkeypatch, regenerate):
+    monkeypatch.setenv("REPRO_COHORT", "1")
+    regenerate("million")

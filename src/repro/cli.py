@@ -21,6 +21,10 @@ Commands
     (crash-restart of one instance under no-failover vs outlier
     ejection vs ejection+hedging, plus the cold-cache restart
     stampede).
+``repro-bench million [--scale 0.3] [--jobs 4]``
+    Shortcut for ``run million``: the million-client scale study
+    (cohort-level flow aggregation with lazy materialization vs the
+    per-client builder, with heap and determinism probes).
 ``repro-bench perf [--scale 0.3] [--out BENCH_core.json] [--check BENCH_core.json]``
     Run the kernel perf-benchmark suite (events/sec, timeout churn, TCP
     throughput, micro wall time); optionally write the tracked JSON or
@@ -108,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
         "failover", help="run the replica-failover crash-restart study"
     )
     _add_sweep_flags(failover)
+
+    million = sub.add_parser(
+        "million", help="run the million-client cohort-aggregation study"
+    )
+    _add_sweep_flags(million)
 
     perf = sub.add_parser("perf", help="run the kernel perf-benchmark suite")
     perf.add_argument("--scale", type=float, default=1.0,
@@ -244,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run("cache", args.scale, args.jobs)
         if args.command == "failover":
             return _cmd_run("failover", args.scale, args.jobs)
+        if args.command == "million":
+            return _cmd_run("million", args.scale, args.jobs)
         if args.command == "perf":
             return _cmd_perf(args.scale, args.repeats, args.out,
                              args.check, args.tolerance)

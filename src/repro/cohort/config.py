@@ -1,0 +1,106 @@
+"""Cohort configuration and the ``REPRO_COHORT`` kill switch.
+
+:class:`CohortConfig` is a frozen value object so it participates in
+experiment cache keys (:func:`repro.experiments.parallel.point_digest`
+walks dataclasses) and golden-digest configs, exactly like
+:class:`~repro.cache.config.CacheConfig`.
+
+The three-way contract mirrors every prior fast path:
+
+* ``materialize="always"`` runs the classic eager builder — bit-identical
+  to ``cohort=None`` by construction (same loop, same RNG draws).
+* ``materialize="lazy"`` runs the aggregate :class:`~repro.cohort.engine.
+  Cohort` engine — deterministic (serial == parallel) but *not* digest-
+  compatible with the classic path; it has its own golden rows.
+* ``REPRO_COHORT=0`` demotes every lazy cohort to ``"always"`` so a
+  suspect run can be bisected to the aggregation machinery in one rerun.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+__all__ = ["CohortConfig", "COHORT_ENV", "cohort_enabled", "MATERIALIZE_MODES"]
+
+#: Kill switch: ``REPRO_COHORT=0`` forces materialize-always everywhere.
+COHORT_ENV = "REPRO_COHORT"
+
+_DISABLED = {"0", "off", "no", "false"}
+
+#: Supported materialization modes.
+MATERIALIZE_MODES = ("lazy", "always")
+
+
+def cohort_enabled() -> bool:
+    """False when the ``REPRO_COHORT`` kill switch disables aggregation."""
+    return os.environ.get(COHORT_ENV, "1").strip().lower() not in _DISABLED
+
+
+@dataclass(frozen=True)
+class CohortConfig:
+    """One homogeneous behaviour class of closed-loop clients.
+
+    A cohort aggregates N identical clients (same mix, think time, retry
+    policy, link, socket options) into counting state plus a bounded
+    bundle of live connections; memory and event count scale with
+    *activity*, not with N.  Individual clients materialize only for
+    special episodes (timeouts, rejections, connection loss, injected
+    aborts, observer access) and fold back afterwards.
+    """
+
+    #: Master switch; ``False`` is provably zero-impact (nothing built).
+    enabled: bool = True
+    #: ``"lazy"`` — aggregate engine with episodic materialization; or
+    #: ``"always"`` — the classic eager builder (the A/B baseline).
+    materialize: str = "lazy"
+    #: Upper bound on live connections the aggregate keeps open at once;
+    #: members beyond it wait in an (anonymous, zero-cost) launch queue.
+    max_inflight: int = 4096
+    #: Ramp-up staggering granularity: member start times are bucketed
+    #: into this many uniform slices instead of one timer per member, so
+    #: startup costs O(slices) events regardless of population size.
+    ramp_slices: int = 256
+    #: Members enter through a think-time draw *before* their first
+    #: request (a mostly-idle connected population — the million-client
+    #: scouting regime) instead of firing immediately on start (JMeter).
+    first_think: bool = False
+    #: Logical requests a materialized episode client serves before it
+    #: folds back into the aggregate.
+    episode_requests: int = 1
+    #: Population size at which the run recorder defaults to streaming
+    #: (fixed-memory P² samplers) so measurement heap stays bounded.
+    streaming_threshold: int = 100_000
+
+    def validate(self) -> "CohortConfig":
+        """Raise :class:`ExperimentError` on nonsensical settings."""
+        if self.materialize not in MATERIALIZE_MODES:
+            raise ExperimentError(
+                f"unknown materialize mode {self.materialize!r}; "
+                f"known: {MATERIALIZE_MODES}"
+            )
+        if self.max_inflight < 1:
+            raise ExperimentError(
+                f"max_inflight must be >= 1, got {self.max_inflight!r}"
+            )
+        if self.ramp_slices < 1:
+            raise ExperimentError(
+                f"ramp_slices must be >= 1, got {self.ramp_slices!r}"
+            )
+        if self.episode_requests < 1:
+            raise ExperimentError(
+                f"episode_requests must be >= 1, got {self.episode_requests!r}"
+            )
+        if self.streaming_threshold < 1:
+            raise ExperimentError(
+                f"streaming_threshold must be >= 1, "
+                f"got {self.streaming_threshold!r}"
+            )
+        return self
+
+    def lazy_active(self) -> bool:
+        """True when this config selects the aggregate engine right now
+        (enabled, lazy mode, and the kill switch has not demoted it)."""
+        return self.enabled and self.materialize == "lazy" and cohort_enabled()

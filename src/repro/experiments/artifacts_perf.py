@@ -31,6 +31,7 @@ import platform
 import random
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
@@ -50,6 +51,7 @@ __all__ = [
     "bench_tcp_spin",
     "bench_cache_tier",
     "bench_micro_wall",
+    "bench_million",
     "run_perf_suite",
     "render_perf_suite",
     "compare_to_baseline",
@@ -72,6 +74,7 @@ RATE_METRICS = (
     "tcp_drain_mbytes_per_sec",
     "tcp_drain_segment_events_per_sec",
     "cache_ops_per_sec",
+    "million_clients_per_sec",
 )
 
 
@@ -420,6 +423,102 @@ def bench_micro_wall(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
 
 
 # ----------------------------------------------------------------------
+# 7. Million-client cohort aggregation
+# ----------------------------------------------------------------------
+def bench_million(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
+    """Cohort-level flow aggregation vs. per-client simulation.
+
+    The scenario is a mostly-idle connected population (mean think time
+    400 s against a 6 s run — the million-client scouting regime): every
+    member is a real closed-loop user, but only the active fringe ever
+    touches the server.  Two measurements:
+
+    * **A/B** at a bounded population (``clients/50``, capped at 20k —
+      the classic path's per-event cost grows with attached connections,
+      so a full-size baseline run would take hours): the same
+      ``MicroConfig`` run with ``materialize="always"`` (classic eager
+      builder) and ``materialize="lazy"`` (aggregate engine),
+      interleaved within each round so host drift hits both sides
+      equally.  ``ab_speedup`` is the clients-per-wall-second ratio.
+    * the **big run**: the lazy engine alone at ``1_000_000 * scale``
+      clients — timed rounds for ``clients_per_sec``, plus one
+      tracemalloc-instrumented round (traced separately because the
+      allocation hooks roughly triple wall time) for ``peak_heap_mb``.
+
+    ``clients_per_sec`` is scale-free-ish (wall grows with the active
+    fringe, which grows with N) and is the gated rate metric.
+    """
+    from repro.cohort import CohortConfig, cohort_enabled
+    from repro.experiments.micro import MicroConfig, run_micro
+
+    if not cohort_enabled():
+        raise ExperimentError(
+            "bench_million needs the cohort engine; unset REPRO_COHORT "
+            "(or set it to 1) — under REPRO_COHORT=0 the big run would "
+            "fall back to hours of per-client simulation"
+        )
+    clients = max(10_000, int(round(1_000_000 * scale)))
+    ab_clients = max(1_000, min(20_000, clients // 50))
+
+    def _config(size: int, mode: str) -> "MicroConfig":
+        return MicroConfig(
+            server="SingleT-Async",
+            concurrency=size,
+            duration=6.0,
+            warmup=2.0,
+            think_mean=400.0,
+            cohort=CohortConfig(
+                materialize=mode, max_inflight=2048, first_think=True
+            ),
+        )
+
+    def _timed(size: int, mode: str):
+        started = time.perf_counter()
+        result = run_micro(_config(size, mode))
+        return time.perf_counter() - started, result
+
+    rounds = max(1, repeats)
+    base_wall = lazy_wall = float("inf")
+    for _ in range(rounds):
+        wall, _ = _timed(ab_clients, "always")
+        base_wall = min(base_wall, wall)
+        wall, _ = _timed(ab_clients, "lazy")
+        lazy_wall = min(lazy_wall, wall)
+
+    big_wall = float("inf")
+    big_result = None
+    for _ in range(rounds):
+        wall, result = _timed(clients, "lazy")
+        if wall < big_wall:
+            big_wall, big_result = wall, result
+    assert big_result is not None
+
+    tracemalloc.start()
+    traced = run_micro(_config(clients, "lazy"))
+    peak_bytes = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+
+    return {
+        "wall_s": big_wall,
+        "clients": float(clients),
+        "clients_per_sec": clients / big_wall if big_wall > 0 else 0.0,
+        "events_per_sec": (
+            big_result.kernel_events / big_wall if big_wall > 0 else 0.0
+        ),
+        "completed": float(traced.report.completed),
+        "peak_heap_mb": peak_bytes / 1e6,
+        "ab_clients": float(ab_clients),
+        "ab_baseline_clients_per_sec": (
+            ab_clients / base_wall if base_wall > 0 else 0.0
+        ),
+        "ab_lazy_clients_per_sec": (
+            ab_clients / lazy_wall if lazy_wall > 0 else 0.0
+        ),
+        "ab_speedup": base_wall / lazy_wall if lazy_wall > 0 else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
 # Suite driver
 # ----------------------------------------------------------------------
 def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
@@ -432,9 +531,10 @@ def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
     spin = bench_tcp_spin(scale, repeats)
     cache = bench_cache_tier(scale, repeats)
     micro = bench_micro_wall(scale, max(1, repeats - 1))
+    million = bench_million(scale, max(1, repeats - 1))
     return {
         "suite": "repro-kernel-perf",
-        "version": 3,
+        "version": 4,
         "scale": scale,
         "host": {
             "python": sys.version.split()[0],
@@ -459,6 +559,15 @@ def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
             "micro_wall_s": round(micro["wall_s"], 4),
             "micro_events_per_sec": round(micro["events_per_sec"], 1),
             "micro_completed": micro["completed"],
+            "million_clients": million["clients"],
+            "million_wall_s": round(million["wall_s"], 4),
+            "million_clients_per_sec": round(million["clients_per_sec"], 1),
+            "million_events_per_sec": round(million["events_per_sec"], 1),
+            "million_peak_heap_mb": round(million["peak_heap_mb"], 2),
+            "million_ab_speedup": round(million["ab_speedup"], 2),
+            "million_ab_baseline_clients_per_sec": round(
+                million["ab_baseline_clients_per_sec"], 1
+            ),
         },
     }
 

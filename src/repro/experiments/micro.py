@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
 from repro.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cohort import CohortConfig
 from repro.core.hybrid import HybridServer
 from repro.cpu.scheduler import CPU
 from repro.errors import ExperimentError
@@ -30,7 +31,7 @@ from repro.servers.threaded import ThreadedServer
 from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
 from repro.sim.core import Environment
 from repro.sim.rng import SeedStreams
-from repro.workload.client import ClientStats, RetryPolicy
+from repro.workload.client import ExponentialThink, RetryPolicy
 from repro.workload.mixes import FixedMix, RequestMix
 from repro.workload.population import ConnectionOptions, build_population
 
@@ -130,6 +131,13 @@ class MicroConfig:
     #: micro setup the ``breaker`` knob is inert (no inter-tier pools);
     #: deadline, retry budget and adaptive admission all apply.
     resilience: Optional[ResiliencePolicy] = None
+    #: Mean exponential think time between a client's requests in seconds
+    #: (0 keeps the paper's zero-think JMeter loop, bit-identical).
+    think_mean: float = 0.0
+    #: Cohort aggregation (``None`` → classic per-client population;
+    #: ``materialize="always"`` routes through the classic builder too,
+    #: bit-identical by construction).
+    cohort: Optional[CohortConfig] = None
 
     @property
     def workers(self) -> int:
@@ -171,6 +179,10 @@ class MicroResult:
     #: populated when the run used a :class:`ResiliencePolicy`, so the
     #: default result shape — and every golden digest — is unchanged.
     resilience: Dict[str, float] = field(default_factory=dict)
+    #: Aggregate-cohort counters; only populated when the run used a
+    #: lazy :class:`~repro.cohort.CohortConfig` (empty otherwise, so the
+    #: default result shape — and every golden digest — is unchanged).
+    cohort_stats: Dict[str, float] = field(default_factory=dict)
     #: Simulation events processed by the kernel during this run.  A pure
     #: function of the config, so it participates in equality (serial,
     #: parallel and cached runs must agree on it).
@@ -261,6 +273,13 @@ def run_micro(config: MicroConfig, streaming: bool = False) -> MicroResult:
         if policy.retry_budget is not None:
             budget = RetryBudget(policy.retry_budget)
     link = Link.lan(calib, added_latency=config.added_latency)
+    cohort = config.cohort
+    lazy_cohort = (
+        cohort is not None and cohort.enabled and cohort.lazy_active()
+    )
+    if lazy_cohort and config.concurrency >= cohort.streaming_threshold:
+        # Bounded-heap measurement for bounded-heap populations.
+        streaming = True
     recorder = RunRecorder(env, warmup=config.warmup, streaming=streaming)
     recorder.watch_cpu(cpu)
     mix = config.mix or FixedMix(config.response_size)
@@ -281,11 +300,15 @@ def run_micro(config: MicroConfig, streaming: bool = False) -> MicroResult:
         options=ConnectionOptions(
             send_buffer_size=config.send_buffer_size, autotune=config.autotune
         ),
+        think=(
+            ExponentialThink(config.think_mean) if config.think_mean > 0 else None
+        ),
         ramp_up=config.warmup * 0.8,
         faults=injector,
         retry=config.retry,
         budget=budget,
         deadline=deadline,
+        cohort=cohort,
     )
     sim_start = time.perf_counter()
     env.run(until=config.duration)
@@ -304,11 +327,13 @@ def run_micro(config: MicroConfig, streaming: bool = False) -> MicroResult:
         stats["heavy_path_requests"] = float(server.heavy_path_requests)
         stats["light_path_fallbacks"] = float(server.light_path_fallbacks)
     client_stats: Dict[str, float] = {}
-    if injector is not None or config.retry is not None or policy is not None:
-        for counter in ClientStats.__slots__:
-            client_stats[counter] = float(
-                sum(getattr(c.stats, counter) for c in population.clients)
-            )
+    if (
+        injector is not None
+        or config.retry is not None
+        or policy is not None
+        or lazy_cohort
+    ):
+        client_stats = population.client_stat_totals()
     resilience: Dict[str, float] = {}
     if policy is not None:
         if budget is not None:
@@ -323,6 +348,7 @@ def run_micro(config: MicroConfig, streaming: bool = False) -> MicroResult:
         client_stats=client_stats,
         faults=injector.report() if injector is not None else None,
         resilience=resilience,
+        cohort_stats=population.cohort_stats(),
         kernel_events=env.events_processed,
         sim_wall_s=sim_wall,
     )

@@ -34,6 +34,7 @@ from repro.experiments.artifacts_cache import cache_stampedes
 from repro.experiments.artifacts_chaos import chaos_resilience
 from repro.experiments.artifacts_failover import replica_failover
 from repro.experiments.artifacts_metastable import metastable_failure
+from repro.experiments.artifacts_million import million_clients
 from repro.experiments.artifacts_extensions import (
     ablation_flow_granularity,
     ablation_ncopy_scaling,
@@ -87,6 +88,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("metastable", "Metastable failure: naive retries vs resilience stack", metastable_failure, "minutes"),
         ExperimentSpec("cache", "Cache stampedes: duplicate fetches vs single-flight", cache_stampedes, "minutes"),
         ExperimentSpec("failover", "Replica failover: crash-restart vs ejection and hedging", replica_failover, "minutes"),
+        ExperimentSpec("million", "Million-client scale: cohort aggregation vs per-client", million_clients, "minutes"),
     ]
 }
 

@@ -36,7 +36,8 @@ from repro.servers.threaded import ThreadedServer
 from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
 from repro.sim.core import Environment
 from repro.sim.rng import SeedStreams
-from repro.workload.client import ClientStats, ExponentialThink, RetryPolicy
+from repro.cohort import CohortConfig
+from repro.workload.client import ExponentialThink, RetryPolicy
 from repro.workload.mixes import RequestMix
 from repro.workload.population import build_population
 from repro.workload.rubbos import RubbosMix
@@ -81,6 +82,9 @@ class NTierConfig:
     #: Replicated Tomcat tier behind Apache (``None`` → the classic
     #: single-instance build; also subject to ``REPRO_REPLICA=0``).
     replica: Optional[ReplicaConfig] = None
+    #: Cohort aggregation of the user population (``None`` → classic
+    #: per-client build; also subject to ``REPRO_COHORT=0``).
+    cohort: Optional[CohortConfig] = None
 
     def validate(self) -> "NTierConfig":
         """Raise :class:`ExperimentError` on nonsensical settings."""
@@ -98,6 +102,8 @@ class NTierConfig:
             self.cache.validate()
         if self.replica is not None:
             self.replica.validate()
+        if self.cohort is not None:
+            self.cohort.validate()
         return self
 
 
@@ -383,6 +389,9 @@ class NTierResult:
     #: crashes, hedging (empty unless a replica group actually ran, same
     #: population rule as ``cache_stats``).
     replica_stats: Dict[str, float] = field(default_factory=dict)
+    #: Aggregate-cohort counters (empty unless a lazy cohort ran, same
+    #: population rule as ``cache_stats``).
+    cohort_stats: Dict[str, float] = field(default_factory=dict)
     #: Fault-injection report (``None`` for clean runs).
     faults: Optional[FaultReport] = None
     #: Successful completions per ``timeline_bucket`` of absolute sim
@@ -412,8 +421,16 @@ def run_ntier(config: NTierConfig) -> NTierResult:
     env = Environment()
     system = ThreeTierSystem(env, config)
     calib = config.calibration
+    lazy_cohort = (
+        config.cohort is not None
+        and config.cohort.enabled
+        and config.cohort.lazy_active()
+    )
     recorder = RunRecorder(
-        env, warmup=config.warmup, timeline_bucket=config.timeline_bucket
+        env,
+        warmup=config.warmup,
+        streaming=lazy_cohort and config.users >= config.cohort.streaming_threshold,
+        timeline_bucket=config.timeline_bucket,
     )
     recorder.watch_cpu(system.app_cpu)
 
@@ -471,6 +488,7 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         retry=config.retry,
         budget=budget,
         deadline=deadline,
+        cohort=config.cohort,
     )
 
     starts = {name: cpu.snapshot() for name, cpu in system.cpu_by_tier().items()}
@@ -495,11 +513,13 @@ def run_ntier(config: NTierConfig) -> NTierResult:
     group = system.replica_group
     client_stats: Dict[str, float] = {}
     server_stats: Dict[str, float] = {}
-    if injector is not None or config.retry is not None or policy is not None:
-        for counter in ClientStats.__slots__:
-            client_stats[counter] = float(
-                sum(getattr(c.stats, counter) for c in population.clients)
-            )
+    if (
+        injector is not None
+        or config.retry is not None
+        or policy is not None
+        or lazy_cohort
+    ):
+        client_stats = population.client_stat_totals()
         tomcat_servers = (
             [r.server for r in group.replicas]
             if group is not None
@@ -569,6 +589,7 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         resilience=resilience,
         cache_stats=cache_stats,
         replica_stats=replica_stats,
+        cohort_stats=population.cohort_stats(),
         faults=injector.report() if injector is not None else None,
         goodput_timeline=recorder.timeline(),
         sim_wall_s=sim_wall,

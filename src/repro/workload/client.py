@@ -176,6 +176,8 @@ class ClosedLoopClient:
         faults=None,
         budget=None,
         deadline: Optional[float] = None,
+        stop_after: Optional[int] = None,
+        counters=None,
     ):
         self.env = env
         self.connection = connection
@@ -186,6 +188,16 @@ class ClosedLoopClient:
         self.initial_delay = initial_delay
         self.name = name or f"client-{connection.id}"
         self.requests_completed = 0
+        #: Stop after this many *logical* requests (``None`` → run until
+        #: the simulation ends).  Cohort episodes use this to bound a
+        #: materialized client's lifetime before it folds back.
+        self.stop_after = stop_after
+        if stop_after is not None and stop_after < 1:
+            raise WorkloadError(f"stop_after must be >= 1, got {stop_after!r}")
+        #: Duck-typed shared counter sink (``PopulationCounters``): lets
+        #: the population report completions without sweeping N clients.
+        self.counters = counters
+        self._logical_done = 0
         self.retry = retry
         self.reconnect = reconnect
         self.faults = faults
@@ -222,8 +234,12 @@ class ClosedLoopClient:
             self.connection.send_request(request)
             yield request.completed
             self.requests_completed += 1
+            if self.counters is not None:
+                self.counters.completed += 1
             if self.recorder is not None:
                 self.recorder.record(request)
+            if self.stop_after is not None and self.requests_completed >= self.stop_after:
+                return
             pause = self.think.sample(self.rng)
             if pause > 0:
                 yield self.env.timeout(pause)
@@ -240,6 +256,9 @@ class ClosedLoopClient:
             template = self.mix.sample(self.env, self.rng)
             keep_going = yield from self._one_logical_request(template, policy)
             if not keep_going:
+                return
+            self._logical_done += 1
+            if self.stop_after is not None and self._logical_done >= self.stop_after:
                 return
             pause = self.think.sample(self.rng)
             if pause > 0:
@@ -322,6 +341,8 @@ class ClosedLoopClient:
                         # Success: the full response reached this client.
                         self.stats.successes += 1
                         self.requests_completed += 1
+                        if self.counters is not None:
+                            self.counters.completed += 1
                         if self.recorder is not None:
                             self.recorder.record(request)
                         return True

@@ -4,24 +4,47 @@ A *population* is N closed-loop clients, each with its own persistent
 connection to the server (the paper's JMeter setup).  The builder owns the
 repetitive wiring: connection creation with the right socket options,
 server attachment, RNG streams, and ramp-up staggering.
+
+Two construction strategies exist:
+
+* the **classic** eager builder — N live clients and connections, bit-
+  identical to every historical run (and to ``CohortConfig(materialize=
+  "always")``, which routes here);
+* the **aggregate** :class:`~repro.cohort.engine.Cohort` engine
+  (``CohortConfig(materialize="lazy")``) — counting state plus a bounded
+  connection bundle, for populations far beyond what per-object
+  simulation can hold.  ``REPRO_COHORT=0`` demotes it to the classic
+  builder.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.calibration import Calibration
+from repro.cohort.config import CohortConfig
 from repro.metrics.collector import RunRecorder
 from repro.net.link import Link
 from repro.net.tcp import Connection
 from repro.servers.base import BaseServer
 from repro.sim.core import Environment
 from repro.sim.rng import SeedStreams
-from repro.workload.client import ClosedLoopClient, NoThink, RetryPolicy, ThinkTime
+from repro.workload.client import (
+    ClientStats,
+    ClosedLoopClient,
+    NoThink,
+    RetryPolicy,
+    ThinkTime,
+)
 from repro.workload.mixes import RequestMix
 
-__all__ = ["ConnectionOptions", "Population", "build_population"]
+__all__ = [
+    "ConnectionOptions",
+    "Population",
+    "PopulationCounters",
+    "build_population",
+]
 
 
 @dataclass(frozen=True)
@@ -34,6 +57,19 @@ class ConnectionOptions:
     autotune: bool = False
 
 
+class PopulationCounters:
+    """Streaming population totals, bumped at completion time.
+
+    End-of-run reporting reads one integer instead of walking a
+    million-entry client list per call.
+    """
+
+    __slots__ = ("completed",)
+
+    def __init__(self) -> None:
+        self.completed = 0
+
+
 @dataclass
 class Population:
     """A built client population."""
@@ -41,6 +77,7 @@ class Population:
     clients: List[ClosedLoopClient]
     connections: List[Connection]
     recorder: Optional[RunRecorder]
+    counters: Optional[PopulationCounters] = None
 
     @property
     def size(self) -> int:
@@ -48,7 +85,22 @@ class Population:
 
     @property
     def completed_requests(self) -> int:
+        if self.counters is not None:
+            return self.counters.completed
         return sum(c.requests_completed for c in self.clients)
+
+    def client_stat_totals(self) -> Dict[str, float]:
+        """Summed :class:`ClientStats` counters in one pass over clients."""
+        totals = {slot: 0.0 for slot in ClientStats.__slots__}
+        for client in self.clients:
+            stats = client.stats
+            for slot in ClientStats.__slots__:
+                totals[slot] += getattr(stats, slot)
+        return totals
+
+    def cohort_stats(self) -> Dict[str, float]:
+        """Empty for classic populations (duck-typing the cohort path)."""
+        return {}
 
 
 def build_population(
@@ -67,7 +119,9 @@ def build_population(
     retry: Optional[RetryPolicy] = None,
     budget=None,
     deadline: Optional[float] = None,
-) -> Population:
+    cohort: Optional[CohortConfig] = None,
+    lazy_rampup: bool = False,
+) -> "Union[Population, CohortPopulation]":
     """Create ``size`` closed-loop clients against ``server``.
 
     Clients are staggered uniformly over ``ramp_up`` virtual seconds so
@@ -85,12 +139,54 @@ def build_population(
     ``deadline`` (seconds per logical request) arm the cross-tier
     resilience loop: retries must win a budget token, and every request
     carries an absolute deadline that downstream tiers honour.
+
+    ``cohort`` selects the aggregate engine: with ``materialize="lazy"``
+    (and ``REPRO_COHORT`` not disabling it) a :class:`CohortPopulation`
+    is returned instead of N live clients; ``materialize="always"`` — and
+    the kill switch — fall back to the classic builder here, so the same
+    scenario runs on either machinery.  ``lazy_rampup`` makes the classic
+    builder spawn each client from the previous one's start event (one
+    pending start timer at any moment) instead of pre-scheduling N start
+    events; it is opt-in because deferring construction is visible to the
+    server and would perturb historical digests.
     """
     if size < 1:
         raise ValueError(f"population size must be >= 1, got {size!r}")
     think = think or NoThink()
-    clients: List[ClosedLoopClient] = []
-    connections: List[Connection] = []
+    first_think = False
+    if cohort is not None and cohort.enabled:
+        cohort.validate()
+        first_think = cohort.first_think
+        if cohort.lazy_active():
+            # Imported here, not at module top: the engine itself imports
+            # repro.workload (clients, mixes), so a top-level import would
+            # be circular through the package __init__.
+            from repro.cohort.engine import Cohort, CohortPopulation
+
+            aggregate = Cohort(
+                env,
+                server,
+                size,
+                mix,
+                link,
+                calibration,
+                seeds,
+                cohort,
+                recorder=recorder,
+                think=think,
+                options=options,
+                ramp_up=ramp_up,
+                faults=faults,
+                retry=retry,
+                budget=budget,
+                deadline=deadline,
+            )
+            return CohortPopulation(cohorts=[aggregate], recorder=recorder)
+
+    counters = PopulationCounters()
+    population = Population(
+        clients=[], connections=[], recorder=recorder, counters=counters
+    )
 
     def _connect(index: int) -> Connection:
         connection = Connection(
@@ -104,9 +200,14 @@ def build_population(
         server.attach(connection)
         return connection
 
-    for index in range(size):
+    def _spawn(index: int, delay: float) -> None:
         connection = _connect(index)
-        delay = (ramp_up * index / size) if ramp_up > 0 else 0.0
+        rng = seeds.stream("client", index)
+        if first_think:
+            # Cohort semantics: the member's first request waits out a
+            # think pause (a mostly-idle connected population), drawn
+            # from the same per-index stream the client then continues.
+            delay += think.sample(rng)
         reconnect = None
         if (
             faults is not None
@@ -119,7 +220,7 @@ def build_population(
             env,
             connection,
             mix.clone_for_client(),
-            rng=seeds.stream("client", index),
+            rng=rng,
             recorder=recorder,
             think=think,
             initial_delay=delay,
@@ -129,7 +230,24 @@ def build_population(
             faults=faults.for_client(index) if faults is not None else None,
             budget=budget,
             deadline=deadline,
+            counters=counters,
         )
-        clients.append(client)
-        connections.append(connection)
-    return Population(clients=clients, connections=connections, recorder=recorder)
+        population.clients.append(client)
+        population.connections.append(connection)
+
+    if lazy_rampup and ramp_up > 0 and size > 1:
+        step = ramp_up / size
+
+        def _starter():
+            # Each client's construction is chained off the previous
+            # one's start: exactly one pending start timer at any time.
+            for index in range(size):
+                if index:
+                    yield env.timeout(step)
+                _spawn(index, 0.0)
+
+        env.process(_starter(), name="population-starter")
+    else:
+        for index in range(size):
+            _spawn(index, (ramp_up * index / size) if ramp_up > 0 else 0.0)
+    return population

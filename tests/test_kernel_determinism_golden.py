@@ -36,6 +36,7 @@ from repro.experiments.micro import MicroConfig
 #: per-segment path and must produce the same GOLDEN rows bit-for-bit.
 pytestmark = pytest.mark.tcpfast
 from repro.cache import CacheConfig
+from repro.cohort import CohortConfig
 from repro.experiments.parallel import SweepExecutor
 from repro.faults import CrashWindow, FaultPlan, StallWindow
 from repro.ntier.topology import NTierConfig
@@ -264,6 +265,48 @@ _REPLICA_CONFIGS = {
 }
 
 
+#: Golden digests for the cohort aggregation engine (PR 8), recorded with
+#: the regeneration helper; all earlier rows were verified byte-identical
+#: in the same run (zero-impact contract: a lazy cohort config changes
+#: nothing unless it is actually attached to a run).
+GOLDEN_COHORT = {
+    "cohort-chaos": "63624588654fbe21",
+    "cohort-idle": "7fa549fce84f6558",
+}
+
+#: Lazy-cohort micro runs: one episode-heavy chaos row (faults + client
+#: retries force materialization, watchdog timeouts and fold-back into
+#: the hash) and one mostly-idle superposition row (20k members on the
+#: aggregate exponential clock — the million-client regime, scaled to a
+#: digest-friendly runtime).  The lazy engine is *not* digest-compatible
+#: with the classic builder (different event order by design), so these
+#: rows pin its own behaviour instead.
+_COHORT_CONFIGS = {
+    "cohort-chaos": MicroConfig(
+        "SingleT-Async",
+        2000,
+        duration=1.5,
+        warmup=0.3,
+        think_mean=0.5,
+        fault_plan=FaultPlan(
+            reset_request_prob=0.005,
+            client_abort_prob=0.02,
+            rto=0.05,
+        ),
+        retry=RetryPolicy(timeout=0.1, max_retries=2, backoff_base=0.01),
+        cohort=CohortConfig(first_think=True, max_inflight=64),
+    ),
+    "cohort-idle": MicroConfig(
+        "SingleT-Async",
+        20_000,
+        duration=1.0,
+        warmup=0.2,
+        think_mean=50.0,
+        cohort=CohortConfig(first_think=True, max_inflight=32),
+    ),
+}
+
+
 def _digest_result(result) -> str:
     """Stable hash of everything a run reports."""
     payload = (
@@ -283,6 +326,10 @@ def _digest_result(result) -> str:
     if replica_stats:
         # Same population rule for the replica layer (PR 7).
         payload = payload + (sorted(replica_stats.items()),)
+    cohort_stats = getattr(result, "cohort_stats", None)
+    if cohort_stats:
+        # Same population rule for the cohort engine (PR 8).
+        payload = payload + (sorted(cohort_stats.items()),)
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
 
 
@@ -366,6 +413,35 @@ def test_golden_ntier_replica_digest_parallel(serial_replica_digests):
     assert _run_all_replica(jobs=4) == GOLDEN_REPLICA == serial_replica_digests
 
 
+def _run_all_cohort(jobs: int) -> dict:
+    """The lazy-cohort rows, with the cohort kill switch pinned *on*.
+
+    Pinning ``REPRO_COHORT=1`` keeps the digest meaningful even when the
+    developer's shell disables the engine; worker processes inherit it.
+    """
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setenv("REPRO_COHORT", "1")
+        executor = SweepExecutor("golden", scale=1.0, jobs=jobs, cache_dir=None)
+        results = executor.map_micro(dict(_COHORT_CONFIGS))
+        return {name: _digest_result(result) for name, result in results.items()}
+
+
+@pytest.fixture(scope="module")
+def serial_cohort_digests() -> dict:
+    return _run_all_cohort(jobs=1)
+
+
+@pytest.mark.cohort
+def test_golden_cohort_digest_serial(serial_cohort_digests):
+    assert serial_cohort_digests == GOLDEN_COHORT
+
+
+@pytest.mark.cohort
+def test_golden_cohort_digest_parallel(serial_cohort_digests):
+    """jobs=4 must reproduce the lazy-cohort rows too."""
+    assert _run_all_cohort(jobs=4) == GOLDEN_COHORT == serial_cohort_digests
+
+
 if __name__ == "__main__":  # pragma: no cover - digest regeneration helper
     digests = _run_all(jobs=1)
     print("GOLDEN = {")
@@ -380,5 +456,10 @@ if __name__ == "__main__":  # pragma: no cover - digest regeneration helper
     replica_digests = _run_all_replica(jobs=1)
     print("GOLDEN_REPLICA = {")
     for name, digest in replica_digests.items():
+        print(f"    {name!r}: {digest!r},")
+    print("}")
+    cohort_digests = _run_all_cohort(jobs=1)
+    print("GOLDEN_COHORT = {")
+    for name, digest in cohort_digests.items():
         print(f"    {name!r}: {digest!r},")
     print("}")

@@ -41,6 +41,16 @@
 #                 REPRO_REPLICA=0 must reproduce every pre-replica digest
 #                 bit-for-bit (the replica layer is provably inert when
 #                 killed).
+#   cohort tier   the cohort-marked tests (aggregate arrival engines,
+#                 lazy materialization, golden cohort digests, the
+#                 bounded-heap check and the million-client artifact
+#                 benchmark) with REPRO_COHORT pinned *on*, followed by a
+#                 kill-switch equivalence run: the golden-digest matrix
+#                 under REPRO_COHORT=0 must reproduce every pre-cohort
+#                 digest bit-for-bit (lazy cohorts demote to the classic
+#                 builder when killed; the cohort-marked rows are
+#                 deselected because they deliberately pin the lazy
+#                 engine's own digests).
 #
 # Usage: tools/ci_check.sh [extra pytest args for both tiers]
 
@@ -61,7 +71,7 @@ run_tier() {
 }
 
 echo "[ci_check] fast tier (REPRO_JOBS=$REPRO_JOBS, cache: ${REPRO_CACHE:-on})"
-run_tier fast -m "not realnet and not chaos and not cache and not failover" "$@"
+run_tier fast -m "not realnet and not chaos and not cache and not failover and not cohort" "$@"
 
 echo "[ci_check] chaos tier"
 run_tier chaos -m "chaos or resilience" tests benchmarks/test_bench_metastable.py "$@"
@@ -95,6 +105,19 @@ else
     export REPRO_REPLICA="$_saved_repro_replica"
 fi
 
+echo "[ci_check] cohort tier (REPRO_COHORT=1 pinned)"
+_saved_repro_cohort="${REPRO_COHORT-__unset__}"
+export REPRO_COHORT=1
+run_tier cohort -m cohort tests benchmarks/test_bench_million.py "$@"
+echo "[ci_check] cohort kill-switch equivalence (REPRO_COHORT=0)"
+export REPRO_COHORT=0
+run_tier cohortkill -m "not cohort" tests/test_kernel_determinism_golden.py "$@"
+if [[ "$_saved_repro_cohort" == "__unset__" ]]; then
+    unset REPRO_COHORT
+else
+    export REPRO_COHORT="$_saved_repro_cohort"
+fi
+
 echo "[ci_check] realnet tier"
 run_tier realnet -m realnet "$@"
 
@@ -118,4 +141,4 @@ else
     echo "[ci_check] perf-smoke tier skipped (no BENCH_core.json)"
 fi
 
-echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + cache ${cache_elapsed}s + failover ${failover_elapsed}s + replicakill ${replicakill_elapsed}s + realnet ${realnet_elapsed}s + tcpfast ${tcpfast_elapsed}s + perf ${perf_elapsed}s"
+echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + cache ${cache_elapsed}s + failover ${failover_elapsed}s + replicakill ${replicakill_elapsed}s + cohort ${cohort_elapsed}s + cohortkill ${cohortkill_elapsed}s + realnet ${realnet_elapsed}s + tcpfast ${tcpfast_elapsed}s + perf ${perf_elapsed}s"
