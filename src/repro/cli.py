@@ -25,6 +25,10 @@ Commands
     Shortcut for ``run million``: the million-client scale study
     (cohort-level flow aggregation with lazy materialization vs the
     per-client builder, with heap and determinism probes).
+``repro-bench dag [--scale 0.3] [--jobs 4]``
+    Shortcut for ``run dag``: the service-dependency DAG study (p99
+    amplification vs fan-out, wait_all/quorum/best_effort fan-in under
+    a single-branch gray failure, latency-aware outlier ejection).
 ``repro-bench perf [--scale 0.3] [--out BENCH_core.json] [--check BENCH_core.json]``
     Run the kernel perf-benchmark suite (events/sec, timeout churn, TCP
     throughput, micro wall time); optionally write the tracked JSON or
@@ -117,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
         "million", help="run the million-client cohort-aggregation study"
     )
     _add_sweep_flags(million)
+
+    dag = sub.add_parser(
+        "dag", help="run the service-dependency DAG fan-out/fan-in study"
+    )
+    _add_sweep_flags(dag)
 
     perf = sub.add_parser("perf", help="run the kernel perf-benchmark suite")
     perf.add_argument("--scale", type=float, default=1.0,
@@ -255,6 +264,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run("failover", args.scale, args.jobs)
         if args.command == "million":
             return _cmd_run("million", args.scale, args.jobs)
+        if args.command == "dag":
+            return _cmd_run("dag", args.scale, args.jobs)
         if args.command == "perf":
             return _cmd_perf(args.scale, args.repeats, args.out,
                              args.check, args.tolerance)

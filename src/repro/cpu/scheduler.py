@@ -168,6 +168,13 @@ class CPU:
         self.cores = calibration.cores
         self.counters = CPUCounters()
         self.live_threads = 0
+        #: Gray-failure hook: every submitted burst is stretched by this
+        #: factor (1.0 = healthy).  Set by
+        #: :class:`~repro.faults.plan.DegradeWindow` injection to model a
+        #: slow-but-alive instance (thermal throttling, failing disk,
+        #: memory pressure) whose work all takes longer while the node
+        #: still answers health checks.
+        self.slowdown = 1.0
         self._ready: Deque[_Burst] = deque()
         self._queued = 0
         self._cores: List[_Core] = [
@@ -213,6 +220,10 @@ class CPU:
     def _submit(self, thread: SimThread, user: float, system: float) -> Event:
         done = self.env.event()
         user = user * self.calibration.thread_footprint_factor(self.live_threads)
+        if self.slowdown != 1.0:
+            # Gray failure in effect: all work on this CPU is stretched.
+            user *= self.slowdown
+            system *= self.slowdown
         burst = _Burst(thread, user, system, done)
         self.counters.bursts += 1
         if burst.remaining <= 0.0:

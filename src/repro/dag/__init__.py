@@ -1,0 +1,41 @@
+"""Service-dependency DAG workloads: declarative microservice graphs.
+
+Replaces the linear Apache → Tomcat → MySQL chain with an arbitrary
+acyclic service graph: each :class:`ServiceNode` is one server + CPU
+slice, each :class:`Edge` a pooled sync or async downstream call
+carrying the per-edge resilience stack (deadline propagation, named
+breakers), and each node's async branches join under a declared fan-in
+policy — ``wait_all``, ``quorum(k)`` or ``best_effort(timeout)`` — with
+exact degraded-response accounting.
+
+Subject to the ``REPRO_DAG=0`` kill switch: killed or disabled configs
+fall back to the classic linear builder bit-for-bit.
+"""
+
+from repro.dag.config import (
+    DAG_ENV,
+    DagConfig,
+    Edge,
+    FAN_IN_POLICIES,
+    ServiceNode,
+    dag_enabled,
+)
+from repro.dag.runtime import (
+    DagServiceApplication,
+    EdgeRuntime,
+    fanin_outcome,
+    settle_branches,
+)
+
+__all__ = [
+    "DAG_ENV",
+    "DagConfig",
+    "Edge",
+    "FAN_IN_POLICIES",
+    "ServiceNode",
+    "dag_enabled",
+    "DagServiceApplication",
+    "EdgeRuntime",
+    "fanin_outcome",
+    "settle_branches",
+]

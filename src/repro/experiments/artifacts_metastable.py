@@ -26,7 +26,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.experiments.parallel import SweepExecutor
-from repro.experiments.results import ArtifactResult
+from repro.experiments.results import ArtifactResult, breaker_totals
 from repro.faults import FaultPlan, StallWindow
 from repro.ntier.topology import NTierConfig, NTierResult
 from repro.resilience import (
@@ -187,25 +187,9 @@ def metastable_failure(
             int(attempts),
             int(retries),
             100.0 * retries / attempts if attempts else float("nan"),
-            int(runs[name].resilience.get("apache-tomcat_opens", 0)
-                + runs[name].resilience.get("tomcat-mysql_opens", 0)),
+            int(breaker_totals(runs[name].resilience)["breaker_opens"]),
         )
-        result.add_counter("timeouts", run.client_stats.get("timeouts", 0.0))
-        result.add_counter("rejected", run.report.rejected)
-        result.add_counter("failed", run.report.failed)
-        result.add_counter(
-            "expired",
-            sum(run.server_stats.get(f"{tier}_expired", 0.0)
-                for tier in ("apache", "tomcat", "mysql")),
-        )
-        result.add_counter(
-            "aborted",
-            sum(run.server_stats.get(f"{tier}_aborted", 0.0)
-                for tier in ("apache", "tomcat", "mysql")),
-        )
-        result.add_counter(
-            "pool_evictions", run.resilience.get("pool_evictions", 0.0)
-        )
+        result.add_run_counters(run)
 
     zero_plain = runs[("zero", "plain")]
     zero_disabled = runs[("zero", "disabled")]
@@ -248,12 +232,9 @@ def metastable_failure(
         f"(naive: {naive_amp:.0%} of attempts were retries)",
     )
     res = runs["resilient"].resilience
-    opens = res.get("apache-tomcat_opens", 0) + res.get("tomcat-mysql_opens", 0)
-    shed = (
-        res.get("apache-tomcat_fast_failures", 0)
-        + res.get("tomcat-mysql_fast_failures", 0)
-        + res.get("budget_denied", 0)
-    )
+    totals = breaker_totals(res)
+    opens = totals["breaker_opens"]
+    shed = totals["breaker_fast_failures"] + res.get("budget_denied", 0)
     result.check(
         "the machinery engaged: a breaker opened and work was shed "
         "cheaply (fast-fails + denied retry tokens)",

@@ -52,6 +52,7 @@ __all__ = [
     "bench_cache_tier",
     "bench_micro_wall",
     "bench_million",
+    "bench_dag",
     "run_perf_suite",
     "render_perf_suite",
     "compare_to_baseline",
@@ -75,6 +76,7 @@ RATE_METRICS = (
     "tcp_drain_segment_events_per_sec",
     "cache_ops_per_sec",
     "million_clients_per_sec",
+    "dag_requests_per_sec",
 )
 
 
@@ -519,6 +521,75 @@ def bench_million(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
 
 
 # ----------------------------------------------------------------------
+# 8. DAG fan-out data path
+# ----------------------------------------------------------------------
+def bench_dag(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
+    """Requests/sec through a three-branch DAG compose node.
+
+    A ``compose`` aggregator fans one worker thread out per edge to three
+    leaf services and joins with ``wait_all`` — the
+    social-network-compose shape of ``repro-bench dag``.  Every request
+    costs four servers' worth of CPU scheduling, three pooled TCP
+    exchanges and a fan-in join on top of the entry tier's own data path,
+    so ``dag_requests_per_sec`` predicts DAG artifact sweep wall time the
+    way ``micro_events_per_sec`` predicts the linear ones.  The
+    ``completed`` count is a determinism sanity (pure function of the
+    seed).
+    """
+    from repro.dag import DagConfig, Edge, ServiceNode, dag_enabled
+    from repro.ntier.topology import NTierConfig, run_ntier
+    from repro.workload.mixes import FixedMix
+
+    if not dag_enabled():
+        raise ExperimentError(
+            "bench_dag needs the DAG engine; unset REPRO_DAG (or set it "
+            "to 1) — under REPRO_DAG=0 the topology silently degrades to "
+            "the linear chain and the rate would gate the wrong code path"
+        )
+    duration = 0.5 + 2.5 * scale
+    leaves = ("text", "media", "graph")
+    dag = DagConfig(
+        entry="compose",
+        nodes=(
+            ServiceNode(
+                name="compose",
+                edges=tuple(Edge(leaf) for leaf in leaves),
+                fan_in="wait_all",
+                service_cpu=100.0e-6,
+            ),
+        ) + tuple(
+            ServiceNode(name=leaf, service_cpu=200.0e-6) for leaf in leaves
+        ),
+    )
+
+    def round_() -> Dict[str, float]:
+        config = NTierConfig(
+            tomcat_variant="async",
+            users=40,
+            think_mean=0.05,
+            duration=duration,
+            warmup=0.3,
+            mix=FixedMix(2048),
+            dag=dag,
+            seed=11,
+        )
+        started = time.perf_counter()
+        result = run_ntier(config)
+        wall = time.perf_counter() - started
+        requests = result.dag_stats.get("dag_requests", 0.0)
+        return {
+            "wall_s": wall,
+            "requests_per_sec": requests / wall if wall > 0 else 0.0,
+            "events_per_sec": (
+                result.kernel_events / wall if wall > 0 else 0.0
+            ),
+            "completed": float(result.report.completed),
+        }
+
+    return _best_of(round_, repeats)
+
+
+# ----------------------------------------------------------------------
 # Suite driver
 # ----------------------------------------------------------------------
 def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
@@ -532,9 +603,10 @@ def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
     cache = bench_cache_tier(scale, repeats)
     micro = bench_micro_wall(scale, max(1, repeats - 1))
     million = bench_million(scale, max(1, repeats - 1))
+    dag = bench_dag(scale, max(1, repeats - 1))
     return {
         "suite": "repro-kernel-perf",
-        "version": 4,
+        "version": 5,
         "scale": scale,
         "host": {
             "python": sys.version.split()[0],
@@ -568,6 +640,10 @@ def run_perf_suite(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
             "million_ab_baseline_clients_per_sec": round(
                 million["ab_baseline_clients_per_sec"], 1
             ),
+            "dag_wall_s": round(dag["wall_s"], 4),
+            "dag_requests_per_sec": round(dag["requests_per_sec"], 1),
+            "dag_events_per_sec": round(dag["events_per_sec"], 1),
+            "dag_completed": dag["completed"],
         },
     }
 

@@ -32,6 +32,7 @@ from repro.experiments.artifacts_micro import (
 )
 from repro.experiments.artifacts_cache import cache_stampedes
 from repro.experiments.artifacts_chaos import chaos_resilience
+from repro.experiments.artifacts_dag import dag_workloads
 from repro.experiments.artifacts_failover import replica_failover
 from repro.experiments.artifacts_metastable import metastable_failure
 from repro.experiments.artifacts_million import million_clients
@@ -89,6 +90,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("cache", "Cache stampedes: duplicate fetches vs single-flight", cache_stampedes, "minutes"),
         ExperimentSpec("failover", "Replica failover: crash-restart vs ejection and hedging", replica_failover, "minutes"),
         ExperimentSpec("million", "Million-client scale: cohort aggregation vs per-client", million_clients, "minutes"),
+        ExperimentSpec("dag", "Service-dependency DAG: fan-out tails and graceful degradation", dag_workloads, "minutes"),
     ]
 }
 

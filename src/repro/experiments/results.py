@@ -11,9 +11,32 @@ from both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
-__all__ = ["ShapeCheck", "ArtifactResult"]
+__all__ = ["ShapeCheck", "ArtifactResult", "breaker_totals"]
+
+#: Per-breaker counter suffixes emitted by
+#: :class:`~repro.resilience.breaker.CircuitBreaker` under its pool name.
+_BREAKER_SUFFIXES = ("_opens", "_closes", "_fast_failures")
+
+
+def breaker_totals(resilience: Mapping[str, float]) -> Dict[str, float]:
+    """Sum per-breaker counters across every breaker name in a run.
+
+    Breakers report under their pool's name (``<name>_opens`` /
+    ``<name>_closes`` / ``<name>_fast_failures``): the linear chain has
+    exactly two names, a DAG one per edge (times replicas for a
+    replicated target) — so reports must aggregate by suffix instead of
+    hard-coding a name list.  Returns generic ``breaker_opens`` /
+    ``breaker_closes`` / ``breaker_fast_failures`` totals.
+    """
+    totals = {f"breaker{suffix}": 0.0 for suffix in _BREAKER_SUFFIXES}
+    for key, value in resilience.items():
+        for suffix in _BREAKER_SUFFIXES:
+            if key.endswith(suffix):
+                totals[f"breaker{suffix}"] += value
+                break
+    return totals
 
 
 @dataclass(frozen=True)
@@ -74,6 +97,36 @@ class ArtifactResult:
     def add_counter(self, name: str, value: float) -> None:
         """Accumulate one aggregate counter (rendered under the table)."""
         self.counters[name] = self.counters.get(name, 0) + value
+
+    def add_run_counters(self, run) -> None:
+        """Accumulate one n-tier run's standard robustness counters.
+
+        Topology-agnostic: client timeouts, rejected/failed requests,
+        deadline expiries and client aborts summed across *whatever*
+        tiers the run reported (``<tier>_expired`` / ``<tier>_aborted``),
+        breaker activity summed across whatever breaker names its pools
+        registered (:func:`breaker_totals`), plus the global retry-budget
+        and pool-eviction counters when present — so a DAG topology with
+        per-edge breakers reports without per-artifact plumbing.
+        """
+        self.add_counter("timeouts", run.client_stats.get("timeouts", 0.0))
+        self.add_counter("rejected", run.report.rejected)
+        self.add_counter("failed", run.report.failed)
+        self.add_counter(
+            "expired",
+            sum(v for k, v in run.server_stats.items()
+                if k.endswith("_expired")),
+        )
+        self.add_counter(
+            "aborted",
+            sum(v for k, v in run.server_stats.items()
+                if k.endswith("_aborted")),
+        )
+        for name, value in breaker_totals(run.resilience).items():
+            self.add_counter(name, value)
+        for key in ("budget_granted", "budget_denied", "pool_evictions"):
+            if key in run.resilience:
+                self.add_counter(key, run.resilience[key])
 
     @property
     def all_passed(self) -> bool:

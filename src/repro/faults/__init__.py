@@ -14,7 +14,13 @@ from repro.faults.injector import (
     FaultInjector,
     FaultReport,
 )
-from repro.faults.plan import FAULT_PRESETS, CrashWindow, FaultPlan, StallWindow
+from repro.faults.plan import (
+    FAULT_PRESETS,
+    CrashWindow,
+    DegradeWindow,
+    FaultPlan,
+    StallWindow,
+)
 
 __all__ = [
     "ClientFaults",
@@ -26,4 +32,5 @@ __all__ = [
     "FaultPlan",
     "StallWindow",
     "CrashWindow",
+    "DegradeWindow",
 ]

@@ -68,6 +68,8 @@ class FaultReport:
     events_dropped: int = 0
     #: Crash–restart windows executed (each counts one crash + restart).
     crashes: int = 0
+    #: Gray-failure (slow-but-alive) windows executed.
+    degrade_windows: int = 0
     events: Tuple[FaultEvent, ...] = ()
 
     @property
@@ -81,6 +83,7 @@ class FaultReport:
             + self.client_aborts
             + self.stall_windows
             + self.crashes
+            + self.degrade_windows
         )
 
 
@@ -104,6 +107,7 @@ class FaultInjector:
         self.stall_windows = 0
         self.events_dropped = 0
         self.crashes = 0
+        self.degrade_windows = 0
         self._events: List[FaultEvent] = []
         #: Reconnect attempt counter per population index, so a client's
         #: replacement connection gets a fresh (but deterministic) stream.
@@ -206,6 +210,52 @@ class FaultInjector:
             for t in threads:
                 t.close()
 
+    def start_degrades(self, targets) -> None:
+        """Spawn one gray-failure process per plan degrade window.
+
+        ``targets`` is the same fault-target list :meth:`start_crashes`
+        consumes (instances exposing at least ``cpu``); an out-of-range
+        instance index is a configuration error, raised before any
+        process is spawned.
+        """
+        for window in self.plan.degrade_windows:
+            if window.instance >= len(targets):
+                raise SimulationError(
+                    f"degrade window targets instance {window.instance} but "
+                    f"only {len(targets)} fault target(s) exist"
+                )
+        for i, window in enumerate(self.plan.degrade_windows):
+            self.env.process(
+                self._degrade(targets[window.instance], i, window),
+                name=f"fault-degrade-{i}",
+            )
+
+    def _degrade(self, target, i: int, window):
+        """Slow the target's CPU to ``1 - share`` speed between start and end.
+
+        Deterministic, zero-RNG: the window stretches every burst the
+        instance's CPU runs by ``1 / (1 - share)``.  The instance stays up
+        the whole time — requests succeed, health probes answer, work just
+        takes longer — which is the signature of a gray failure.  A fair-
+        share hog thread could not model this: competing request threads
+        would dilute it, so the stolen share would shrink exactly when the
+        victim is busiest.
+        """
+        yield self.env.timeout(window.start)
+        self.degrade_windows += 1
+        self.record(
+            "degrade",
+            f"instance[{window.instance}]",
+            f"share {window.share:g} for {window.end - window.start:g}s",
+        )
+        cpu = target.cpu
+        # Plan validation rejects overlapping windows on one instance, so
+        # a plain set/restore cannot clobber another window's factor.
+        cpu.slowdown = 1.0 / (1.0 - window.share)
+        yield self.env.timeout(window.end - self.env.now)
+        cpu.slowdown = 1.0
+        self.record("recover", f"instance[{window.instance}]")
+
     def report(self) -> "FaultReport":
         """Freeze the counters and trace into a :class:`FaultReport`."""
         return FaultReport(
@@ -217,6 +267,7 @@ class FaultInjector:
             stall_windows=self.stall_windows,
             events_dropped=self.events_dropped,
             crashes=self.crashes,
+            degrade_windows=self.degrade_windows,
             events=tuple(self._events),
         )
 

@@ -13,7 +13,13 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import ExperimentError, SimulationError
 
-__all__ = ["FaultPlan", "StallWindow", "CrashWindow", "FAULT_PRESETS"]
+__all__ = [
+    "FaultPlan",
+    "StallWindow",
+    "CrashWindow",
+    "DegradeWindow",
+    "FAULT_PRESETS",
+]
 
 
 @dataclass(frozen=True)
@@ -61,6 +67,33 @@ class CrashWindow:
     warmup: float = 0.5
 
 
+@dataclass(frozen=True)
+class DegradeWindow:
+    """One gray failure: an instance turns slow-but-alive for a while.
+
+    Between ``start`` and ``end`` the targeted instance keeps accepting
+    and answering requests, but ``share`` of its CPU capacity is gone
+    (noisy neighbour, runaway compaction, thermal throttling): every
+    burst its CPU runs is stretched by ``1 / (1 - share)``.  Nothing
+    fails outright — no connection resets, no refused connects, health
+    probes still answer — which is precisely why consecutive-failure
+    ejection never notices and latency-aware ejection
+    (:mod:`repro.replica.group`) is needed.
+
+    ``instance`` selects the member of the fault-target list exactly as
+    :class:`CrashWindow` does.  Field sanity lives in
+    :meth:`FaultPlan.validate`, which also rejects a degrade window
+    overlapping another degrade — or any crash — on the same instance
+    (a gray failure of a dead instance has no defined semantics).
+    """
+
+    start: float
+    end: float
+    instance: int = 0
+    #: Fraction of the instance's CPU capacity lost to the gray failure.
+    share: float = 0.75
+
+
 def _check_prob(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
         raise ExperimentError(f"{name} must be a probability in [0, 1], got {value!r}")
@@ -104,6 +137,10 @@ class FaultPlan:
     #: whatever crash targets the runner registers — the Tomcat tier
     #: instance(s) in the n-tier topology.
     crash_windows: Tuple[CrashWindow, ...] = ()
+    #: Gray-failure windows: a server instance turns slow-but-alive
+    #: between ``start`` and ``end`` (see :class:`DegradeWindow`).
+    #: Applied to the same fault-target list as ``crash_windows``.
+    degrade_windows: Tuple[DegradeWindow, ...] = ()
     #: Retransmission timeout charged per lost/corrupted segment.
     rto: float = 0.200
 
@@ -143,6 +180,7 @@ class FaultPlan:
             or self.client_abort_prob > 0
             or bool(self.server_stalls)
             or bool(self.crash_windows)
+            or bool(self.degrade_windows)
         )
 
     @property
@@ -163,9 +201,13 @@ class FaultPlan:
         Called by the :class:`~repro.faults.injector.FaultInjector` before
         any process is spawned, so a bad plan fails loudly up front instead
         of silently misbehaving mid-run.  Checks: no negative times, every
-        window must end after it starts, and two crash windows targeting
-        the same instance must not overlap (a crash of an already-crashed
-        instance has no defined semantics).
+        window must end after it starts, two crash windows targeting the
+        same instance must not overlap (a crash of an already-crashed
+        instance has no defined semantics), degrade windows must carry a
+        CPU share strictly inside (0, 1) and may not overlap each other —
+        or any crash window — on the same instance (crash-during-degrade
+        would leave the gray-failure hogs seizing a dead instance's CPU
+        through its restart warm-up, which has no defined semantics).
         """
         # Stall windows are range-checked at construction (StallWindow
         # __post_init__) and overlapping stalls just stack CPU hogs, so
@@ -188,17 +230,37 @@ class FaultPlan:
                 raise SimulationError(
                     f"crash warmup must be >= 0, got {window.warmup!r}"
                 )
+        for window in self.degrade_windows:
+            if window.start < 0:
+                raise SimulationError(
+                    f"degrade start must be >= 0, got {window.start!r}"
+                )
+            if window.end <= window.start:
+                raise SimulationError(
+                    f"degrade end must be > start, got "
+                    f"[{window.start!r}, {window.end!r}]"
+                )
+            if window.instance < 0:
+                raise SimulationError(
+                    f"degrade instance must be >= 0, got {window.instance!r}"
+                )
+            if not 0.0 < window.share < 1.0:
+                raise SimulationError(
+                    f"degrade share must be in (0, 1), got {window.share!r}"
+                )
         by_instance: Dict[int, list] = {}
         for window in self.crash_windows:
-            by_instance.setdefault(window.instance, []).append(window)
+            by_instance.setdefault(window.instance, []).append(("crash", window))
+        for window in self.degrade_windows:
+            by_instance.setdefault(window.instance, []).append(("degrade", window))
         for instance, windows in by_instance.items():
-            windows.sort(key=lambda w: w.start)
-            for earlier, later in zip(windows, windows[1:]):
+            windows.sort(key=lambda kw: kw[1].start)
+            for (kind_a, earlier), (kind_b, later) in zip(windows, windows[1:]):
                 if later.start < earlier.end:
                     raise SimulationError(
-                        f"overlapping crash windows for instance {instance}: "
-                        f"[{earlier.start:g}, {earlier.end:g}) and "
-                        f"[{later.start:g}, {later.end:g})"
+                        f"overlapping {kind_a}/{kind_b} windows for instance "
+                        f"{instance}: [{earlier.start:g}, {earlier.end:g}) "
+                        f"and [{later.start:g}, {later.end:g})"
                     )
         return self
 
@@ -207,12 +269,16 @@ class FaultPlan:
         parts = []
         for f in fields(self):
             value = getattr(self, f.name)
-            if value != f.default and f.name not in ("server_stalls", "crash_windows"):
+            if value != f.default and f.name not in (
+                "server_stalls", "crash_windows", "degrade_windows"
+            ):
                 parts.append(f"{f.name}={value:g}" if isinstance(value, float) else f"{f.name}={value}")
         if self.server_stalls:
             parts.append(f"stalls={len(self.server_stalls)}")
         if self.crash_windows:
             parts.append(f"crashes={len(self.crash_windows)}")
+        if self.degrade_windows:
+            parts.append(f"degrades={len(self.degrade_windows)}")
         return ", ".join(parts) if parts else "no faults"
 
 

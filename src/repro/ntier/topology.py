@@ -17,6 +17,7 @@ from typing import Dict, Optional
 from repro.cache import CacheConfig, CacheTier, cache_tier_enabled
 from repro.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cpu.scheduler import CPU
+from repro.dag.config import DagConfig, dag_enabled
 from repro.errors import ExperimentError
 from repro.faults import FaultInjector, FaultPlan, FaultReport
 from repro.metrics.collector import RunRecorder, RunReport
@@ -85,6 +86,12 @@ class NTierConfig:
     #: Cohort aggregation of the user population (``None`` → classic
     #: per-client build; also subject to ``REPRO_COHORT=0``).
     cohort: Optional[CohortConfig] = None
+    #: Service-dependency DAG replacing the linear three-tier chain
+    #: (``None`` → the classic builders; also subject to ``REPRO_DAG=0``).
+    #: Mutually exclusive with ``cache`` and ``replica`` — DAG nodes
+    #: declare their own replication, and the cache tier is a property
+    #: of the Tomcat→MySQL chain the DAG replaces.
+    dag: Optional[DagConfig] = None
 
     def validate(self) -> "NTierConfig":
         """Raise :class:`ExperimentError` on nonsensical settings."""
@@ -104,6 +111,18 @@ class NTierConfig:
             self.replica.validate()
         if self.cohort is not None:
             self.cohort.validate()
+        if self.dag is not None:
+            self.dag.validate()
+            if self.cache is not None:
+                raise ExperimentError(
+                    "dag and cache are mutually exclusive (the cache tier "
+                    "belongs to the linear chain the DAG replaces)"
+                )
+            if self.replica is not None:
+                raise ExperimentError(
+                    "dag and replica are mutually exclusive (declare "
+                    "replication per DAG node instead)"
+                )
         return self
 
 
@@ -121,7 +140,17 @@ class ThreeTierSystem:
         #: The balancing proxy application (replicated build only); the
         #: runner attaches the hedge policy here once the budget exists.
         self.balanced_app: Optional[BalancedProxyApplication] = None
+        #: The live DAG (``None`` unless a :class:`DagConfig` is active
+        #: and the ``REPRO_DAG`` kill switch allows it — disabled or
+        #: killed DAG configs take the classic builders bit-identically).
+        self.dag_system = None
         if (
+            config.dag is not None
+            and config.dag.active
+            and dag_enabled()
+        ):
+            self._build_dag(env, config)
+        elif (
             config.replica is not None
             and config.replica.active
             and replica_enabled()
@@ -129,6 +158,28 @@ class ThreeTierSystem:
             self._build_replicated(env, config)
         else:
             self._build_single(env, config)
+
+    def _build_dag(self, env: Environment, config: NTierConfig) -> None:
+        """The service-dependency DAG build (PR 9).
+
+        Delegates to :func:`repro.dag.build.build_dag_system` (imported
+        lazily to keep the package import graph acyclic) and aliases the
+        entry node onto the classic attribute names so tier-generic
+        plumbing — CPU watching, stall injection, the front server —
+        keeps a well-defined target.
+        """
+        from repro.dag.build import build_dag_system
+
+        self.dag_system = build_dag_system(env, config)
+        self.web_server = self.dag_system.entry_server
+        self.web_cpu = self.dag_system.entry_cpu
+        self.app_server = self.dag_system.entry_server
+        self.app_cpu = self.dag_system.entry_cpu
+        self.db_server = None
+        self.db_cpu = None
+        self.apache_tomcat_pool = None
+        self.tomcat_db_pool = None
+        self.cache_tier: Optional[CacheTier] = None
 
     def _build_single(self, env: Environment, config: NTierConfig) -> None:
         """The classic one-instance-per-tier build (the paper's testbed).
@@ -319,6 +370,8 @@ class ThreeTierSystem:
 
     def cpu_by_tier(self) -> Dict[str, CPU]:
         """Tier name → CPU, for per-tier utilisation reports."""
+        if self.dag_system is not None:
+            return self.dag_system.cpu_by_tier()
         if self.replica_group is not None:
             cpus = {"apache": self.web_cpu}
             for replica in self.replica_group.replicas:
@@ -329,6 +382,8 @@ class ThreeTierSystem:
 
     def cache_tiers(self) -> "list":
         """Every cache-tier instance in the system (possibly empty)."""
+        if self.dag_system is not None:
+            return []
         if self.replica_group is not None:
             return [
                 r.cache for r in self.replica_group.replicas if r.cache is not None
@@ -336,14 +391,20 @@ class ThreeTierSystem:
         return [] if self.cache_tier is None else [self.cache_tier]
 
     def crash_targets(self) -> "list":
-        """Instances a :class:`~repro.faults.plan.CrashWindow` may kill.
+        """Instances a :class:`~repro.faults.plan.CrashWindow` (or
+        :class:`~repro.faults.plan.DegradeWindow`) may target.
 
-        With a replica group these are the group's members; the classic
+        Under a DAG these are every node instance, flattened per node in
+        declaration order (see
+        :meth:`repro.dag.build.DagSystem.fault_targets`).  With a
+        replica group they are the group's members; the classic
         single-instance topology exposes its one Tomcat wrapped in a
         :class:`~repro.replica.group.Replica` so crash–restart semantics
-        are identical either way.  Only called when crash windows exist,
-        so the wrapper costs nothing on clean runs.
+        are identical either way.  Only called when crash/degrade
+        windows exist, so the wrappers cost nothing on clean runs.
         """
+        if self.dag_system is not None:
+            return self.dag_system.fault_targets()
         if self.replica_group is not None:
             return self.replica_group.replicas
         return [
@@ -392,6 +453,10 @@ class NTierResult:
     #: Aggregate-cohort counters (empty unless a lazy cohort ran, same
     #: population rule as ``cache_stats``).
     cohort_stats: Dict[str, float] = field(default_factory=dict)
+    #: DAG counters: requests/degraded accounting, per-edge branch
+    #: outcomes, per-node replica-group counters (empty unless a DAG
+    #: actually ran, same population rule as ``cache_stats``).
+    dag_stats: Dict[str, float] = field(default_factory=dict)
     #: Fault-injection report (``None`` for clean runs).
     faults: Optional[FaultReport] = None
     #: Successful completions per ``timeline_bucket`` of absolute sim
@@ -445,6 +510,9 @@ def run_ntier(config: NTierConfig) -> NTierResult:
             # Crash windows kill Tomcat instances (replica members, or
             # the single classic instance wrapped as one).
             injector.start_crashes(system.crash_targets())
+        if config.fault_plan.degrade_windows:
+            # Gray-failure windows target the same instance index space.
+            injector.start_degrades(system.crash_targets())
     policy = config.resilience if (
         config.resilience is not None and config.resilience.enabled
     ) else None
@@ -466,6 +534,8 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         system.balanced_app.hedge = hedge_policy
     if system.replica_group is not None:
         system.replica_group.start_probes()
+    if system.dag_system is not None:
+        system.dag_system.start_probes()
 
     mix = config.mix if config.mix is not None else RubbosMix()
     if config.cache is not None and config.cache.prewarm:
@@ -520,16 +590,19 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         or lazy_cohort
     ):
         client_stats = population.client_stat_totals()
-        tomcat_servers = (
-            [r.server for r in group.replicas]
-            if group is not None
-            else [system.app_server]
-        )
-        tiers = (
-            ("apache", [system.web_server]),
-            ("tomcat", tomcat_servers),
-            ("mysql", [system.db_server]),
-        )
+        if system.dag_system is not None:
+            tiers = tuple(system.dag_system.servers_by_node())
+        else:
+            tomcat_servers = (
+                [r.server for r in group.replicas]
+                if group is not None
+                else [system.app_server]
+            )
+            tiers = (
+                ("apache", [system.web_server]),
+                ("tomcat", tomcat_servers),
+                ("mysql", [system.db_server]),
+            )
         for tier_name, tier_servers in tiers:
             server_stats[f"{tier_name}_rejected"] = float(
                 sum(s.stats.requests_rejected for s in tier_servers)
@@ -544,7 +617,10 @@ def run_ntier(config: NTierConfig) -> NTierResult:
     if policy is not None:
         if budget is not None:
             resilience.update(budget.counters())
-        if group is None:
+        if system.dag_system is not None:
+            pools = system.dag_system.pools()
+            limiters = system.dag_system.limiters()
+        elif group is None:
             pools = [system.apache_tomcat_pool, system.tomcat_db_pool]
             limiters = [system.app_server.limiter]
         else:
@@ -572,6 +648,9 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         replica_stats = group.counters()
         if hedge_policy is not None:
             replica_stats.update(hedge_policy.counters())
+    dag_stats: Dict[str, float] = {}
+    if system.dag_system is not None:
+        dag_stats = system.dag_system.counters()
 
     return NTierResult(
         config=config,
@@ -579,7 +658,9 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         tier_utilization=utilization,
         tier_switch_rate=switch_rate,
         tomcat_peak_concurrency=(
-            sum(r.pool.peak_in_use for r in group.replicas)
+            sum(p.peak_in_use for p in system.dag_system.pools())
+            if system.dag_system is not None
+            else sum(r.pool.peak_in_use for r in group.replicas)
             if group is not None
             else system.apache_tomcat_pool.peak_in_use
         ),
@@ -590,6 +671,7 @@ def run_ntier(config: NTierConfig) -> NTierResult:
         cache_stats=cache_stats,
         replica_stats=replica_stats,
         cohort_stats=population.cohort_stats(),
+        dag_stats=dag_stats,
         faults=injector.report() if injector is not None else None,
         goodput_timeline=recorder.timeline(),
         sim_wall_s=sim_wall,

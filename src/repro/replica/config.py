@@ -58,6 +58,18 @@ class ReplicaConfig:
     #: Period of the active health prober (``0`` disables active probes;
     #: passive ejection then learns only from live request outcomes).
     probe_interval: float = 0.0
+    #: Latency-aware outlier ejection: a replica whose EWMA success
+    #: latency exceeds ``latency_factor`` × the group median is ejected
+    #: even though every one of its requests *succeeds* — the gray
+    #: failure consecutive-failure ejection is structurally blind to.
+    #: ``0`` (the default) disables the comparison entirely, leaving the
+    #: historical event sequence untouched; enabled values must be >= 1.
+    latency_factor: float = 0.0
+    #: EWMA weight given to each new success-latency sample, in (0, 1].
+    latency_alpha: float = 0.2
+    #: Success samples a replica (and at least one peer) must accumulate
+    #: before the latency comparison is trusted.
+    latency_min_samples: int = 10
 
     def validate(self) -> "ReplicaConfig":
         """Raise :class:`ExperimentError` on nonsensical settings."""
@@ -88,6 +100,20 @@ class ReplicaConfig:
         if self.probe_interval < 0:
             raise ExperimentError(
                 f"probe_interval must be >= 0, got {self.probe_interval!r}"
+            )
+        if self.latency_factor != 0 and self.latency_factor < 1.0:
+            raise ExperimentError(
+                "latency_factor must be 0 (disabled) or >= 1, got "
+                f"{self.latency_factor!r}"
+            )
+        if not 0.0 < self.latency_alpha <= 1.0:
+            raise ExperimentError(
+                f"latency_alpha must be in (0, 1], got {self.latency_alpha!r}"
+            )
+        if self.latency_min_samples < 1:
+            raise ExperimentError(
+                f"latency_min_samples must be >= 1, got "
+                f"{self.latency_min_samples!r}"
             )
         return self
 

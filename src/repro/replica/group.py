@@ -67,6 +67,15 @@ class Replica:
         self.sitout: Optional[float] = None
         #: Crash windows executed against this replica.
         self.crashes = 0
+        #: EWMA of success latencies (``None`` until the first sample;
+        #: only maintained when latency-aware ejection is configured).
+        self.latency_ewma: Optional[float] = None
+        #: Success-latency samples folded into the EWMA so far.
+        self.latency_samples = 0
+        #: Whether the current ejection was latency-based — a *success*
+        #: must not restore such a replica early (its requests succeed,
+        #: that is the whole problem).
+        self.latency_ejected = False
 
     # ------------------------------------------------------------------
     # Crash-target protocol (consumed by repro.faults.injector)
@@ -138,6 +147,9 @@ class LoadBalancer:
         self.panic_picks = 0
         #: Ejection events (re-ejections after a failed probation count).
         self.ejections = 0
+        #: Latency-based ejections (gray failures caught by the EWMA
+        #: comparison; disjoint from failure-based ``ejections``).
+        self.latency_ejections = 0
 
     # ------------------------------------------------------------------
     def _in_ejection(self, replica: Replica) -> bool:
@@ -176,11 +188,74 @@ class LoadBalancer:
         return healthy[0]  # unreachable; healthy is non-empty
 
     # ------------------------------------------------------------------
-    def on_success(self, replica: Replica) -> None:
-        """A routed attempt succeeded: restore full health."""
+    def on_success(self, replica: Replica, latency: Optional[float] = None) -> None:
+        """A routed attempt succeeded: restore full health.
+
+        With latency-aware ejection configured (``latency_factor > 0``)
+        and a measured ``latency``, the sample first updates the
+        replica's success-latency EWMA and may *eject* the replica
+        instead of restoring it: a slow-but-succeeding instance is
+        exactly the case where successes must not reset the clock.  A
+        latency-ejected replica is also not restored early by further
+        successes (panic picks, in-flight stragglers, health probes —
+        gray failures answer probes just fine); it re-enters rotation
+        when its sit-out lapses, and stays there only if its EWMA has
+        recovered.  With the feature off (the default) this is the
+        historical unconditional restore.
+        """
         replica.consecutive_failures = 0
+        cfg = self.config
+        if latency is not None and cfg.latency_factor > 0:
+            if replica.latency_ewma is None:
+                replica.latency_ewma = latency
+            else:
+                alpha = cfg.latency_alpha
+                replica.latency_ewma = (
+                    alpha * latency + (1.0 - alpha) * replica.latency_ewma
+                )
+            replica.latency_samples += 1
+            if not self._in_ejection(replica) and self._slow_outlier(replica):
+                duration = (
+                    replica.sitout if replica.sitout is not None
+                    else cfg.ejection_duration
+                )
+                replica.ejected_until = self.env.now + duration
+                replica.sitout = min(
+                    duration * cfg.ejection_backoff, cfg.ejection_max_duration
+                )
+                replica.latency_ejected = True
+                self.latency_ejections += 1
+                return
+        if replica.latency_ejected and self._in_ejection(replica):
+            return
         replica.ejected_until = None
         replica.sitout = None
+        replica.latency_ejected = False
+
+    def _slow_outlier(self, replica: Replica) -> bool:
+        """Whether ``replica``'s EWMA is a latency outlier vs its peers.
+
+        Requires enough samples on the replica *and* at least one peer
+        (upper-median of peer EWMAs is the baseline), and never fires
+        when every other replica is already out of rotation — ejecting
+        the last standing instance would be a self-inflicted blackout.
+        """
+        cfg = self.config
+        if replica.latency_samples < cfg.latency_min_samples:
+            return False
+        peers = [
+            r for r in self.replicas
+            if r is not replica and r.latency_samples >= cfg.latency_min_samples
+        ]
+        if not peers:
+            return False
+        if all(
+            self._in_ejection(r) for r in self.replicas if r is not replica
+        ):
+            return False
+        ewmas = sorted(r.latency_ewma for r in peers)
+        median = ewmas[len(ewmas) // 2]
+        return replica.latency_ewma > cfg.latency_factor * median
 
     def on_failure(self, replica: Replica) -> None:
         """A routed attempt failed: count it, maybe eject.
@@ -207,12 +282,20 @@ class LoadBalancer:
             self.ejections += 1
 
     def counters(self) -> Dict[str, float]:
-        """Balancer counters for result reports."""
-        return {
+        """Balancer counters for result reports.
+
+        The latency-ejection counter appears only when the feature is
+        configured, so pre-existing replica results (and their golden
+        digests) keep their exact key set.
+        """
+        counts = {
             "lb_picks": float(self.picks),
             "lb_panic_picks": float(self.panic_picks),
             "lb_ejections": float(self.ejections),
         }
+        if self.config.latency_factor > 0:
+            counts["lb_latency_ejections"] = float(self.latency_ejections)
+        return counts
 
     def __repr__(self) -> str:
         return (

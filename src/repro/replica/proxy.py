@@ -59,6 +59,7 @@ class BalancedProxyApplication(Application):
         nothing anywhere (the attempt was abandoned, not judged).
         """
         replica.outstanding += 1
+        started = server.env.now
         try:
             status, downstream = yield from _pooled_exchange(
                 replica.pool, server, thread, make_downstream, deadline, cancel
@@ -69,7 +70,11 @@ class BalancedProxyApplication(Application):
         if status == "ok":
             if breaker is not None:
                 breaker.record_success()
-            self.group.balancer.on_success(replica)
+            # The measured attempt latency feeds latency-aware outlier
+            # ejection; with the feature off the balancer ignores it.
+            self.group.balancer.on_success(
+                replica, latency=server.env.now - started
+            )
         elif status != "cancelled":
             if breaker is not None:
                 breaker.record_failure()

@@ -1,0 +1,83 @@
+"""The DAG layer's zero-impact contract, proven three ways.
+
+A run with (a) no DAG config at all, (b) ``DagConfig(enabled=False)``
+and (c) a fully enabled config under ``REPRO_DAG=0`` must all be
+*bit-identical*: same report floats, same counters, same kernel event
+count — the DAG build path never executes, forks no RNG streams,
+creates no objects, and the classic linear chain is built exactly as
+before the layer existed.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dag import DAG_ENV, DagConfig, Edge, ServiceNode
+from repro.ntier.topology import NTierConfig, run_ntier
+
+pytestmark = pytest.mark.dag
+
+_BASE = dict(
+    tomcat_variant="async",
+    users=15,
+    think_mean=0.5,
+    duration=1.0,
+    warmup=0.4,
+    timeline_bucket=0.25,
+    seed=9,
+)
+
+#: A config that visibly changes behaviour when the layer is live.
+_DAG = DagConfig(
+    entry="front",
+    nodes=(
+        ServiceNode(
+            name="front",
+            edges=(Edge("left"), Edge("right")),
+            fan_in="wait_all",
+            service_cpu=100.0e-6,
+        ),
+        ServiceNode(name="left", service_cpu=200.0e-6, service_jitter=0.5),
+        ServiceNode(name="right", service_cpu=200.0e-6),
+    ),
+)
+
+
+def _fingerprint(result):
+    return (
+        dataclasses.asdict(result.report),
+        sorted(result.server_stats.items()),
+        sorted(result.client_stats.items()),
+        sorted(result.resilience.items()),
+        result.kernel_events,
+    )
+
+
+@pytest.fixture
+def baseline(monkeypatch):
+    monkeypatch.setenv(DAG_ENV, "1")
+    return _fingerprint(run_ntier(NTierConfig(**_BASE)))
+
+
+def test_disabled_config_is_bit_identical(monkeypatch, baseline):
+    monkeypatch.setenv(DAG_ENV, "1")
+    result = run_ntier(
+        NTierConfig(dag=dataclasses.replace(_DAG, enabled=False), **_BASE)
+    )
+    assert _fingerprint(result) == baseline
+    assert result.dag_stats == {}
+
+
+def test_kill_switch_overrides_an_enabled_config(monkeypatch, baseline):
+    monkeypatch.setenv(DAG_ENV, "0")
+    result = run_ntier(NTierConfig(dag=_DAG, **_BASE))
+    assert _fingerprint(result) == baseline
+    assert result.dag_stats == {}
+
+
+def test_enabled_config_actually_changes_the_run(monkeypatch, baseline):
+    """Sanity for the contract: the live layer must NOT be a no-op."""
+    monkeypatch.setenv(DAG_ENV, "1")
+    result = run_ntier(NTierConfig(dag=_DAG, **_BASE))
+    assert _fingerprint(result) != baseline
+    assert result.dag_stats["dag_requests"] > 0

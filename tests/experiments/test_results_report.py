@@ -76,3 +76,65 @@ def test_render_markdown_table_and_checks():
     assert "| server | rps |" in text
     assert "- [x] alpha wins" in text
     assert "- [ ] beta wins" in text
+
+
+def test_breaker_totals_sums_by_suffix():
+    from repro.experiments.results import breaker_totals
+
+    totals = breaker_totals({
+        "apache-tomcat_opens": 2.0,
+        "tomcat-mysql_opens": 3.0,
+        "compose-text_fast_failures": 5.0,
+        "compose-media_closes": 1.0,
+        "budget_denied": 99.0,  # not a breaker counter
+    })
+    assert totals == {
+        "breaker_opens": 5.0,
+        "breaker_closes": 1.0,
+        "breaker_fast_failures": 5.0,
+    }
+
+
+def test_breaker_totals_empty_resilience_is_all_zero():
+    from repro.experiments.results import breaker_totals
+
+    assert set(breaker_totals({}).values()) == {0.0}
+
+
+class _StubReport:
+    rejected = 2
+    failed = 1
+
+
+class _StubRun:
+    report = _StubReport()
+    client_stats = {"timeouts": 4.0}
+    server_stats = {
+        "compose_expired": 3.0,
+        "text_expired": 2.0,
+        "compose_aborted": 1.0,
+        "text_completed": 50.0,
+    }
+    resilience = {
+        "compose-text_opens": 2.0,
+        "compose-media_opens": 1.0,
+        "compose-text_fast_failures": 6.0,
+        "budget_granted": 10.0,
+        "budget_denied": 3.0,
+    }
+
+
+def test_add_run_counters_is_topology_agnostic():
+    result = ArtifactResult("a", "t", "c")
+    result.add_run_counters(_StubRun())
+    result.add_run_counters(_StubRun())  # accumulates across runs
+    assert result.counters["timeouts"] == 8.0
+    assert result.counters["rejected"] == 4.0
+    assert result.counters["failed"] == 2.0
+    assert result.counters["expired"] == 10.0
+    assert result.counters["aborted"] == 2.0
+    assert result.counters["breaker_opens"] == 6.0
+    assert result.counters["breaker_fast_failures"] == 12.0
+    assert result.counters["budget_granted"] == 20.0
+    assert result.counters["budget_denied"] == 6.0
+    assert "pool_evictions" not in result.counters

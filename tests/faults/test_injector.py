@@ -154,3 +154,62 @@ def test_stall_is_counted_once_per_window(cpu, env, calib):
     inj.start_stalls(cpu)
     env.run(until=0.2)
     assert inj.report().stall_windows == 2
+
+
+# ----------------------------------------------------------------------
+# Gray-failure degrade windows
+# ----------------------------------------------------------------------
+
+class _DegradeTarget:
+    """The slice of the fault-target surface ``_degrade`` touches."""
+
+    def __init__(self):
+        class _Cpu:
+            slowdown = 1.0
+
+        self.cpu = _Cpu()
+
+
+def test_degrade_window_stretches_and_restores_the_cpu():
+    from repro.faults import DegradeWindow
+
+    plan = FaultPlan(degrade_windows=(
+        DegradeWindow(start=0.5, end=1.0, share=0.75),
+    ))
+    env = Environment()
+    inj = FaultInjector(env, plan, SeedStreams(42).fork("faults"))
+    target = _DegradeTarget()
+    inj.start_degrades([target])
+    samples = {}
+
+    def sampler(env):
+        yield env.timeout(0.25)
+        samples["before"] = target.cpu.slowdown
+        yield env.timeout(0.5)  # t=0.75, mid-window
+        samples["during"] = target.cpu.slowdown
+        yield env.timeout(0.5)  # t=1.25, after recovery
+        samples["after"] = target.cpu.slowdown
+
+    env.process(sampler(env))
+    env.run()
+    assert samples["before"] == 1.0
+    # share=0.75 -> every burst stretched 4x while the window is open.
+    assert samples["during"] == pytest.approx(4.0)
+    assert samples["after"] == 1.0
+    report = inj.report()
+    assert report.degrade_windows == 1
+    assert report.total_faults >= 1
+    kinds = [event.kind for event in report.events]
+    assert "degrade" in kinds and "recover" in kinds
+
+
+def test_degrade_window_rejects_missing_instance():
+    from repro.faults import DegradeWindow
+
+    plan = FaultPlan(degrade_windows=(
+        DegradeWindow(start=0.5, end=1.0, instance=3),
+    ))
+    env = Environment()
+    inj = FaultInjector(env, plan, SeedStreams(42).fork("faults"))
+    with pytest.raises(Exception):
+        inj.start_degrades([_DegradeTarget()])

@@ -149,3 +149,80 @@ def test_presets_escalate():
     assert len(FAULT_PRESETS["severe"].server_stalls) > len(
         FAULT_PRESETS["moderate"].server_stalls
     )
+
+
+# ----------------------------------------------------------------------
+# Gray-failure DegradeWindows
+# ----------------------------------------------------------------------
+
+def test_degrade_windows_enable_the_plan_but_not_the_data_path():
+    from repro.faults import DegradeWindow
+
+    plan = FaultPlan(degrade_windows=(DegradeWindow(start=1.0, end=2.0),))
+    assert plan.enabled
+    assert not plan.connection_faults_enabled
+    assert "degrades=1" in plan.describe()
+
+
+def test_validate_rejects_malformed_degrade_windows():
+    from repro.faults import DegradeWindow
+
+    for window in (
+        DegradeWindow(start=-0.5, end=1.0),
+        DegradeWindow(start=1.0, end=1.0),
+        DegradeWindow(start=2.0, end=1.0),
+        DegradeWindow(start=0.0, end=1.0, instance=-1),
+        DegradeWindow(start=0.0, end=1.0, share=0.0),
+        DegradeWindow(start=0.0, end=1.0, share=1.0),
+        DegradeWindow(start=0.0, end=1.0, share=-0.2),
+    ):
+        with pytest.raises(SimulationError):
+            FaultPlan(degrade_windows=(window,)).validate()
+
+
+def test_validate_rejects_overlapping_degrade_windows_on_one_instance():
+    from repro.faults import DegradeWindow
+
+    plan = FaultPlan(
+        degrade_windows=(
+            DegradeWindow(start=1.0, end=3.0),
+            DegradeWindow(start=2.0, end=4.0),
+        )
+    )
+    with pytest.raises(SimulationError):
+        plan.validate()
+
+
+def test_validate_rejects_crash_degrade_overlap_on_one_instance():
+    """Regression: a crash and a gray failure cannot hit the same
+    instance at the same time — the injector's plain set/restore of the
+    CPU slowdown (and the crash path's down flag) rely on it."""
+    from repro.faults import DegradeWindow
+
+    plan = FaultPlan(
+        crash_windows=(CrashWindow(start=1.0, end=3.0),),
+        degrade_windows=(DegradeWindow(start=2.0, end=4.0),),
+    )
+    with pytest.raises(SimulationError, match="overlapping"):
+        plan.validate()
+    # Order of the pair must not matter.
+    reordered = FaultPlan(
+        crash_windows=(CrashWindow(start=2.0, end=4.0),),
+        degrade_windows=(DegradeWindow(start=1.0, end=3.0),),
+    )
+    with pytest.raises(SimulationError, match="overlapping"):
+        reordered.validate()
+
+
+def test_validate_accepts_crash_and_degrade_on_different_instances():
+    from repro.faults import DegradeWindow
+
+    plan = FaultPlan(
+        crash_windows=(CrashWindow(start=1.0, end=3.0),),
+        degrade_windows=(
+            DegradeWindow(start=2.0, end=4.0, instance=1),
+            # Back-to-back with the crash on instance 0 is legal too.
+            DegradeWindow(start=3.0, end=4.0),
+        ),
+    )
+    assert plan.validate() is plan

@@ -1,0 +1,176 @@
+"""Latency-aware outlier ejection: the gray-failure detector.
+
+Consecutive-failure ejection never notices a slow-but-alive replica —
+every request *succeeds*, slowly — so the balancer keeps an EWMA of
+each replica's success latency and ejects an instance whose EWMA is a
+configured factor above the upper-median of its peers'.  These tests
+drive :meth:`LoadBalancer.on_success` directly with synthetic latency
+samples.
+"""
+
+import pytest
+
+from repro.replica import LoadBalancer, Replica, ReplicaConfig
+from repro.sim.core import Environment
+
+pytestmark = [pytest.mark.failover, pytest.mark.dag]
+
+
+class _Server:
+    def __init__(self):
+        self.down = False
+        self.connections = []
+
+
+def _balancer(env, n=3, **overrides):
+    defaults = dict(
+        replicas=n, latency_factor=3.0, latency_alpha=0.2,
+        latency_min_samples=4, ejection_threshold=3,
+        ejection_duration=1.0, ejection_backoff=2.0,
+        ejection_max_duration=8.0,
+    )
+    defaults.update(overrides)
+    replicas = [Replica(i, _Server(), None, None) for i in range(n)]
+    return LoadBalancer(env, ReplicaConfig(**defaults), replicas), replicas
+
+
+def _feed(lb, replica, latency, times):
+    for _ in range(times):
+        lb.on_success(replica, latency=latency)
+
+
+def test_first_sample_seeds_the_ewma():
+    lb, replicas = _balancer(Environment())
+    lb.on_success(replicas[0], latency=0.010)
+    assert replicas[0].latency_ewma == pytest.approx(0.010)
+    assert replicas[0].latency_samples == 1
+
+
+def test_ewma_folds_with_the_configured_alpha():
+    lb, replicas = _balancer(Environment())
+    lb.on_success(replicas[0], latency=0.010)
+    lb.on_success(replicas[0], latency=0.020)
+    assert replicas[0].latency_ewma == pytest.approx(
+        0.2 * 0.020 + 0.8 * 0.010
+    )
+
+
+def test_success_without_latency_never_touches_the_ewma():
+    lb, replicas = _balancer(Environment())
+    lb.on_success(replicas[0])
+    assert replicas[0].latency_ewma is None
+    assert replicas[0].latency_samples == 0
+
+
+def test_slow_outlier_is_ejected_without_a_single_failure():
+    env = Environment()
+    lb, replicas = _balancer(env)
+    # Two healthy peers at ~1ms, one gray replica at 10x.
+    _feed(lb, replicas[1], 0.001, 5)
+    _feed(lb, replicas[2], 0.001, 5)
+    _feed(lb, replicas[0], 0.010, 5)
+    assert lb.latency_ejections == 1
+    assert replicas[0].latency_ejected
+    assert replicas[0].ejected_until == pytest.approx(env.now + 1.0)
+    assert replicas[0].consecutive_failures == 0
+    # Rotation now skips the gray replica.
+    picks = {lb.pick().index for _ in range(6)}
+    assert picks == {1, 2}
+
+
+def test_detection_needs_min_samples_on_replica_and_a_peer():
+    lb, replicas = _balancer(Environment())
+    # Peers have too few samples: no baseline, no ejection.
+    _feed(lb, replicas[1], 0.001, 2)
+    _feed(lb, replicas[0], 0.010, 10)
+    assert lb.latency_ejections == 0
+    # Once a peer crosses min_samples the next gray sample fires.
+    _feed(lb, replicas[1], 0.001, 2)
+    _feed(lb, replicas[0], 0.010, 1)
+    assert lb.latency_ejections == 1
+
+
+def test_successes_do_not_restore_a_latency_ejected_replica():
+    env = Environment()
+    lb, replicas = _balancer(env)
+    _feed(lb, replicas[1], 0.001, 5)
+    _feed(lb, replicas[2], 0.001, 5)
+    _feed(lb, replicas[0], 0.010, 5)
+    assert replicas[0].latency_ejected
+    until = replicas[0].ejected_until
+    # A straggler success mid-sit-out (still slow) must not reset the
+    # clock the way failure-ejection restores do.
+    lb.on_success(replicas[0], latency=0.010)
+    assert replicas[0].ejected_until is not None
+    assert replicas[0].ejected_until >= until
+
+
+def test_recovered_replica_rejoins_after_the_sitout():
+    env = Environment()
+    lb, replicas = _balancer(env)
+    _feed(lb, replicas[1], 0.001, 5)
+    _feed(lb, replicas[2], 0.001, 5)
+    _feed(lb, replicas[0], 0.010, 5)
+    assert replicas[0].latency_ejected
+    # Each time the sit-out lapses the replica re-enters rotation, folds
+    # one fast sample into its EWMA, and is re-ejected (with backoff) if
+    # it still reads as an outlier — until the EWMA has genuinely
+    # recovered and a success restores full health.
+    re_ejections = 0
+    for _ in range(20):
+        env.timeout(8.0)  # outlasts even the max sit-out
+        env.run()
+        lb.on_success(replicas[0], latency=0.001)
+        if replicas[0].ejected_until is None:
+            break
+        re_ejections += 1
+    assert re_ejections >= 1
+    assert not replicas[0].latency_ejected
+    assert replicas[0].ejected_until is None
+    assert {lb.pick().index for _ in range(6)} == {0, 1, 2}
+
+
+def test_never_ejects_the_last_standing_replica():
+    env = Environment()
+    lb, replicas = _balancer(env, n=2)
+    _feed(lb, replicas[1], 0.001, 5)
+    _feed(lb, replicas[0], 0.010, 5)
+    assert lb.latency_ejections == 1
+    # Replica 1 then goes gray too while 0 sits out: it must stay.
+    _feed(lb, replicas[1], 0.050, 5)
+    assert lb.latency_ejections == 1
+    assert not replicas[1].latency_ejected
+
+
+def test_feature_off_keeps_the_historical_unconditional_restore():
+    env = Environment()
+    lb, replicas = _balancer(env, latency_factor=0.0)
+    _feed(lb, replicas[1], 0.001, 5)
+    _feed(lb, replicas[2], 0.001, 5)
+    _feed(lb, replicas[0], 0.010, 10)
+    assert lb.latency_ejections == 0
+    assert replicas[0].latency_ewma is None
+    assert "lb_latency_ejections" not in lb.counters()
+
+
+def test_counters_expose_latency_ejections_only_when_configured():
+    env = Environment()
+    lb, replicas = _balancer(env)
+    assert lb.counters()["lb_latency_ejections"] == 0.0
+    _feed(lb, replicas[1], 0.001, 5)
+    _feed(lb, replicas[2], 0.001, 5)
+    _feed(lb, replicas[0], 0.010, 5)
+    assert lb.counters()["lb_latency_ejections"] == 1.0
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"latency_factor": -1.0},
+    {"latency_alpha": 0.0},
+    {"latency_alpha": 1.5},
+    {"latency_min_samples": 0},
+])
+def test_config_rejects_bad_latency_knobs(kwargs):
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError):
+        ReplicaConfig(replicas=2, **kwargs).validate()

@@ -37,8 +37,9 @@ from repro.experiments.micro import MicroConfig
 pytestmark = pytest.mark.tcpfast
 from repro.cache import CacheConfig
 from repro.cohort import CohortConfig
+from repro.dag import DagConfig, Edge, ServiceNode
 from repro.experiments.parallel import SweepExecutor
-from repro.faults import CrashWindow, FaultPlan, StallWindow
+from repro.faults import CrashWindow, DegradeWindow, FaultPlan, StallWindow
 from repro.ntier.topology import NTierConfig
 from repro.replica import ReplicaConfig
 from repro.resilience import (
@@ -307,6 +308,104 @@ _COHORT_CONFIGS = {
 }
 
 
+#: Golden digests for the DAG topology rows (PR 9), recorded with the
+#: regeneration helper; all earlier rows were verified byte-identical in
+#: the same run (zero-impact contract: `dag=None` builds the exact same
+#: linear chain as before the DAG layer existed).
+GOLDEN_DAG = {
+    "dag-fanout": "2794f5ea8e791597",
+    "dag-quorum": "9694f0d29a1c1724",
+}
+
+#: DAG 3-tier rows: a mixed sync/async fan-out with best-effort fan-in
+#: and per-edge breakers, and a quorum row with a replicated leaf under
+#: a gray-failure DegradeWindow (CPU slowdown + latency-aware ejection),
+#: pinning the whole DAG layer's event sequence — worker-thread fan-out,
+#: join bookkeeping, branch cancellation, degraded accounting — into the
+#: digest matrix.  Two rows also force a real process fan-out at jobs=4.
+_DAG_CONFIGS = {
+    "dag-fanout": NTierConfig(
+        tomcat_variant="async",
+        users=40,
+        think_mean=0.5,
+        duration=2.0,
+        warmup=0.5,
+        timeline_bucket=0.25,
+        seed=5,
+        resilience=ResiliencePolicy(
+            deadline=0.2,
+            breaker=BreakerConfig(open_duration=0.2),
+        ),
+        dag=DagConfig(
+            entry="compose",
+            nodes=(
+                ServiceNode(
+                    name="compose",
+                    edges=(
+                        Edge("text"),
+                        Edge("media"),
+                        Edge("store", mode="sync"),
+                    ),
+                    fan_in="best_effort",
+                    best_effort_timeout=0.02,
+                    service_cpu=100.0e-6,
+                ),
+                ServiceNode(name="text", service_cpu=200.0e-6,
+                            service_jitter=0.8),
+                ServiceNode(name="media", service_cpu=300.0e-6,
+                            service_jitter=0.8),
+                ServiceNode(name="store", service_cpu=150.0e-6),
+            ),
+        ),
+    ),
+    # Quorum fan-in over a replicated leaf with one gray replica: the
+    # DegradeWindow CPU slowdown, the latency-EWMA ejection path and the
+    # degraded-response accounting all land in the hash.  Fault targets
+    # flatten in declaration order (compose=0, text replicas 1..2, ...),
+    # so instance=1 is text replica 0.
+    "dag-quorum": NTierConfig(
+        tomcat_variant="async",
+        users=40,
+        think_mean=0.5,
+        duration=2.5,
+        warmup=0.5,
+        timeline_bucket=0.25,
+        seed=6,
+        resilience=ResiliencePolicy(deadline=0.1),
+        fault_plan=FaultPlan(
+            degrade_windows=(
+                DegradeWindow(start=1.0, end=1.8, instance=1, share=0.9),
+            ),
+        ),
+        dag=DagConfig(
+            entry="compose",
+            nodes=(
+                ServiceNode(
+                    name="compose",
+                    edges=(Edge("text"), Edge("media"), Edge("graph")),
+                    fan_in="quorum",
+                    quorum=2,
+                    service_cpu=100.0e-6,
+                ),
+                ServiceNode(
+                    name="text",
+                    service_cpu=200.0e-6,
+                    replica=ReplicaConfig(
+                        replicas=2,
+                        policy="round_robin",
+                        latency_factor=3.0,
+                        latency_min_samples=5,
+                        ejection_duration=0.2,
+                    ),
+                ),
+                ServiceNode(name="media", service_cpu=200.0e-6),
+                ServiceNode(name="graph", service_cpu=200.0e-6),
+            ),
+        ),
+    ),
+}
+
+
 def _digest_result(result) -> str:
     """Stable hash of everything a run reports."""
     payload = (
@@ -330,6 +429,10 @@ def _digest_result(result) -> str:
     if cohort_stats:
         # Same population rule for the cohort engine (PR 8).
         payload = payload + (sorted(cohort_stats.items()),)
+    dag_stats = getattr(result, "dag_stats", None)
+    if dag_stats:
+        # Same population rule for the DAG layer (PR 9).
+        payload = payload + (sorted(dag_stats.items()),)
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
 
 
@@ -442,6 +545,37 @@ def test_golden_cohort_digest_parallel(serial_cohort_digests):
     assert _run_all_cohort(jobs=4) == GOLDEN_COHORT == serial_cohort_digests
 
 
+def _run_all_dag(jobs: int) -> dict:
+    """The DAG rows, with the DAG and replica kill switches pinned *on*.
+
+    ``REPRO_DAG=1`` keeps the DAG build path active (the "dag-quorum"
+    row also needs ``REPRO_REPLICA=1`` for its replicated leaf); worker
+    processes inherit both.
+    """
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setenv("REPRO_DAG", "1")
+        patch.setenv("REPRO_REPLICA", "1")
+        executor = SweepExecutor("golden", scale=1.0, jobs=jobs, cache_dir=None)
+        results = executor.map_ntier(dict(_DAG_CONFIGS))
+        return {name: _digest_result(result) for name, result in results.items()}
+
+
+@pytest.fixture(scope="module")
+def serial_dag_digests() -> dict:
+    return _run_all_dag(jobs=1)
+
+
+@pytest.mark.dag
+def test_golden_dag_digest_serial(serial_dag_digests):
+    assert serial_dag_digests == GOLDEN_DAG
+
+
+@pytest.mark.dag
+def test_golden_dag_digest_parallel(serial_dag_digests):
+    """jobs=4 must reproduce the DAG rows too."""
+    assert _run_all_dag(jobs=4) == GOLDEN_DAG == serial_dag_digests
+
+
 if __name__ == "__main__":  # pragma: no cover - digest regeneration helper
     digests = _run_all(jobs=1)
     print("GOLDEN = {")
@@ -461,5 +595,10 @@ if __name__ == "__main__":  # pragma: no cover - digest regeneration helper
     cohort_digests = _run_all_cohort(jobs=1)
     print("GOLDEN_COHORT = {")
     for name, digest in cohort_digests.items():
+        print(f"    {name!r}: {digest!r},")
+    print("}")
+    dag_digests = _run_all_dag(jobs=1)
+    print("GOLDEN_DAG = {")
+    for name, digest in dag_digests.items():
         print(f"    {name!r}: {digest!r},")
     print("}")

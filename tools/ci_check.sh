@@ -41,6 +41,16 @@
 #                 REPRO_REPLICA=0 must reproduce every pre-replica digest
 #                 bit-for-bit (the replica layer is provably inert when
 #                 killed).
+#   dag tier      the dag-marked tests (DagConfig validation, fan-in
+#                 policies, gray-failure degrade windows, latency-aware
+#                 ejection, golden DAG digests and the DAG artifact
+#                 benchmark) with REPRO_DAG pinned *on*, followed by a
+#                 kill-switch equivalence run: the golden-digest matrix
+#                 under REPRO_DAG=0 must reproduce every pre-DAG digest
+#                 bit-for-bit (a DAG config collapses to the classic
+#                 linear chain when killed; the dag-marked rows are
+#                 deselected because they deliberately pin the live
+#                 layer's own digests).
 #   cohort tier   the cohort-marked tests (aggregate arrival engines,
 #                 lazy materialization, golden cohort digests, the
 #                 bounded-heap check and the million-client artifact
@@ -71,7 +81,7 @@ run_tier() {
 }
 
 echo "[ci_check] fast tier (REPRO_JOBS=$REPRO_JOBS, cache: ${REPRO_CACHE:-on})"
-run_tier fast -m "not realnet and not chaos and not cache and not failover and not cohort" "$@"
+run_tier fast -m "not realnet and not chaos and not cache and not failover and not cohort and not dag" "$@"
 
 echo "[ci_check] chaos tier"
 run_tier chaos -m "chaos or resilience" tests benchmarks/test_bench_metastable.py "$@"
@@ -103,6 +113,22 @@ if [[ "$_saved_repro_replica" == "__unset__" ]]; then
     unset REPRO_REPLICA
 else
     export REPRO_REPLICA="$_saved_repro_replica"
+fi
+
+echo "[ci_check] dag tier (REPRO_DAG=1 pinned)"
+_saved_repro_dag="${REPRO_DAG-__unset__}"
+export REPRO_DAG=1
+run_tier dag -m dag tests benchmarks/test_bench_dag.py "$@"
+echo "[ci_check] dag kill-switch equivalence (REPRO_DAG=0)"
+# The dag-marked digest rows are deselected: under the kill switch a DAG
+# config deliberately collapses to the classic linear chain, so only the
+# pre-DAG digests are expected to reproduce.
+export REPRO_DAG=0
+run_tier dagkill -m "not dag" tests/test_kernel_determinism_golden.py "$@"
+if [[ "$_saved_repro_dag" == "__unset__" ]]; then
+    unset REPRO_DAG
+else
+    export REPRO_DAG="$_saved_repro_dag"
 fi
 
 echo "[ci_check] cohort tier (REPRO_COHORT=1 pinned)"
@@ -141,4 +167,4 @@ else
     echo "[ci_check] perf-smoke tier skipped (no BENCH_core.json)"
 fi
 
-echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + cache ${cache_elapsed}s + failover ${failover_elapsed}s + replicakill ${replicakill_elapsed}s + cohort ${cohort_elapsed}s + cohortkill ${cohortkill_elapsed}s + realnet ${realnet_elapsed}s + tcpfast ${tcpfast_elapsed}s + perf ${perf_elapsed}s"
+echo "[ci_check] done: fast ${fast_elapsed}s + chaos ${chaos_elapsed}s + cache ${cache_elapsed}s + failover ${failover_elapsed}s + replicakill ${replicakill_elapsed}s + dag ${dag_elapsed}s + dagkill ${dagkill_elapsed}s + cohort ${cohort_elapsed}s + cohortkill ${cohortkill_elapsed}s + realnet ${realnet_elapsed}s + tcpfast ${tcpfast_elapsed}s + perf ${perf_elapsed}s"
