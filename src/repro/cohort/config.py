@@ -67,6 +67,13 @@ class CohortConfig:
     #: request (a mostly-idle connected population — the million-client
     #: scouting regime) instead of firing immediately on start (JMeter).
     first_think: bool = False
+    #: Open the full ``max_inflight`` connection bundle at build time (a
+    #: provisioned pool, like JMeter's pre-opened sockets) instead of
+    #: growing it on demand.  Required for sharded execution against
+    #: thread-per-connection servers, whose attach spawns a handler
+    #: thread: a provisioned bundle attaches before the clock starts, so
+    #: no connection ever crosses a shard cut mid-run.
+    eager_connections: bool = False
     #: Logical requests a materialized episode client serves before it
     #: folds back into the aggregate.
     episode_requests: int = 1

@@ -207,6 +207,10 @@ class SweepStats:
     #: time and can exceed elapsed time; events / this wall is the
     #: per-worker simulation rate.
     kernel_wall_s: float = 0.0
+    #: Points that ran on the sharded kernel (``repro.shard``).
+    shard_points: int = 0
+    #: Aggregate barrier-stall seconds across those points' islands.
+    shard_stall_s: float = 0.0
 
     @property
     def events_per_sec(self) -> float:
@@ -244,6 +248,8 @@ class SweepTotals:
     cache_hits: int = 0
     kernel_events: int = 0
     kernel_wall_s: float = 0.0
+    shard_points: int = 0
+    shard_stall_s: float = 0.0
 
     @property
     def events_per_sec(self) -> float:
@@ -324,6 +330,8 @@ class SweepExecutor:
                 pending[key] = config
         events = 0
         wall = 0.0
+        shard_points = 0
+        shard_stall = 0.0
         if pending:
             computed = self._compute(runner, pending)
             self.stats.computed += len(computed)
@@ -335,12 +343,20 @@ class SweepExecutor:
                 # CLI can print a per-artifact events/sec line.
                 events += getattr(result, "kernel_events", 0)
                 wall += getattr(result, "sim_wall_s", 0.0)
+                shards = getattr(result, "shard_events", ())
+                if shards:
+                    shard_points += 1
+                    shard_stall += sum(s.stall_s for s in shards)
         self.stats.kernel_events += events
         self.stats.kernel_wall_s += wall
+        self.stats.shard_points += shard_points
+        self.stats.shard_stall_s += shard_stall
         _sweep_totals.points += len(ordered)
         _sweep_totals.cache_hits += len(ordered) - len(pending)
         _sweep_totals.kernel_events += events
         _sweep_totals.kernel_wall_s += wall
+        _sweep_totals.shard_points += shard_points
+        _sweep_totals.shard_stall_s += shard_stall
         return {key: results[key] for key, _ in ordered}
 
     def _prepare(self, runner: str, key: object, config: object) -> object:

@@ -60,6 +60,7 @@ class NettyServer(BaseServer):
     """Worker-owned selectors + pipeline + bounded (writeSpin) writes."""
 
     architecture = "NettyServer"
+    passive_attach = True
 
     def __init__(
         self,

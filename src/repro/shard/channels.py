@@ -1,0 +1,429 @@
+"""Cut-edge connections and the cross-shard message protocol.
+
+A connection whose client and server live on different islands is split
+into two halves:
+
+* :class:`ClientEdgeConnection` — the client island's half.  A stub that
+  satisfies exactly what client-side call sites touch (``send_request``,
+  ``closed``, ``on_close``, ``id``); sending a request emits a ``req``
+  message timestamped with the serial arrival time
+  (``now + link.transfer_delay(request_size)``).
+* :class:`ServerEdgeConnection` — the server island's half.  A real
+  :class:`~repro.net.tcp.Connection` (so the server-side data path —
+  send buffer, cwnd, write-spin — is bit-identical to serial), with the
+  flow fast path's boundary hook capturing each response's final-byte
+  delivery time the moment it is planned.  That time *is* the serial
+  completion time, so shipping it back as a ``done`` message lets the
+  client island complete the request at exactly the serial instant.
+
+Three message kinds cross a cut, all plain tuples with the fire time at
+index 1, the (cut, index) identity at 2..3, and the sender island's
+emission sequence number as the last element:
+
+* ``("conn", fire, cut, index, emit)`` — a dynamically-created
+  connection (cohort growth): the server island attaches a fresh edge at
+  ``fire = send_time + one_way_latency``, strictly before the
+  connection's first request arrives.
+* ``("req", fire, cut, index, seq, (kind, response_size, request_size,
+  deadline, created_at, metadata), emit)`` — a request crossing
+  downstream.
+* ``("done", fire, cut, index, seq, (write_calls, zero_writes,
+  lifecycle), emit)`` — a response's final byte landing upstream at
+  ``fire``.
+
+The emission sequence is stamped at the instant the serial kernel would
+have *scheduled* the corresponding delivery event (request send time,
+connection creation, completion plan time) — so for two same-fire
+messages from the same island, emission order *is* the serial insertion
+order, and replaying the inbox sorted by ``(fire, sender, emit)``
+reproduces serial tie-breaking exactly.  Same-fire ties between
+different senders (or against local events) have no reconstructible
+serial order; they get a deterministic arbitrary order instead, and the
+golden matrix is the check that no pinned workload hits one.
+
+Incoming messages are applied through
+:meth:`~repro.sim.core.Environment.schedule_keyed` with negative keys
+from :data:`CUT_BASE` — a partition-stable tie-break that orders
+same-time cross-shard deliveries before same-time local events (see the
+note at :data:`CUT_BASE`) without consuming local insertion ids.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.net.messages import Request
+from repro.net.tcp import Connection, ConnectionClosedError
+from repro.ntier.applications import _LIFECYCLE_KEYS
+
+__all__ = [
+    "CUT_BASE",
+    "ClientEdgeConnection",
+    "Island",
+    "ServerEdgeConnection",
+]
+
+#: Tie-break keys for cross-shard deliveries start here — negative, below
+#: every local insertion id — so at equal (time, priority) a cut delivery
+#: always sorts *before* local events, island-independently.  This mirrors
+#: serial: a delivery's insertion id is drawn when the sender schedules it
+#: (request send, completion plan), strictly before the receiver's fire
+#: time, while same-time local events are overwhelmingly reaction events
+#: whose ids are drawn at the fire instant itself.  (A local timer armed
+#: before the sender's emission and firing at exactly the delivery time
+#: would order the other way in serial; no reconstructible order exists
+#: for that cross-island coincidence, and the golden matrix is the check
+#: that no pinned workload hits one.)
+CUT_BASE = -(1 << 62)
+
+
+class ClientEdgeConnection:
+    """Client-island half of a cut connection.
+
+    Duck-types the slice of :class:`~repro.net.tcp.Connection` that
+    client-side call sites use (closed-loop clients, the cohort engine,
+    inter-tier pools).  Never closes: the v1 partitioner excludes every
+    configuration with a close source (faults, deadlines, server limits).
+    """
+
+    __slots__ = (
+        "env",
+        "island",
+        "cut",
+        "index",
+        "link",
+        "id",
+        "closed",
+        "on_close",
+        "pending",
+        "_seq",
+    )
+
+    def __init__(self, env, island: "Island", cut: int, index: int, link, announce: bool):
+        # Draw from the shared Connection id counter: client code may use
+        # ids as dict keys (cohort flights); actual values are never
+        # observable in results.
+        Connection._ids += 1
+        self.id = Connection._ids
+        self.env = env
+        self.island = island
+        self.cut = cut
+        self.index = index
+        self.link = link
+        self.closed = False
+        self.on_close = env.event()
+        #: In-flight requests by cut sequence number.
+        self.pending: Dict[int, Request] = {}
+        self._seq = 0
+        if announce:
+            # Dynamic connection (cohort growth): tell the server island
+            # to attach its edge.  One link latency is within lookahead
+            # and strictly precedes the first request's arrival (which
+            # adds serialization time on top).
+            island.outbox.append(
+                ("conn", env.now + link.one_way_latency, cut, index, island.stamp())
+            )
+
+    def send_request(self, request: Request) -> None:
+        """Serial ``Connection.send_request``, as a cut message."""
+        if self.closed:
+            raise ConnectionClosedError(f"connection #{self.id} is closed")
+        seq = self._seq
+        self._seq = seq + 1
+        self.pending[seq] = request
+        fire = self.env.now + self.link.transfer_delay(request.request_size)
+        metadata = request.metadata
+        self.island.outbox.append(
+            (
+                "req",
+                fire,
+                self.cut,
+                self.index,
+                seq,
+                (
+                    request.kind,
+                    request.response_size,
+                    request.request_size,
+                    request.deadline,
+                    request.created_at,
+                    dict(metadata) if metadata else None,
+                ),
+                self.island.stamp(),
+            )
+        )
+
+    def complete(self, seq: int, payload: tuple) -> None:
+        """Apply an incoming ``done`` message: the response landed."""
+        write_calls, zero_writes, lifecycle = payload
+        request = self.pending.pop(seq)
+        request.write_calls = write_calls
+        request.zero_writes = zero_writes
+        if lifecycle:
+            request.metadata.update(lifecycle)
+        request.mark_completed()
+
+    def __repr__(self) -> str:
+        return f"<ClientEdgeConnection #{self.id} cut={self.cut} index={self.index}>"
+
+
+class ServerEdgeConnection(Connection):
+    """Server-island half of a cut connection.
+
+    A real :class:`Connection` — the server sees the full send-buffer /
+    cwnd machinery — whose flow fast path is *forced* on (PR 5 proved the
+    fast and slow paths digest-identical, and only the fast path plans
+    completion boundaries ahead of time, which is what lets the final-
+    byte delivery time ship at a barrier *before* it happens locally).
+    """
+
+    def __init__(
+        self,
+        env,
+        link,
+        calibration,
+        island: "Island",
+        cut: int,
+        index: int,
+        send_buffer_size: Optional[int] = None,
+    ):
+        super().__init__(
+            env, link, calibration, send_buffer_size=send_buffer_size
+        )
+        self.island = island
+        self.cut = cut
+        self.index = index
+        # Force the fast path even under REPRO_TCP_FASTPATH=0: the
+        # boundary hook below only exists there.
+        if not self._fp_active:
+            self._fp_active = True
+            self.buffer.on_park = self._fp_on_park
+        self._fp_boundary_hook = self._shard_boundary
+        #: Planned-but-unflushed completions, (delivery_time, transfer,
+        #: emission seq), nondecreasing in time (FIFO byte stream per
+        #: connection).  The emission seq is stamped at plan time — the
+        #: instant serial would schedule the boundary event — not at
+        #: flush time, whose iteration order is not content-determined.
+        self._done_queue: Deque[Tuple[float, object, int]] = deque()
+
+    # -- boundary bookkeeping ------------------------------------------
+    def _shard_boundary(self, transfer, d) -> None:
+        q = self._done_queue
+        if d is None:
+            # Retraction: a later write replanned the drain tail.  Only
+            # the most recent plan entries can retract, and a completion
+            # already flushed at a barrier is provably final (its bytes
+            # were all accepted before the barrier horizon) — so the
+            # retracted boundary must be our queue tail.
+            if not q or q[-1][1] is not transfer:
+                raise SimulationError(
+                    "shard: retraction of an already-flushed completion "
+                    "boundary on a cut edge"
+                )
+            q.pop()
+            return
+        q.append((d, transfer, self.island.stamp()))
+        self.island.note_pending_done(self)
+
+    def flush_dones(self, limit: float, outbox: list) -> bool:
+        """Emit ``done`` messages for completions landing at or before
+        ``limit``; returns True when the queue drained."""
+        q = self._done_queue
+        while q and q[0][0] <= limit:
+            d, transfer, emit = q.popleft()
+            request = transfer.request
+            metadata = request.metadata
+            lifecycle = None
+            if metadata:
+                lifecycle = {
+                    key: metadata[key]
+                    for key in _LIFECYCLE_KEYS
+                    if key in metadata
+                }
+            outbox.append(
+                (
+                    "done",
+                    d,
+                    self.cut,
+                    self.index,
+                    request._shard_seq,
+                    (request.write_calls, request.zero_writes, lifecycle or None),
+                    emit,
+                )
+            )
+        return not q
+
+    # -- hardened overrides --------------------------------------------
+    def open_transfer(self, total, request=None):
+        if total == 0:
+            # A zero-byte response completes instantly with no network
+            # delay — a zero-latency cut message would break conservative
+            # sync.  Structurally absent from every shardable workload
+            # (all response sizes are positive); fail loudly if not.
+            raise SimulationError(
+                "shard: zero-byte response on a cut edge (no lookahead)"
+            )
+        return super().open_transfer(total, request)
+
+    def close(self) -> None:
+        # No shardable v1 configuration closes connections (no faults,
+        # deadlines or limits); a close would need a cross-shard teardown
+        # protocol, so surface the gap instead of silently diverging.
+        raise SimulationError("shard: cut-edge connection closed on server island")
+
+    def _fp_materialize(self) -> None:
+        # Materializing would cancel the planned boundaries this edge's
+        # whole protocol hangs on.  Only reachable through writes with no
+        # declared transfer — never done by the server architectures.
+        raise SimulationError("shard: cut-edge fast path cannot materialize")
+
+    def __repr__(self) -> str:
+        return f"<ServerEdgeConnection #{self.id} cut={self.cut} index={self.index}>"
+
+
+class Island:
+    """One shard: an :class:`Environment` plus its cut-edge endpoints."""
+
+    def __init__(self, env, index: int, name: str):
+        self.env = env
+        self.index = index
+        self.name = name
+        #: Outgoing cross-shard messages accumulated since the last barrier.
+        self.outbox: list = []
+        #: Server-side edges by (cut, index).
+        self.edges: Dict[Tuple[int, int], ServerEdgeConnection] = {}
+        #: Client-side stubs by (cut, index).
+        self.stubs: Dict[Tuple[int, int], ClientEdgeConnection] = {}
+        #: Cut id → (server, link, calibration, send_buffer_size) for cuts
+        #: this island terminates (accepts ``conn``/``req`` messages on).
+        self.down_cuts: Dict[int, tuple] = {}
+        self._stub_counts: Dict[int, int] = {}
+        self._edges_pending: set = set()
+        self._next_cut_key = CUT_BASE
+        self._emit_seq = 0
+        self.barriers = 0
+        self.stall_s = 0.0
+
+    def stamp(self) -> int:
+        """Next emission sequence number — drawn at the instant serial
+        would schedule the corresponding delivery event, so emission
+        order reproduces serial insertion order for same-fire ties."""
+        seq = self._emit_seq
+        self._emit_seq = seq + 1
+        return seq
+
+    # -- build-time wiring ---------------------------------------------
+    def make_stub(self, cut: int, link, announce: bool) -> ClientEdgeConnection:
+        """Next client-side stub on ``cut`` (build order = index order)."""
+        index = self._stub_counts.get(cut, 0)
+        self._stub_counts[cut] = index + 1
+        stub = ClientEdgeConnection(self.env, self, cut, index, link, announce)
+        self.stubs[(cut, index)] = stub
+        return stub
+
+    def serve_cut(
+        self, cut: int, server, link, calibration, send_buffer_size=None
+    ) -> None:
+        """Declare this island the downstream end of ``cut``."""
+        self.down_cuts[cut] = (server, link, calibration, send_buffer_size)
+
+    def attach_edges(self, cut: int, count: int) -> None:
+        """Pre-attach ``count`` static edges for ``cut`` in index order —
+        the mirror of the upstream island's build-time connections."""
+        server, link, calibration, send_buffer_size = self.down_cuts[cut]
+        for index in range(count):
+            edge = ServerEdgeConnection(
+                self.env,
+                link,
+                calibration,
+                self,
+                cut,
+                index,
+                send_buffer_size=send_buffer_size,
+            )
+            self.edges[(cut, index)] = edge
+            server.attach(edge)
+
+    # -- barrier-time operations ---------------------------------------
+    def note_pending_done(self, edge: ServerEdgeConnection) -> None:
+        """Mark *edge* as holding planned completions awaiting flush."""
+        self._edges_pending.add(edge)
+
+    def flush_dones(self, limit: float) -> None:
+        """Move every completion landing ``<= limit`` into the outbox."""
+        pending = self._edges_pending
+        if not pending:
+            return
+        drained = [
+            edge for edge in pending if edge.flush_dones(limit, self.outbox)
+        ]
+        for edge in drained:
+            pending.discard(edge)
+
+    def take_outbox(self) -> list:
+        """Drain and return the messages queued for other islands."""
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def apply_inbox(self, inbox: list) -> None:
+        """Schedule every incoming ``(sender, msg)`` pair at its fire time.
+
+        Sorted by (fire, sender, emission seq) — same-sender ties replay
+        in serial insertion order — then keyed from a monotone counter
+        starting at :data:`CUT_BASE` so same-time deliveries keep that
+        order (and sort before same-time local events, matching serial
+        insertion-id order) without consuming local insertion ids.
+        """
+        if not inbox:
+            return
+        inbox.sort(key=lambda pair: (pair[1][1], pair[0], pair[1][-1]))
+        env = self.env
+        for _sender, msg in inbox:
+            event = env.event()
+            event.callbacks.append(self._apply_cb(msg))
+            key = self._next_cut_key
+            self._next_cut_key = key + 1
+            env.schedule_keyed(event, msg[1], key)
+
+    def _apply_cb(self, msg: tuple):
+        return lambda _event, m=msg, s=self: s._apply(m)
+
+    def _apply(self, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "req":
+            _, _fire, cut, index, seq, payload, _emit = msg
+            rkind, response_size, request_size, deadline, created_at, metadata = payload
+            edge = self.edges[(cut, index)]
+            mirror = Request(
+                self.env,
+                kind=rkind,
+                response_size=response_size,
+                request_size=request_size,
+                deadline=deadline,
+            )
+            # __post_init__ stamps arrival time; restore the client-side
+            # creation time so response_time spans the full round trip.
+            mirror.created_at = created_at
+            if metadata:
+                mirror.metadata.update(metadata)
+            mirror._shard_seq = seq
+            edge._on_request_arrival(mirror)
+        elif kind == "done":
+            _, _fire, cut, index, seq, payload, _emit = msg
+            self.stubs[(cut, index)].complete(seq, payload)
+        else:  # "conn"
+            _, _fire, cut, index, _emit = msg
+            server, link, calibration, send_buffer_size = self.down_cuts[cut]
+            edge = ServerEdgeConnection(
+                self.env,
+                link,
+                calibration,
+                self,
+                cut,
+                index,
+                send_buffer_size=send_buffer_size,
+            )
+            self.edges[(cut, index)] = edge
+            server.attach(edge)

@@ -1,0 +1,527 @@
+"""Island builders: per-shard slices of the serial topologies.
+
+Each builder reproduces the serial runner's construction *subsequence*
+for its island — same statements, same relative order — because
+construction order draws connection ids, forks RNG streams and schedules
+build-time events, and same-time events process in insertion order.
+Comments of the form "serial: ..." anchor each block to the line of
+:func:`repro.experiments.micro.run_micro` /
+:func:`repro.ntier.topology.run_ntier` it mirrors.
+
+A builder returns ``(island, finish)`` where ``finish()`` — called after
+the epilogue ``run(until=duration)`` — computes exactly the result
+fragments the serial runner would have computed from this island's
+objects, as one picklable dict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.scheduler import CPU
+from repro.net.link import Link
+from repro.shard.channels import Island
+
+__all__ = [
+    "build_micro_client",
+    "build_micro_server",
+    "build_ntier_client",
+    "build_ntier_backend",
+    "build_ntier_apache",
+    "build_ntier_tomcat",
+    "build_ntier_mysql",
+]
+
+
+class _CpuWatch:
+    """Mirror of ``RunRecorder.watch_cpu`` for a CPU on a server island.
+
+    Schedules the same warm-up boundary timeout at the same construction
+    point, snapshots the CPU when it fires, and reproduces ``report()``'s
+    usage computation (including its positive-window guard) at finish.
+    """
+
+    def __init__(self, env, cpu, warmup: float):
+        self.cpu = cpu
+        self.start = None
+        if env.now >= warmup:
+            self.start = cpu.snapshot()
+        else:
+            boundary = env.timeout(warmup - env.now)
+            boundary.callbacks.append(self._begin)
+
+    def _begin(self, _event) -> None:
+        if self.start is None:
+            self.start = self.cpu.snapshot()
+
+    def usage(self):
+        if self.start is None:
+            return None
+        end = self.cpu.snapshot()
+        if end.time > self.start.time:
+            return end.usage_since(self.start, self.cpu.cores)
+        return None
+
+
+def _watch_tiers(env, cpus: Dict[str, "CPU"], warmup: float):
+    """Mirror of ``run_ntier``'s ``starts`` dict + ``_mark_warmup``
+    process, restricted to this island's tiers."""
+    starts = {name: cpu.snapshot() for name, cpu in cpus.items()}
+
+    def _mark_warmup():
+        yield env.timeout(warmup)
+        for name, cpu in cpus.items():
+            starts[name] = cpu.snapshot()
+
+    env.process(_mark_warmup(), name="warmup-marker")
+    return starts
+
+
+def _tier_usage(cpus: Dict[str, "CPU"], starts) -> tuple:
+    """Serial utilization/switch-rate expressions for local tiers."""
+    utilization: Dict[str, float] = {}
+    switch_rate: Dict[str, float] = {}
+    for name, cpu in cpus.items():
+        usage = cpu.snapshot().usage_since(starts[name], cpu.cores)
+        utilization[name] = usage.utilization
+        switch_rate[name] = usage.context_switch_rate
+    return utilization, switch_rate
+
+
+def _tier_server_stats(tiers) -> Dict[str, float]:
+    """Serial per-tier shed/expired/aborted counters."""
+    server_stats: Dict[str, float] = {}
+    for tier_name, tier_servers in tiers:
+        server_stats[f"{tier_name}_rejected"] = float(
+            sum(s.stats.requests_rejected for s in tier_servers)
+        )
+        server_stats[f"{tier_name}_expired"] = float(
+            sum(s.stats.requests_expired for s in tier_servers)
+        )
+        server_stats[f"{tier_name}_aborted"] = float(
+            sum(s.stats.requests_aborted for s in tier_servers)
+        )
+    return server_stats
+
+
+# ----------------------------------------------------------------------
+# Micro: [clients | server]
+# ----------------------------------------------------------------------
+
+def build_micro_client(config, streaming: bool):
+    """Client island: the population half of a micro run."""
+    from repro.experiments.micro import run_micro  # noqa: F401  (doc anchor)
+    from repro.metrics.collector import RunRecorder
+    from repro.sim.core import Environment
+    from repro.sim.rng import SeedStreams
+    from repro.workload.client import ExponentialThink
+    from repro.workload.mixes import FixedMix
+    from repro.workload.population import ConnectionOptions, build_population
+
+    calib = config.calibration
+    env = Environment()
+    island = Island(env, 0, "clients")
+    # serial: link / cohort flags / recorder (watch_cpu is server-side:
+    # without a watched CPU the recorder's measurement window is opened
+    # by its own now>=warmup check, at the same records).
+    link = Link.lan(calib, added_latency=config.added_latency)
+    cohort = config.cohort
+    lazy_cohort = cohort is not None and cohort.enabled and cohort.lazy_active()
+    if lazy_cohort and config.concurrency >= cohort.streaming_threshold:
+        streaming = True
+    recorder = RunRecorder(env, warmup=config.warmup, streaming=streaming)
+    mix = config.mix or FixedMix(config.response_size)
+    seeds = SeedStreams(config.seed)
+    # Classic populations (and eager cohort bundles) connect at build
+    # time — the server island pre-attaches matching edges, so no
+    # announcement crosses the cut; demand-grown cohort connections are
+    # created during the run and must announce.
+    announce = lazy_cohort and not cohort.eager_connections
+    population = build_population(
+        env,
+        None,
+        size=config.concurrency,
+        mix=mix,
+        link=link,
+        calibration=calib,
+        seeds=seeds,
+        recorder=recorder,
+        options=ConnectionOptions(
+            send_buffer_size=config.send_buffer_size, autotune=config.autotune
+        ),
+        think=(
+            ExponentialThink(config.think_mean) if config.think_mean > 0 else None
+        ),
+        ramp_up=config.warmup * 0.8,
+        cohort=cohort,
+        connect=lambda index: island.make_stub(0, link, announce=announce),
+    )
+
+    def finish():
+        client_stats: Dict[str, float] = {}
+        if lazy_cohort:
+            client_stats = population.client_stat_totals()
+        return {
+            "report": recorder.report(),
+            "client_stats": client_stats,
+            "cohort_stats": population.cohort_stats(),
+        }
+
+    return island, finish
+
+
+def build_micro_server(config):
+    """Server island: the CPU + server half of a micro run."""
+    from repro.core.hybrid import HybridServer
+    from repro.experiments.micro import make_server
+    from repro.sim.core import Environment
+
+    calib = config.calibration
+    env = Environment()
+    island = Island(env, 1, "server")
+    # serial: cpu / server / link / recorder.watch_cpu(cpu).
+    cpu = CPU(env, calib, name=f"{config.server}-cpu")
+    server = make_server(config.server, env, cpu, config)
+    link = Link.lan(calib, added_latency=config.added_latency)
+    watch = _CpuWatch(env, cpu, config.warmup)
+    # serial: build_population attaches one connection per client here.
+    island.serve_cut(0, server, link, calib, send_buffer_size=config.send_buffer_size)
+    cohort = config.cohort
+    lazy_cohort = cohort is not None and cohort.enabled and cohort.lazy_active()
+    if not lazy_cohort:
+        island.attach_edges(0, config.concurrency)
+    elif cohort.eager_connections:
+        # serial: Cohort.__init__ opens min(max_inflight, size) at build.
+        island.attach_edges(0, min(cohort.max_inflight, config.concurrency))
+
+    def finish():
+        stats = {
+            "requests_completed": float(server.stats.requests_completed),
+            "responses_written": float(server.stats.responses_written),
+            "spin_jumpouts": float(server.stats.spin_jumpouts),
+            "reclassifications": float(server.stats.reclassifications),
+            "requests_rejected": float(server.stats.requests_rejected),
+            "requests_aborted": float(server.stats.requests_aborted),
+            "connections_refused": float(server.stats.connections_refused),
+        }
+        if isinstance(server, HybridServer):
+            stats["light_path_requests"] = float(server.light_path_requests)
+            stats["heavy_path_requests"] = float(server.heavy_path_requests)
+            stats["light_path_fallbacks"] = float(server.light_path_fallbacks)
+        return {"server_stats": stats, "report_cpu": watch.usage()}
+
+    return island, finish
+
+
+# ----------------------------------------------------------------------
+# N-tier: [clients | ...tiers], cut 0 = client→apache,
+# cut 1 = apache→tomcat, cut 2 = tomcat→mysql
+# ----------------------------------------------------------------------
+
+def _ntier_lazy_cohort(config) -> bool:
+    return (
+        config.cohort is not None
+        and config.cohort.enabled
+        and config.cohort.lazy_active()
+    )
+
+
+def build_ntier_client(config):
+    """Client island: the user population of an n-tier run."""
+    from repro.metrics.collector import RunRecorder
+    from repro.sim.core import Environment
+    from repro.sim.rng import SeedStreams
+    from repro.workload.client import ExponentialThink
+    from repro.workload.population import build_population
+    from repro.workload.rubbos import RubbosMix
+
+    calib = config.calibration
+    env = Environment()
+    island = Island(env, 0, "clients")
+    lazy_cohort = _ntier_lazy_cohort(config)
+    recorder = RunRecorder(
+        env,
+        warmup=config.warmup,
+        streaming=lazy_cohort and config.users >= config.cohort.streaming_threshold,
+        timeline_bucket=config.timeline_bucket,
+    )
+    seeds = SeedStreams(config.seed)
+    mix = config.mix if config.mix is not None else RubbosMix()
+    client_link = Link.lan(calib, added_latency=config.client_latency)
+    population = build_population(
+        env,
+        None,
+        size=config.users,
+        mix=mix,
+        link=client_link,
+        calibration=calib,
+        seeds=seeds,
+        recorder=recorder,
+        think=ExponentialThink(config.think_mean),
+        ramp_up=config.warmup * 0.8,
+        cohort=config.cohort,
+        connect=lambda index: island.make_stub(
+            0, client_link, announce=lazy_cohort and not config.cohort.eager_connections
+        ),
+    )
+
+    def finish():
+        client_stats: Dict[str, float] = {}
+        if lazy_cohort:
+            client_stats = population.client_stat_totals()
+        return {
+            "report": recorder.report(),
+            "client_stats": client_stats,
+            "cohort_stats": population.cohort_stats(),
+            "timeline": recorder.timeline(),
+        }
+
+    return island, finish
+
+
+def _serve_client_cut(island, config, front_server, calib) -> None:
+    """Terminate cut 0 — the mirror of ``build_population``'s attaches."""
+    client_link = Link.lan(calib, added_latency=config.client_latency)
+    island.serve_cut(0, front_server, client_link, calib)
+    if not _ntier_lazy_cohort(config):
+        island.attach_edges(0, config.users)
+    elif config.cohort.eager_connections:
+        # serial: Cohort.__init__ opens min(max_inflight, size) at build.
+        island.attach_edges(0, min(config.cohort.max_inflight, config.users))
+
+
+def build_ntier_backend(config):
+    """2-way partition: the whole server side, built verbatim."""
+    from repro.ntier.topology import ThreeTierSystem
+    from repro.sim.core import Environment
+    from repro.workload.rubbos import RubbosMix
+
+    calib = config.calibration
+    env = Environment()
+    island = Island(env, 1, "backend")
+    system = ThreeTierSystem(env, config)
+    # serial: recorder.watch_cpu(system.app_cpu)
+    watch = _CpuWatch(env, system.app_cpu, config.warmup)
+    # serial: probe starters (replica excluded by the partitioner).
+    if system.dag_system is not None:
+        system.dag_system.start_probes()
+    mix = config.mix if config.mix is not None else RubbosMix()
+    if config.cache is not None and config.cache.prewarm:
+        for tier in system.cache_tiers():
+            tier.prewarm_from_mix(mix)
+    _serve_client_cut(island, config, system.front_server, calib)
+    cpus = system.cpu_by_tier()
+    starts = _watch_tiers(env, cpus, config.warmup)
+    lazy_cohort = _ntier_lazy_cohort(config)
+
+    def finish():
+        utilization, switch_rate = _tier_usage(cpus, starts)
+        server_stats: Dict[str, float] = {}
+        if lazy_cohort:
+            if system.dag_system is not None:
+                tiers = tuple(system.dag_system.servers_by_node())
+            else:
+                tiers = (
+                    ("apache", [system.web_server]),
+                    ("tomcat", [system.app_server]),
+                    ("mysql", [system.db_server]),
+                )
+            server_stats = _tier_server_stats(tiers)
+        cache_totals: Dict[str, float] = {}
+        for tier in system.cache_tiers():
+            for key, value in tier.counters().items():
+                cache_totals[key] = cache_totals.get(key, 0.0) + value
+        dag_stats: Dict[str, float] = {}
+        tomcat_peak = 0
+        if system.dag_system is not None:
+            dag_stats = system.dag_system.counters()
+            tomcat_peak = sum(p.peak_in_use for p in system.dag_system.pools())
+        else:
+            tomcat_peak = system.apache_tomcat_pool.peak_in_use
+        return {
+            "tier_utilization": utilization,
+            "tier_switch_rate": switch_rate,
+            "server_stats": server_stats,
+            "cache_totals": cache_totals,
+            "cache_present": system.cache_tier is not None,
+            "dag_stats": dag_stats,
+            "tomcat_peak": tomcat_peak,
+            "report_cpu": watch.usage(),
+        }
+
+    return island, finish
+
+
+def build_ntier_apache(config, index: int):
+    """Apache island: the web tier of a 3+-way partition."""
+    from repro.ntier.applications import ProxyApplication
+    from repro.ntier.pool import ConnectionPool
+    from repro.servers.threaded import ThreadedServer
+    from repro.sim.core import Environment
+
+    calib = config.calibration
+    env = Environment()
+    island = Island(env, index, "apache")
+    # serial (_build_single): web_cpu / tier_link / apache_tomcat_pool /
+    # web_server — the db and tomcat statements in between build no
+    # apache-island object.
+    web_cpu = CPU(env, calib, name="apache-cpu")
+    tier_link = Link.lan(calib, added_latency=config.inter_tier_latency)
+    apache_tomcat_pool = ConnectionPool(
+        env,
+        None,
+        config.apache_tomcat_pool,
+        tier_link,
+        calib,
+        connect=lambda i: island.make_stub(1, tier_link, announce=False),
+    )
+    web_server = ThreadedServer(
+        env, web_cpu, app=ProxyApplication(apache_tomcat_pool), name="apache"
+    )
+    _serve_client_cut(island, config, web_server, calib)
+    cpus = {"apache": web_cpu}
+    starts = _watch_tiers(env, cpus, config.warmup)
+    lazy_cohort = _ntier_lazy_cohort(config)
+
+    def finish():
+        utilization, switch_rate = _tier_usage(cpus, starts)
+        server_stats: Dict[str, float] = {}
+        if lazy_cohort:
+            server_stats = _tier_server_stats((("apache", [web_server]),))
+        return {
+            "tier_utilization": utilization,
+            "tier_switch_rate": switch_rate,
+            "server_stats": server_stats,
+            "tomcat_peak": apache_tomcat_pool.peak_in_use,
+        }
+
+    return island, finish
+
+
+def build_ntier_tomcat(config, index: int, include_db: bool):
+    """Tomcat island (optionally bundling mysql when *include_db*)."""
+    from repro.cache import CacheTier, cache_tier_enabled
+    from repro.ntier.applications import QueryApplication, ServletApplication
+    from repro.ntier.pool import ConnectionPool
+    from repro.servers.threaded import ThreadedServer
+    from repro.servers.tomcat import TomcatAsyncServer, TomcatSyncServer
+    from repro.sim.core import Environment
+    from repro.sim.rng import SeedStreams
+    from repro.workload.rubbos import RubbosMix
+
+    calib = config.calibration
+    env = Environment()
+    island = Island(env, index, "backend" if include_db else "tomcat")
+    # serial (_build_single) order restricted to this island's tiers.
+    db_cpu = CPU(env, calib, name="mysql-cpu") if include_db else None
+    app_cpu = CPU(env, calib, name="tomcat-cpu")
+    tier_link = Link.lan(calib, added_latency=config.inter_tier_latency)
+    db_server = None
+    if include_db:
+        db_server = ThreadedServer(
+            env, db_cpu, app=QueryApplication(), name="mysql"
+        )
+        tomcat_db_pool = ConnectionPool(
+            env, db_server, config.tomcat_db_pool, tier_link, calib
+        )
+    else:
+        tomcat_db_pool = ConnectionPool(
+            env,
+            None,
+            config.tomcat_db_pool,
+            tier_link,
+            calib,
+            connect=lambda i: island.make_stub(2, tier_link, announce=False),
+        )
+    cache_tier = None
+    if (
+        config.cache is not None
+        and config.cache.enabled
+        and cache_tier_enabled()
+    ):
+        cache_tier = CacheTier(
+            env,
+            config.cache,
+            SeedStreams(config.seed).fork("cache").stream("keys"),
+            calib,
+        )
+    servlet_app = ServletApplication(tomcat_db_pool, cache=cache_tier)
+    if config.tomcat_variant == "sync":
+        app_server = TomcatSyncServer(env, app_cpu, app=servlet_app, name="tomcat-v7")
+    else:
+        app_server = TomcatAsyncServer(
+            env,
+            app_cpu,
+            app=servlet_app,
+            name="tomcat-v8",
+            workers=config.tomcat_workers,
+        )
+    # serial: the apache_tomcat_pool's connections attach here.
+    island.serve_cut(1, app_server, tier_link, calib)
+    island.attach_edges(1, config.apache_tomcat_pool)
+    # serial: recorder.watch_cpu(system.app_cpu) / cache prewarm.
+    watch = _CpuWatch(env, app_cpu, config.warmup)
+    if cache_tier is not None and config.cache.prewarm:
+        mix = config.mix if config.mix is not None else RubbosMix()
+        cache_tier.prewarm_from_mix(mix)
+    cpus = {"tomcat": app_cpu}
+    if include_db:
+        cpus["mysql"] = db_cpu
+    starts = _watch_tiers(env, cpus, config.warmup)
+    lazy_cohort = _ntier_lazy_cohort(config)
+
+    def finish():
+        utilization, switch_rate = _tier_usage(cpus, starts)
+        server_stats: Dict[str, float] = {}
+        if lazy_cohort:
+            tiers = [("tomcat", [app_server])]
+            if include_db:
+                tiers.append(("mysql", [db_server]))
+            server_stats = _tier_server_stats(tiers)
+        cache_totals: Dict[str, float] = {}
+        if cache_tier is not None:
+            for key, value in cache_tier.counters().items():
+                cache_totals[key] = cache_totals.get(key, 0.0) + value
+        return {
+            "tier_utilization": utilization,
+            "tier_switch_rate": switch_rate,
+            "server_stats": server_stats,
+            "cache_totals": cache_totals,
+            "cache_present": cache_tier is not None,
+            "report_cpu": watch.usage(),
+        }
+
+    return island, finish
+
+
+def build_ntier_mysql(config, index: int):
+    """MySQL island: the db tier of a 4-way partition."""
+    from repro.ntier.applications import QueryApplication
+    from repro.servers.threaded import ThreadedServer
+    from repro.sim.core import Environment
+
+    calib = config.calibration
+    env = Environment()
+    island = Island(env, index, "mysql")
+    db_cpu = CPU(env, calib, name="mysql-cpu")
+    tier_link = Link.lan(calib, added_latency=config.inter_tier_latency)
+    db_server = ThreadedServer(env, db_cpu, app=QueryApplication(), name="mysql")
+    # serial: the tomcat_db_pool's connections attach here.
+    island.serve_cut(2, db_server, tier_link, calib)
+    island.attach_edges(2, config.tomcat_db_pool)
+    cpus = {"mysql": db_cpu}
+    starts = _watch_tiers(env, cpus, config.warmup)
+    lazy_cohort = _ntier_lazy_cohort(config)
+
+    def finish():
+        utilization, switch_rate = _tier_usage(cpus, starts)
+        server_stats: Dict[str, float] = {}
+        if lazy_cohort:
+            server_stats = _tier_server_stats((("mysql", [db_server]),))
+        return {
+            "tier_utilization": utilization,
+            "tier_switch_rate": switch_rate,
+            "server_stats": server_stats,
+        }
+
+    return island, finish

@@ -1,0 +1,1 @@
+"""Sharded parallel kernel tests (repro.shard)."""

@@ -1,0 +1,178 @@
+"""Kernel primitives the sharded runtime leans on.
+
+The island workers drive the serial :class:`Environment` through three
+load-bearing mechanisms:
+
+* :meth:`Environment.schedule_keyed` with negative keys from
+  :data:`CUT_BASE` — same-time cross-shard deliveries must sort *before*
+  same-time local events without consuming local insertion ids;
+* :meth:`Environment.run_window` barrier windows — pooled timeouts must
+  keep recycling across window boundaries exactly as they do inside one
+  long :meth:`Environment.run`;
+* per-barrier message batches — applying thousands of cut messages
+  window by window must keep the event heap bounded by the batch size,
+  not the message total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard.channels import CUT_BASE
+from repro.sim.core import Environment
+
+pytestmark = pytest.mark.shard
+
+
+def _tracer(env: Environment, order: list, tag):
+    """An untriggered event that appends ``tag`` when it fires."""
+    event = env.event()
+    event.callbacks.append(lambda _event: order.append(tag))
+    return event
+
+
+class TestCutKeyOrdering:
+    """Same-timestamp ties across the eid-namespace boundary."""
+
+    def test_cut_deliveries_fire_before_same_time_local_events(self):
+        """Keyed deliveries beat local events at an identical timestamp.
+
+        The local events are scheduled *first*, so their insertion ids are
+        the smallest the local namespace has handed out — if the cut keys
+        leaked into that namespace (or sorted above it), at least one
+        local event would fire first.
+        """
+        env = Environment()
+        order: list = []
+        at = 1.0
+        for i in range(3):
+            env.schedule_event_at(_tracer(env, order, ("local", i)), at)
+        key = CUT_BASE
+        for i in range(3):
+            env.schedule_keyed(_tracer(env, order, ("cut", i)), at, key)
+            key += 1
+        env.run(until=2.0)
+        assert order == [
+            ("cut", 0), ("cut", 1), ("cut", 2),
+            ("local", 0), ("local", 1), ("local", 2),
+        ]
+
+    def test_keyed_scheduling_does_not_consume_local_insertion_ids(self):
+        """Local same-time ordering is independent of interleaved keys.
+
+        Two environments schedule the same three local events at one
+        timestamp; the second interleaves keyed deliveries between them.
+        If ``schedule_keyed`` drew from the local eid counter, the local
+        relative order would differ between the two runs.
+        """
+        plain_env = Environment()
+        plain: list = []
+        for i in range(3):
+            plain_env.schedule_event_at(_tracer(plain_env, plain, i), 1.0)
+        plain_env.run(until=2.0)
+
+        mixed_env = Environment()
+        mixed: list = []
+        key = CUT_BASE
+        for i in range(3):
+            mixed_env.schedule_keyed(
+                _tracer(mixed_env, mixed, ("cut", i)), 1.0, key
+            )
+            key += 1
+            mixed_env.schedule_event_at(_tracer(mixed_env, mixed, i), 1.0)
+        mixed_env.run(until=2.0)
+
+        assert plain == [0, 1, 2]
+        assert [tag for tag in mixed if not isinstance(tag, tuple)] == plain
+
+    def test_monotone_cut_keys_replay_batch_order(self):
+        """Within one barrier batch, key order is delivery order."""
+        env = Environment()
+        order: list = []
+        key = CUT_BASE
+        for i in (2, 0, 1):  # append order deliberately != key order
+            env.schedule_keyed(_tracer(env, order, i), 0.5, key + i)
+        env.run(until=1.0)
+        assert order == [0, 1, 2]
+
+
+class TestRunWindowPooling:
+    """Pooled-timeout reuse across barrier-window sequences."""
+
+    def test_pooled_timeouts_recycle_across_windows(self):
+        """Ten windows of pooled timers reuse the first window's objects.
+
+        ``run_window`` must feed fired pooled timeouts back to the free
+        list exactly like ``run`` does — a worker island runs thousands
+        of windows, and a pool leak there would rebuild every timer
+        object the serial kernel's pooling exists to avoid.
+        """
+        env = Environment()
+        fired: list = []
+        identities = set()
+        windows, per_window = 10, 5
+        for w in range(windows):
+            start = w * 0.1
+            for k in range(per_window):
+                timeout = env.pooled_schedule_at(
+                    start + 0.05 + k * 1e-4, (w, k)
+                )
+                timeout.callbacks.append(
+                    lambda event: fired.append(event._value)
+                )
+                identities.add(id(timeout))
+            env.run_window(start + 0.1)
+        assert fired == [
+            (w, k) for w in range(windows) for k in range(per_window)
+        ]
+        # Free-list recycling: every window after the first reuses the
+        # first window's objects instead of allocating fresh ones.
+        assert len(identities) == per_window
+
+    def test_run_window_leaves_the_horizon_clock_alone(self):
+        """The clock stays at the last fired event, not the horizon.
+
+        Peers may still inject messages firing exactly *at* the horizon;
+        advancing ``now`` to the horizon on an early drain would make
+        those arrivals appear in the past.
+        """
+        env = Environment()
+        env.pooled_schedule_at(0.03, None)
+        env.run_window(0.1)
+        assert env.now == 0.03
+        # The next window's injection at the horizon is still legal.
+        env.schedule_keyed(env.event(), 0.1, CUT_BASE)
+
+
+class TestChurnHeapBound:
+    """Cross-shard message churn must not accumulate in the heap."""
+
+    def test_ten_thousand_cut_messages_keep_the_heap_bounded(self):
+        """100 windows x 100 messages: peak heap ~ one batch, end empty.
+
+        Mimics a worker island's steady state — each barrier applies a
+        batch of keyed deliveries strictly inside the next window, then
+        runs the window.  The heap must stay bounded by the per-window
+        batch (plus pooled-timeout slack), never by the 10k total.
+        """
+        env = Environment()
+        windows, batch = 100, 100
+        width = 0.01
+        step = width / (batch + 1)
+        key = CUT_BASE
+        applied = 0
+        peak = 0
+        for w in range(windows):
+            base = w * width
+            for i in range(batch):
+                event = env.event()
+                event.callbacks.append(lambda _event: None)
+                env.schedule_keyed(event, base + (i + 1) * step, key)
+                key += 1
+                applied += 1
+            peak = max(peak, len(env._queue))
+            env.run_window(base + width)
+        assert applied == windows * batch == 10_000
+        assert env.events_processed >= applied
+        assert not env._queue
+        assert peak <= 2 * batch
